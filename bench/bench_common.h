@@ -1,0 +1,129 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Shared helpers for the benchmark harness. Every binary regenerates one
+// table or figure from the paper's evaluation (Section 5): it prints the
+// same rows/series the paper plots, then runs google-benchmark
+// micro-kernels for the figure's hot operation. Absolute numbers differ
+// from the paper's 2008-era testbed; the *shape* (who wins, growth rates,
+// where the crossover falls) is what EXPERIMENTS.md tracks.
+
+#ifndef MVDB_BENCH_BENCH_COMMON_H_
+#define MVDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "obdd/conobdd.h"
+#include "obdd/order.h"
+#include "query/analysis.h"
+#include "query/eval.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace mvdb {
+namespace bench {
+
+/// The paper's aid-domain sweep: 1000 .. 10000 (Figures 4-9).
+inline std::vector<int> AidDomainSweep() {
+  return {1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000};
+}
+
+inline void PrintFigureHeader(const char* figure, const char* title) {
+  std::printf("\n==== %s: %s ====\n", figure, title);
+}
+
+inline void Die(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(StatusOr<T> so) {
+  Die(so.status());
+  return std::move(so).value();
+}
+
+/// DBLP workload with V1 + V2 only (the configuration of the paper's
+/// Alchemy comparison and the Figures 4-9 sweeps).
+inline dblp::DblpConfig SweepConfig(int num_authors) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = num_authors;
+  cfg.include_affiliation = false;
+  return cfg;
+}
+
+/// Compiled engine bundle reused across benchmark iterations.
+struct Workload {
+  std::unique_ptr<Mvdb> mvdb;
+  std::unique_ptr<QueryEngine> engine;
+};
+
+inline Workload MakeWorkload(const dblp::DblpConfig& cfg) {
+  Workload w;
+  w.mvdb = Unwrap(dblp::BuildDblpMvdb(cfg, nullptr));
+  w.engine = std::make_unique<QueryEngine>(w.mvdb.get());
+  Die(w.engine->Compile());
+  return w;
+}
+
+/// A (student, advisor) pair present in the Advisor table, for the
+/// Figures 5/6/10 queries.
+struct AdvisorPair {
+  Value student;
+  Value advisor;
+};
+
+inline AdvisorPair SomeAdvisorPair(const Mvdb& mvdb, size_t index = 0) {
+  const Table* advisor = mvdb.db().Find("Advisor");
+  MVDB_CHECK_GT(advisor->size(), index);
+  return AdvisorPair{advisor->At(static_cast<RowId>(index), 0),
+                     advisor->At(static_cast<RowId>(index), 1)};
+}
+
+/// "Augmented OBDD" evaluation as in Figures 5-6: construct the OBDD of W
+/// from scratch (structure-driven, no index reuse) and evaluate
+/// P0(Q v W) / Eq. 5 against it. Returns the answer probability; the caller
+/// times the whole thing.
+inline double EvalByFreshObdd(const Mvdb& mvdb, const Ucq& boolean_q) {
+  const Database& db = mvdb.db();
+  const Ucq& w = mvdb.W();
+  auto is_prob = [&db](const std::string& rel) {
+    const Table* t = db.Find(rel);
+    return t != nullptr && t->probabilistic();
+  };
+  OrderSpec spec;
+  if (auto sep = FindSeparator(w, is_prob); sep.has_value()) {
+    for (const auto& [sym, pos] : sep->position) {
+      std::vector<size_t> perm = {pos};
+      const Table* t = db.Find(sym);
+      for (size_t p = 0; p < t->arity(); ++p) {
+        if (p != pos) perm.push_back(p);
+      }
+      spec.pi[sym] = std::move(perm);
+    }
+  }
+  BddManager mgr(BuildVariableOrder(db, spec));
+  ConObddBuilder builder(db, &mgr);
+  const NodeId w_bdd = Unwrap(builder.Build(w));
+  const Lineage q_lin = Unwrap(EvalBoolean(db, boolean_q));
+  const NodeId q_bdd = mgr.FromLineageSynthesis(q_lin);
+  const auto probs = db.VarProbs();
+  // P0(Q v W) - P0(W) = P0(Q ^ NOT W): the direct conjunction avoids both
+  // the catastrophic cancellation of the subtraction and double-range
+  // overflow (extended-range arithmetic, util/scaled_double.h).
+  const NodeId not_w = mgr.Not(w_bdd);
+  const ScaledDouble num = mgr.ProbScaled(mgr.And(q_bdd, not_w), probs);
+  const ScaledDouble denom = mgr.ProbScaled(not_w, probs);
+  return (num / denom).ToDouble();
+}
+
+}  // namespace bench
+}  // namespace mvdb
+
+#endif  // MVDB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,47 @@
+// Figure 4: lineage size of the MarkoViews (the number of tuples involved
+// in the constraints, i.e. the distinct variables of Phi_W) as the aid
+// domain grows from 1000 to 10000.
+//
+// Paper shape: roughly linear growth, ~10K tuples at aid = 10000 with the
+// V1 + V2 feature set.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace mvdb {
+namespace bench {
+namespace {
+
+void PrintSeries() {
+  std::printf("%-12s %14s %14s %14s\n", "aid domain", "lineage size",
+              "clauses", "literals");
+  for (int n : AidDomainSweep()) {
+    Workload w = MakeWorkload(SweepConfig(n));
+    const Lineage* lin = Unwrap(w.engine->WLineage());
+    std::printf("%-12d %14zu %14zu %14zu\n", n, lin->NumDistinctVars(),
+                lin->size(), lin->NumLiterals());
+  }
+}
+
+void BM_WLineage(benchmark::State& state) {
+  Workload w = MakeWorkload(SweepConfig(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    Lineage lin = Unwrap(EvalBoolean(w.mvdb->db(), w.mvdb->W()));
+    benchmark::DoNotOptimize(lin);
+  }
+}
+BENCHMARK(BM_WLineage)->Arg(1000)->Arg(5000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mvdb
+
+int main(int argc, char** argv) {
+  mvdb::bench::PrintFigureHeader("Figure 4", "lineage size of W per dataset");
+  mvdb::bench::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 11: scalability to the full dataset — 10 queries of the form
+// "find the affiliation of author Y" (the V3 workload), CC-MVIntersect
+// over the precompiled MV-index.
+//
+// Paper shape: all queries below ~6 ms.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace mvdb {
+namespace bench {
+namespace {
+
+int g_scale = 50000;
+
+void RunTenQueries() {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = g_scale;
+  cfg.include_affiliation = true;
+  cfg.num_prolific_pairs = 12;
+
+  Timer build_timer;
+  Workload w = MakeWorkload(cfg);
+  std::printf("full scale: %d authors, MV-index %zu nodes, compiled in %.1f s\n\n",
+              g_scale, w.engine->index().size(), build_timer.Seconds());
+
+  const Table* aff = w.mvdb->db().Find("Affiliation");
+  if (aff->size() == 0) {
+    std::printf("no Affiliation tuples at this scale\n");
+    return;
+  }
+  std::printf("%-6s %-14s %10s %10s\n", "query", "author", "answers",
+              "time(ms)");
+  const size_t stride = std::max<size_t>(1, aff->size() / 10);
+  int qno = 0;
+  for (size_t r = 0; r < aff->size() && qno < 10; r += stride, ++qno) {
+    const Value aid = aff->At(static_cast<RowId>(r), 0);
+    const std::string name = dblp::AuthorName(static_cast<int>(aid));
+    Ucq q = dblp::AffiliationOfAuthorQuery(w.mvdb.get(), name);
+    Timer t;
+    auto answers = w.engine->Query(q, Backend::kMvIndexCC);
+    const double ms = t.Millis();
+    Die(answers.status());
+    std::printf("q%-5d %-14s %10zu %10.3f\n", qno + 1, name.c_str(),
+                answers->size(), ms);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mvdb
+
+int main(int argc, char** argv) {
+  if (argc > 1 && argv[1][0] != '-') {
+    mvdb::bench::g_scale = std::atoi(argv[1]);
+  }
+  mvdb::bench::PrintFigureHeader(
+      "Figure 11", "querying affiliations of an author, full dataset");
+  mvdb::bench::RunTenQueries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Shared driver for Figures 5 and 6: Alchemy (MC-SAT, our implementation)
+// vs the augmented OBDD vs the MV-index, over the aid-domain sweep.
+//
+// Four series per figure, exactly as the paper plots them:
+//   alchemy-total    — grounding (view materialization into MLN features)
+//                      plus MC-SAT sampling;
+//   alchemy-sampling — MC-SAT sampling only (the paper calls this "a better
+//                      measure ... on the total probabilistic inference
+//                      time" since Alchemy's grounding is notoriously slow);
+//   augmented-obdd   — build the OBDD of W from scratch and evaluate
+//                      P0(Q v W) against it (exact, but pays construction
+//                      per query);
+//   mv-index         — offline-compiled MV-index, online CC-MVIntersect.
+//
+// Expected shape (paper): the two Alchemy lines and augmented-obdd grow
+// with the data; mv-index stays flat at fractions of a millisecond.
+
+#ifndef MVDB_BENCH_BENCH_FIG56_COMMON_H_
+#define MVDB_BENCH_BENCH_FIG56_COMMON_H_
+
+#include "bench_common.h"
+#include "mln/mln.h"
+
+namespace mvdb {
+namespace bench {
+
+enum class QueryDirection { kAdvisorOfStudent, kStudentsOfAdvisor };
+
+inline Ucq MakeFigureQuery(Mvdb* mvdb, QueryDirection dir,
+                           const AdvisorPair& pair) {
+  if (dir == QueryDirection::kAdvisorOfStudent) {
+    return dblp::AdvisorOfStudentQuery(
+        mvdb, dblp::AuthorName(static_cast<int>(pair.student)));
+  }
+  return dblp::StudentsOfAdvisorQuery(
+      mvdb, dblp::AuthorName(static_cast<int>(pair.advisor)));
+}
+
+inline void RunFigure56(QueryDirection dir) {
+  std::printf("%-10s %16s %18s %16s %14s\n", "aid", "alchemy-total(s)",
+              "alchemy-sampling(s)", "augmented-obdd(s)", "mv-index(s)");
+  for (int n : AidDomainSweep()) {
+    const dblp::DblpConfig cfg = SweepConfig(n);
+
+    // --- Alchemy stand-in: ground the MLN, run MC-SAT -------------------
+    Timer ground_timer;
+    auto mln_mvdb = Unwrap(dblp::BuildDblpMvdb(cfg, nullptr));
+    Die(mln_mvdb->Translate());
+    GroundMln mln = Unwrap(mln_mvdb->ToGroundMln());
+    const double ground_s = ground_timer.Seconds();
+
+    const AdvisorPair pair = SomeAdvisorPair(*mln_mvdb);
+    Ucq query = MakeFigureQuery(mln_mvdb.get(), dir, pair);
+    // Ground the head to a Boolean query for the samplers: take the first
+    // answer tuple.
+    AnswerMap answers;
+    Die(Eval(mln_mvdb->db(), query, EvalOptions{}, &answers));
+    MVDB_CHECK(!answers.empty());
+    const Lineage q_lineage = answers.begin()->second.lineage;
+
+    SamplerOptions opts;
+    opts.num_samples = 60;
+    opts.burn_in = 10;
+    opts.walk_prob = 1.0;  // pure WalkSAT moves: greedy scans are O(|M|)
+    McSat sampler(mln, opts);
+    Timer sample_timer;
+    auto sampled = sampler.EstimateQueryProb(q_lineage);
+    const double sampling_s = sample_timer.Seconds();
+    Die(sampled.status());
+
+    // --- Augmented OBDD: construct W's OBDD per query -------------------
+    Ucq bool_query = query;
+    bool_query.head_vars.clear();  // existential head: Boolean version
+    Timer obdd_timer;
+    const double obdd_answer = EvalByFreshObdd(*mln_mvdb, bool_query);
+    const double obdd_s = obdd_timer.Seconds();
+    benchmark::DoNotOptimize(obdd_answer);
+
+    // --- MV-index: offline compile excluded, online query timed ---------
+    Workload w = MakeWorkload(cfg);
+    Ucq q2 = MakeFigureQuery(w.mvdb.get(), dir, pair);
+    Timer index_timer;
+    auto result = w.engine->Query(q2, Backend::kMvIndexCC);
+    const double index_s = index_timer.Seconds();
+    Die(result.status());
+
+    std::printf("%-10d %16.4f %18.4f %16.4f %14.6f\n", n,
+                ground_s + sampling_s, sampling_s, obdd_s, index_s);
+  }
+}
+
+}  // namespace bench
+}  // namespace mvdb
+
+#endif  // MVDB_BENCH_BENCH_FIG56_COMMON_H_

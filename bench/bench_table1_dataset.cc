@@ -1,0 +1,77 @@
+// Table 1 (the size table embedded in Fig. 1): cardinalities of the base
+// tables, derived views, probabilistic tables and MarkoViews.
+//
+// The paper's real-DBLP numbers (1M authors): Author 1M, Wrote 4.5M,
+// Pub 1.7M, HomePage 18.7K, Student^p 6M, Advisor^p .25M, Affiliation^p
+// .27M, V1 .25M, V2 .38M, V3 1.5K. Our synthetic generator reproduces the
+// proportional shape at configurable scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace mvdb {
+namespace bench {
+namespace {
+
+void PrintDatasetTable(int num_authors) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = num_authors;
+  dblp::DblpStats stats;
+  auto mvdb = Unwrap(dblp::BuildDblpMvdb(cfg, &stats));
+  Die(mvdb->Translate());
+  dblp::CollectViewStats(*mvdb, &stats);
+  std::printf("\n-- scale: %d authors --\n", num_authors);
+  std::printf("%-22s %10s\n", "table", "# tuples");
+  std::printf("%-22s %10zu\n", "Author(aid,name)", stats.authors);
+  std::printf("%-22s %10zu\n", "Wrote(aid,pid)", stats.wrote);
+  std::printf("%-22s %10zu\n", "Pub(pid,title,year)", stats.pubs);
+  std::printf("%-22s %10zu\n", "HomePage(aid,url)", stats.homepages);
+  std::printf("%-22s %10zu\n", "FirstPub(aid,year)", stats.first_pub);
+  std::printf("%-22s %10zu\n", "DBLPAffiliation", stats.dblp_affiliation);
+  std::printf("%-22s %10zu\n", "Student^p", stats.student);
+  std::printf("%-22s %10zu\n", "Advisor^p", stats.advisor);
+  std::printf("%-22s %10zu\n", "Affiliation^p", stats.affiliation);
+  std::printf("%-22s %10zu\n", "V1 (advisor corr.)", stats.v1);
+  std::printf("%-22s %10zu\n", "V2 (denial)", stats.v2);
+  std::printf("%-22s %10zu\n", "V3 (affiliation)", stats.v3);
+}
+
+void BM_GenerateDblp(benchmark::State& state) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dblp::DblpStats stats;
+    auto mvdb = dblp::BuildDblpMvdb(cfg, &stats);
+    benchmark::DoNotOptimize(mvdb);
+  }
+  state.counters["authors"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GenerateDblp)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_TranslateViews(benchmark::State& state) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto mvdb = Unwrap(dblp::BuildDblpMvdb(cfg, nullptr));
+    state.ResumeTiming();
+    Die(mvdb->Translate());
+  }
+}
+BENCHMARK(BM_TranslateViews)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace mvdb
+
+int main(int argc, char** argv) {
+  mvdb::bench::PrintFigureHeader(
+      "Table 1 (Fig. 1)", "dataset and MarkoView cardinalities");
+  for (int scale : {1000, 10000, 50000}) {
+    mvdb::bench::PrintDatasetTable(scale);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Affiliation analysis — the paper's V3 scenario (Fig. 1 / Fig. 11):
+// inferring author affiliations from recent co-publication, with the
+// MarkoView "if two people published a lot together recently, their
+// affiliations are very likely the same" adding positive correlations.
+//
+// The example contrasts the marginal probability of an Affiliation tuple
+// *with* and *without* the MarkoViews, showing how V3 lifts the
+// probability of co-affiliation for prolific pairs.
+//
+// Usage:  ./build/examples/affiliation_analysis [num_authors]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "query/parser.h"
+#include "util/timer.h"
+
+using namespace mvdb;
+
+int main(int argc, char** argv) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = argc > 1 ? std::atoi(argv[1]) : 800;
+  cfg.num_prolific_pairs = 4;
+
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  if (!mvdb.ok()) {
+    std::fprintf(stderr, "%s\n", mvdb.status().ToString().c_str());
+    return 1;
+  }
+  QueryEngine engine(mvdb->get());
+  if (auto st = engine.Compile(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  Database& db = (*mvdb)->db();
+
+  // All authors with inferred affiliations.
+  const Table* aff = db.Find("Affiliation");
+  if (aff->size() == 0) {
+    std::printf("no inferred affiliations generated; increase num_authors\n");
+    return 0;
+  }
+
+  std::printf("%zu inferred Affiliation tuples; querying each author's "
+              "affiliation distribution:\n\n", aff->size());
+  std::set<Value> authors;
+  for (size_t r = 0; r < aff->size(); ++r) {
+    authors.insert(aff->At(static_cast<RowId>(r), 0));
+  }
+
+  size_t shown = 0;
+  for (Value aid : authors) {
+    if (++shown > 6) break;
+    const std::string name = dblp::AuthorName(static_cast<int>(aid));
+    Ucq q = dblp::AffiliationOfAuthorQuery(mvdb->get(), name);
+    Timer t;
+    auto with_views = engine.Query(q, Backend::kMvIndexCC);
+    const double ms = t.Millis();
+    if (!with_views.ok()) {
+      std::fprintf(stderr, "%s\n", with_views.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s (%.3f ms):\n", name.c_str(), ms);
+    for (const auto& a : *with_views) {
+      // The prior (tuple-independent) marginal, for contrast: the tuple's
+      // own weight without any MarkoView correlations.
+      RowId row = 0;
+      double prior = 0;
+      const std::vector<Value> key = {aid, a.head[0]};
+      if (aff->FindRow(key, &row)) {
+        prior = WeightToProb(db.var_weight(aff->var(row)));
+      }
+      std::printf("  %-24s P = %.4f (independent prior %.4f)\n",
+                  db.dict().Lookup(a.head[0]).c_str(), a.prob, prior);
+    }
+  }
+
+  std::printf(
+      "\nFor members of prolific pairs, V3's positive correlation pushes the\n"
+      "co-affiliation probability above the independent prior; for everyone\n"
+      "else the MarkoViews leave the marginal (nearly) untouched.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: the paper's running Example 1 (Sections 2.5 and 3.1),
+// end to end.
+//
+// Two probabilistic tuples R(a) and S(a) with weights w1, w2, and one
+// MarkoView V(x)[w] :- R(x), S(x) correlating them. We translate the MVDB
+// to its associated tuple-independent database (Definition 5), compile the
+// MV-index, and evaluate queries with Eq. 5 — checking the closed-form
+// answers from the paper along the way.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/mvdb.h"
+#include "query/parser.h"
+
+using namespace mvdb;
+
+namespace {
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Value_(StatusOr<T> so) {
+  Check(so.status());
+  return std::move(so).value();
+}
+
+}  // namespace
+
+int main() {
+  const double w1 = 2.0, w2 = 3.0, w = 0.25;
+
+  // --- 1. Build the MVDB ---------------------------------------------
+  Mvdb db;
+  Check(db.db().CreateTable("R", {"x"}, /*probabilistic=*/true).status());
+  Check(db.db().CreateTable("S", {"x"}, /*probabilistic=*/true).status());
+  db.db().InsertProbabilistic("R", {1}, w1);
+  db.db().InsertProbabilistic("S", {1}, w2);
+
+  // The MarkoView, in the paper's datalog notation. A weight w < 1 is a
+  // negative correlation; try w = 2.5 for a positive one.
+  Ucq view_def = Value_(ParseUcq("V(x) :- R(x), S(x).", &db.db().dict()));
+  Check(db.AddView(MarkoView::Constant("V", std::move(view_def), w)));
+
+  // --- 2. Translate to the associated INDB (Definition 5) --------------
+  Check(db.Translate());
+  std::printf("MarkoView weight w = %.3f translates to NV weight (1-w)/w = %.3f\n",
+              w, db.db().var_weight(db.view_tuples()[0][0].nv_var));
+  std::printf("Constraint query W:  %s\n\n", ToString(db.W()).c_str());
+
+  // --- 3. Compile the MV-index and query (Eq. 5) -----------------------
+  QueryEngine engine(&db);
+  Check(engine.Compile());
+  std::printf("P0(not W) = %.6f (denominator of Eq. 5)\n", engine.ProbNotW());
+  std::printf("MV-index: %zu nodes in %zu block(s)\n\n", engine.index().size(),
+              engine.index().blocks().size());
+
+  struct Expected {
+    const char* text;
+    double value;
+  };
+  const double z = 1 + w1 + w2 + w * w1 * w2;
+  const Expected queries[] = {
+      // P(R v S) = (w1 + w2 + w w1 w2) / Z -- worked out in Section 3.1.
+      {"Q :- R(x). Q :- S(x).", (w1 + w2 + w * w1 * w2) / z},
+      // P(R ^ S) = w w1 w2 / Z.
+      {"Q :- R(x), S(x).", w * w1 * w2 / z},
+      // P(R) = (w1 + w w1 w2) / Z.
+      {"Q :- R(x).", (w1 + w * w1 * w2) / z},
+  };
+  for (const auto& [text, expected] : queries) {
+    Ucq q = Value_(ParseUcq(text, &db.db().dict()));
+    const double p = Value_(engine.QueryBoolean(q, Backend::kMvIndexCC));
+    std::printf("%-28s P = %.6f (closed form %.6f)\n", text, p, expected);
+  }
+
+  // --- 4. The same probabilities from the MLN semantics (Definition 4) --
+  GroundMln mln = Value_(db.ToGroundMln());
+  std::printf("\nMLN partition function Z = %.3f (closed form %.3f)\n",
+              mln.ExactPartition(), z);
+  std::printf("\nAll three agree: MarkoViews are a (restricted) MLN whose\n"
+              "queries reduce exactly to a tuple-independent database.\n");
+  return 0;
+}

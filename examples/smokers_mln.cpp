@@ -1,0 +1,88 @@
+// The classic "smokers" Markov Logic Network, expressed with MarkoViews.
+//
+// MLN folklore uses the feature  Friends(x,y) ^ Smokes(x) => Smokes(y)  to
+// model peer pressure. As Section 2.5 discusses, MarkoViews express
+// positive UCQ features; the peer-pressure effect is captured by the view
+//
+//     Peer(x,y)[w] :- Friends(x,y), Smokes(x), Smokes(y).   (w > 1)
+//
+// which rewards worlds where friends smoke *together*. This example builds
+// the network, answers marginal queries exactly through the MVDB engine,
+// and cross-checks them against brute-force MLN enumeration and MC-SAT —
+// three semantics, one answer.
+//
+// Usage:  ./build/examples/smokers_mln
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "mln/mln.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+using namespace mvdb;
+
+namespace {
+
+void Check(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // People: 1=Anna, 2=Bob, 3=Carol, 4=Dave. Anna-Bob and Bob-Carol are
+  // friends; Dave is a loner. Everyone smokes with prior odds 1 (p = 0.5),
+  // except Anna, a likely smoker (odds 4).
+  Mvdb db;
+  Check(db.db().CreateTable("Friends", {"x", "y"}, false).status());
+  Check(db.db().CreateTable("Smokes", {"x"}, true).status());
+  db.db().InsertDeterministic("Friends", {1, 2});
+  db.db().InsertDeterministic("Friends", {2, 3});
+  db.db().InsertProbabilistic("Smokes", {1}, 4.0);
+  db.db().InsertProbabilistic("Smokes", {2}, 1.0);
+  db.db().InsertProbabilistic("Smokes", {3}, 1.0);
+  db.db().InsertProbabilistic("Smokes", {4}, 1.0);
+
+  // Peer pressure: weight 3 rewards co-smoking friend pairs.
+  Ucq peer = *ParseUcq("Peer(x,y) :- Friends(x,y), Smokes(x), Smokes(y).",
+                       &db.db().dict());
+  Check(db.AddView(MarkoView::Constant("Peer", std::move(peer), 3.0)));
+
+  QueryEngine engine(&db);
+  Check(engine.Compile());
+  GroundMln mln = std::move(db.ToGroundMln()).value();
+  SamplerOptions opts;
+  opts.num_samples = 40000;
+  McSat mcsat(mln, opts);
+
+  const char* names[] = {"", "Anna", "Bob", "Carol", "Dave"};
+  std::printf("%-8s %12s %14s %10s\n", "person", "P(smokes)", "brute-force",
+              "MC-SAT");
+  for (int person = 1; person <= 4; ++person) {
+    char text[64];
+    std::snprintf(text, sizeof(text), "Q :- Smokes(%d).", person);
+    Ucq q = *ParseUcq(text, &db.db().dict());
+    const double exact = std::move(engine.QueryBoolean(q)).value();
+    const Lineage lin = std::move(EvalBoolean(db.db(), q)).value();
+    const double enumerated = std::move(mln.ExactQueryProb(lin)).value();
+    const double sampled = std::move(mcsat.EstimateQueryProb(lin)).value();
+    std::printf("%-8s %12.4f %14.4f %10.4f\n", names[person], exact,
+                enumerated, sampled);
+  }
+
+  // Conditional flavor: joint smoking of friends vs strangers.
+  Ucq both_friends = *ParseUcq("Q :- Smokes(1), Smokes(2).", &db.db().dict());
+  Ucq both_strangers = *ParseUcq("Q :- Smokes(1), Smokes(4).", &db.db().dict());
+  std::printf("\nP(Anna & Bob smoke)  = %.4f   (friends: positively correlated)\n",
+              std::move(engine.QueryBoolean(both_friends)).value());
+  std::printf("P(Anna & Dave smoke) = %.4f   (strangers: independent)\n",
+              std::move(engine.QueryBoolean(both_strangers)).value());
+  std::printf("\nBob's smoking probability exceeds Carol's and Dave's: he has\n"
+              "two smoking friends pulling him up — peer pressure, inferred\n"
+              "exactly by safe-plan-grade machinery, not sampling.\n");
+  return 0;
+}

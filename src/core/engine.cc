@@ -1,0 +1,263 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "prob/brute_force.h"
+#include "query/analysis.h"
+#include "safeplan/lifted.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+/// Clamps values that are within floating-point noise of [0, 1].
+double ClampProb(double p) {
+  if (p < 0.0 && p > -1e-9) return 0.0;
+  if (p > 1.0 && p < 1.0 + 1e-9) return 1.0;
+  return p;
+}
+
+}  // namespace
+
+Status QueryEngine::Compile() {
+  if (compiled()) return Status::OK();
+  if (!mvdb_->translated()) {
+    MVDB_RETURN_NOT_OK(mvdb_->Translate());
+  }
+  const Database& db = mvdb_->db();
+  const Ucq& w = mvdb_->W();
+  auto is_prob = [&db](const std::string& rel) {
+    const Table* t = db.Find(rel);
+    return t != nullptr && t->probabilistic();
+  };
+
+  // Attribute permutations: inversion-free if possible, else separator-first.
+  std::unordered_map<std::string, size_t> arity;
+  for (const auto& cq : w.disjuncts) {
+    for (const Atom& a : cq.atoms) {
+      if (is_prob(a.relation)) arity[a.relation] = a.args.size();
+    }
+  }
+  order_spec_ = OrderSpec{};
+  if (auto pi = FindInversionFreePi(w, is_prob, arity); pi.has_value()) {
+    w_inversion_free_ = true;
+    order_spec_.pi = std::move(*pi);
+  } else if (auto sep = FindSeparator(w, is_prob); sep.has_value()) {
+    for (const auto& [sym, pos] : sep->position) {
+      std::vector<size_t> perm = {pos};
+      for (size_t p = 0; p < arity[sym]; ++p) {
+        if (p != pos) perm.push_back(p);
+      }
+      order_spec_.pi[sym] = std::move(perm);
+    }
+  }
+
+  // Component ranks: keep independent view groups of W contiguous;
+  // relations untouched by W go last.
+  const auto groups = IndependentUnionComponents(w, is_prob);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t d : groups[g]) {
+      for (const Atom& a : w.disjuncts[d].atoms) {
+        if (is_prob(a.relation)) {
+          order_spec_.component_rank.emplace(a.relation, static_cast<int>(g));
+        }
+      }
+    }
+  }
+  for (const std::string& name : db.table_names()) {
+    const Table* t = db.Find(name);
+    if (t->probabilistic()) {
+      order_spec_.component_rank.emplace(name, static_cast<int>(groups.size()));
+    }
+  }
+
+  mgr_ = std::make_unique<BddManager>(
+      BuildVariableOrder(db, order_spec_));
+  var_probs_ = db.VarProbs();
+  MVDB_ASSIGN_OR_RETURN(index_, MvIndex::Build(db, w, mgr_.get(), var_probs_));
+  w_bdd_ = mgr_->Not(index_->not_w_manager_root());
+  return Status::OK();
+}
+
+StatusOr<const Lineage*> QueryEngine::WLineage() {
+  MVDB_RETURN_NOT_OK(Compile());
+  if (!w_lineage_.has_value()) {
+    MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(mvdb_->db(), mvdb_->W()));
+    w_lineage_ = std::move(lin);
+  }
+  return &*w_lineage_;
+}
+
+StatusOr<ScaledDouble> QueryEngine::Numerator(const Lineage& q_lineage,
+                                              const Ucq& q_grounded,
+                                              Backend backend) {
+  switch (backend) {
+    case Backend::kBruteForce: {
+      MVDB_ASSIGN_OR_RETURN(const Lineage* w_lin, WLineage());
+      return ScaledDouble(BruteForceProbAndNot(q_lineage, *w_lin, var_probs_));
+    }
+    case Backend::kObddReuse: {
+      const NodeId qb = mgr_->FromLineageSynthesis(q_lineage);
+      const NodeId not_w = index_->not_w_manager_root();
+      return mgr_->ProbScaled(mgr_->And(qb, not_w), var_probs_);
+    }
+    case Backend::kMvIndex: {
+      const NodeId qb = mgr_->FromLineageSynthesis(q_lineage);
+      return index_->MVIntersectScaled(qb);
+    }
+    case Backend::kMvIndexCC: {
+      const NodeId qb = mgr_->FromLineageSynthesis(q_lineage);
+      return index_->CCMVIntersectScaled(qb);
+    }
+    case Backend::kSafePlan: {
+      // P0(Q v W) - P0(W) via lifted inference on both queries. Runs in
+      // plain double: the lifted recursion multiplies per-value factors
+      // incrementally and is only exercised at modest scales (the DBLP W
+      // is not safe; see the ablation bench).
+      Ucq q_or_w = mvdb_->W();
+      q_or_w.name = "QvW";
+      AppendDisjunctsRenamed(&q_or_w, q_grounded, "q.");
+      MVDB_ASSIGN_OR_RETURN(double p_qw,
+                            LiftedProb(mvdb_->db(), q_or_w, var_probs_));
+      MVDB_ASSIGN_OR_RETURN(double p_w,
+                            LiftedProb(mvdb_->db(), mvdb_->W(), var_probs_));
+      return ScaledDouble(p_qw - p_w);
+    }
+  }
+  return Status::Internal("unknown backend");
+}
+
+StatusOr<std::vector<AnswerProb>> QueryEngine::Query(const Ucq& q,
+                                                     Backend backend) {
+  MVDB_RETURN_NOT_OK(Compile());
+  AnswerMap answers;
+  MVDB_RETURN_NOT_OK(Eval(mvdb_->db(), q, EvalOptions{}, &answers));
+  const ScaledDouble denom = index_->ProbNotWScaled();
+  if (denom.IsZero()) {
+    return Status::Internal("P0(NOT W) = 0: the MVDB admits no possible world");
+  }
+  std::vector<AnswerProb> out;
+  out.reserve(answers.size());
+  for (const auto& [head, info] : answers) {
+    Ucq grounded;
+    if (backend == Backend::kSafePlan) {
+      grounded = GroundHead(q, head);
+    }
+    MVDB_ASSIGN_OR_RETURN(ScaledDouble num,
+                          Numerator(info.lineage, grounded, backend));
+    // The huge common block factors cancel in the ratio (Eq. 5); only the
+    // final probability is converted back to double.
+    if (backend == Backend::kSafePlan || backend == Backend::kBruteForce) {
+      // These backends computed the numerator in plain double, normalized
+      // differently than the scaled denominator only if out of range —
+      // which their scale restrictions preclude.
+      out.push_back(AnswerProb{head, ClampProb(num.ToDouble() / denom.ToDouble())});
+    } else {
+      out.push_back(AnswerProb{head, ClampProb((num / denom).ToDouble())});
+    }
+  }
+  return out;
+}
+
+StatusOr<double> QueryEngine::ConditionalBoolean(const Ucq& q1, const Ucq& q2,
+                                                 Backend backend) {
+  if (!q1.IsBoolean() || !q2.IsBoolean()) {
+    return Status::InvalidArgument("ConditionalBoolean requires Boolean queries");
+  }
+  MVDB_RETURN_NOT_OK(Compile());
+  MVDB_ASSIGN_OR_RETURN(Lineage lin1, EvalBoolean(mvdb_->db(), q1));
+  MVDB_ASSIGN_OR_RETURN(Lineage lin2, EvalBoolean(mvdb_->db(), q2));
+  // Numerators share the denominator P0(NOT W), which cancels:
+  // P(Q1 | Q2) = P0(Q1 ^ Q2 ^ !W) / P0(Q2 ^ !W).
+  const NodeId b1 = mgr_->FromLineageSynthesis(lin1);
+  const NodeId b2 = mgr_->FromLineageSynthesis(lin2);
+  const NodeId joint = mgr_->And(b1, b2);
+  ScaledDouble num, den;
+  switch (backend) {
+    case Backend::kMvIndex:
+      num = index_->MVIntersectScaled(joint);
+      den = index_->MVIntersectScaled(b2);
+      break;
+    case Backend::kMvIndexCC:
+      num = index_->CCMVIntersectScaled(joint);
+      den = index_->CCMVIntersectScaled(b2);
+      break;
+    default: {
+      const NodeId not_w = index_->not_w_manager_root();
+      num = mgr_->ProbScaled(mgr_->And(joint, not_w), var_probs_);
+      den = mgr_->ProbScaled(mgr_->And(b2, not_w), var_probs_);
+    }
+  }
+  if (den.IsZero()) {
+    return Status::InvalidArgument("conditioning event has probability zero");
+  }
+  return ClampProb((num / den).ToDouble());
+}
+
+StatusOr<QueryEngine::Explanation> QueryEngine::Explain(const Ucq& q) {
+  MVDB_RETURN_NOT_OK(Compile());
+  AnswerMap answers;
+  MVDB_RETURN_NOT_OK(Eval(mvdb_->db(), q, EvalOptions{}, &answers));
+  Explanation out{};
+  out.index_blocks = index_->blocks().size();
+  std::vector<VarId> all_vars;
+  for (const auto& [head, info] : answers) {
+    ++out.num_answers;
+    out.lineage_clauses += info.lineage.size();
+    out.uses_negation |= info.lineage.HasNegation();
+    const auto vars = info.lineage.Vars();
+    all_vars.insert(all_vars.end(), vars.begin(), vars.end());
+  }
+  std::sort(all_vars.begin(), all_vars.end());
+  all_vars.erase(std::unique(all_vars.begin(), all_vars.end()), all_vars.end());
+  out.lineage_vars = all_vars.size();
+  // Blocks whose level range overlaps some lineage variable.
+  for (const MvBlock& b : index_->blocks()) {
+    for (VarId v : all_vars) {
+      const int32_t l = mgr_->level_of_var(v);
+      if (l >= b.first_level && l <= b.last_level) {
+        ++out.blocks_touched;
+        break;
+      }
+    }
+  }
+  // Safety of Q v W and W under lifted inference (tractability detection,
+  // the paper's Theorem 1 corollary).
+  Ucq q_or_w = mvdb_->W();
+  Ucq boolean_q = q;
+  boolean_q.head_vars.clear();
+  AppendDisjunctsRenamed(&q_or_w, boolean_q, "q.");
+  out.safe_with_views = LiftedProb(mvdb_->db(), q_or_w, var_probs_).ok() &&
+                        LiftedProb(mvdb_->db(), mvdb_->W(), var_probs_).ok();
+  return out;
+}
+
+StatusOr<std::vector<AnswerProb>> QueryEngine::QueryTopK(const Ucq& q, size_t k,
+                                                         Backend backend) {
+  MVDB_ASSIGN_OR_RETURN(std::vector<AnswerProb> answers, Query(q, backend));
+  std::stable_sort(answers.begin(), answers.end(),
+                   [](const AnswerProb& a, const AnswerProb& b) {
+                     return a.prob > b.prob;
+                   });
+  if (answers.size() > k) answers.resize(k);
+  return answers;
+}
+
+StatusOr<double> QueryEngine::QueryBoolean(const Ucq& q, Backend backend) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("QueryBoolean requires a Boolean query");
+  }
+  MVDB_RETURN_NOT_OK(Compile());
+  MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(mvdb_->db(), q));
+  const ScaledDouble denom = index_->ProbNotWScaled();
+  if (denom.IsZero()) {
+    return Status::Internal("P0(NOT W) = 0: the MVDB admits no possible world");
+  }
+  MVDB_ASSIGN_OR_RETURN(ScaledDouble num, Numerator(lin, q, backend));
+  if (backend == Backend::kSafePlan || backend == Backend::kBruteForce) {
+    return ClampProb(num.ToDouble() / denom.ToDouble());
+  }
+  return ClampProb((num / denom).ToDouble());
+}
+
+}  // namespace mvdb

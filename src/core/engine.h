@@ -1,0 +1,132 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// QueryEngine: the end-to-end evaluation pipeline of the paper.
+//
+// Offline (Compile):
+//   1. Translate the MVDB to its associated INDB (Definition 5);
+//   2. choose attribute permutations pi — inversion-free ones when W admits
+//      them, else separator-first heuristics (Section 4.2);
+//   3. build the global variable order Pi and the BddManager;
+//   4. compile W into the MV-index (blocks, flat augmented OBDD of NOT W).
+//
+// Online (Query):
+//   per answer tuple a: compute the lineage of Q(a), build its (small)
+//   query OBDD in the same order, and evaluate Eq. 5
+//
+//       P(Q(a)) = (P0(Q v W) - P0(W)) / (1 - P0(W))
+//               = P0(Q ^ NOT W) / P0(NOT W)
+//
+//   where the numerator comes from one of several interchangeable backends
+//   (brute force / reused W OBDD / MV-index MVIntersect / CC-MVIntersect /
+//   lifted safe plans) — they agree to floating-point accuracy, which the
+//   property tests assert.
+
+#ifndef MVDB_CORE_ENGINE_H_
+#define MVDB_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/mvdb.h"
+#include "mvindex/mv_index.h"
+#include "obdd/conobdd.h"
+#include "obdd/manager.h"
+#include "obdd/order.h"
+#include "query/eval.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// Numerator evaluation strategy for Eq. 5.
+enum class Backend {
+  kBruteForce,   ///< exhaustive enumeration over the joint lineage (tests)
+  kObddReuse,    ///< synthesis of Q against the precompiled W OBDD
+  kMvIndex,      ///< MV-index, top-down MVIntersect
+  kMvIndexCC,    ///< MV-index, cache-conscious forward sweep
+  kSafePlan,     ///< lifted inference on Q v W and W (safe queries only)
+};
+
+struct AnswerProb {
+  std::vector<Value> head;
+  double prob;
+};
+
+class QueryEngine {
+ public:
+  /// The engine borrows the Mvdb, which must outlive it.
+  explicit QueryEngine(Mvdb* mvdb) : mvdb_(mvdb) {}
+
+  /// Runs the offline pipeline. Idempotent.
+  Status Compile();
+
+  bool compiled() const { return index_ != nullptr; }
+
+  /// Evaluates a (possibly non-Boolean) UCQ over the MVDB relations,
+  /// returning one probability per answer tuple.
+  StatusOr<std::vector<AnswerProb>> Query(const Ucq& q,
+                                          Backend backend = Backend::kMvIndexCC);
+
+  /// Evaluates a Boolean UCQ.
+  StatusOr<double> QueryBoolean(const Ucq& q,
+                                Backend backend = Backend::kMvIndexCC);
+
+  /// Returns the k most probable answers, descending by probability (ties
+  /// broken by head tuple order). Evaluates every answer's numerator — the
+  /// MV-index makes per-answer evaluation cheap enough that the multi-
+  /// simulation pruning of Re et al. [28] is unnecessary here; see
+  /// DESIGN.md.
+  StatusOr<std::vector<AnswerProb>> QueryTopK(const Ucq& q, size_t k,
+                                              Backend backend = Backend::kMvIndexCC);
+
+  /// Conditional probability P(Q1 | Q2) on the MVDB: by Theorem 1 this is
+  /// P0(Q1 ^ Q2 ^ NOT W) / P0(Q2 ^ NOT W) — two intersect calls against the
+  /// same index. Both queries must be Boolean. Returns InvalidArgument when
+  /// P(Q2) = 0.
+  StatusOr<double> ConditionalBoolean(const Ucq& q1, const Ucq& q2,
+                                      Backend backend = Backend::kMvIndexCC);
+
+  /// Diagnostics for one query: what the evaluation would do and cost.
+  struct Explanation {
+    size_t num_answers;        ///< answer tuples
+    size_t lineage_clauses;    ///< total clauses across answers
+    size_t lineage_vars;       ///< distinct tuple variables across answers
+    bool uses_negation;        ///< signed lineage (Sec. 2.5 extension)
+    bool safe_with_views;      ///< lifted inference applies to Q v W and W
+    size_t blocks_touched;     ///< MV-index blocks overlapping the lineage
+    size_t index_blocks;       ///< total blocks in the index
+  };
+  StatusOr<Explanation> Explain(const Ucq& q);
+
+  /// P0(NOT W) = 1 - P0(W), the denominator of Eq. 5.
+  double ProbNotW() const { return index_->ProbNotW(); }
+
+  /// The compiled MV-index (stats, block layout).
+  const MvIndex& index() const { return *index_; }
+  BddManager& manager() { return *mgr_; }
+
+  /// Lineage of W (computed lazily; large — Fig. 4 measures its size).
+  StatusOr<const Lineage*> WLineage();
+
+  /// The attribute permutations chosen at compile time.
+  const OrderSpec& order_spec() const { return order_spec_; }
+  /// Whether W was detected inversion-free (Proposition 2 applies).
+  bool w_inversion_free() const { return w_inversion_free_; }
+
+ private:
+  StatusOr<ScaledDouble> Numerator(const Lineage& q_lineage,
+                                   const Ucq& q_grounded_or_w, Backend backend);
+
+  Mvdb* mvdb_;
+  OrderSpec order_spec_;
+  bool w_inversion_free_ = false;
+  std::unique_ptr<BddManager> mgr_;
+  std::unique_ptr<MvIndex> index_;
+  NodeId w_bdd_ = BddManager::kFalse;  // W OBDD for the kObddReuse backend
+  std::vector<double> var_probs_;
+  std::optional<Lineage> w_lineage_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_CORE_ENGINE_H_

@@ -1,0 +1,68 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// MarkoView (Definition 3): a UCQ view over the probabilistic and
+// deterministic tables, assigning a non-negative weight to each output
+// tuple. The weight may depend on a per-group aggregate — the paper's
+// weight expressions are of the form f(count(pid)) where pid is a body
+// variable (Fig. 1, footnote 3: aggregates range over deterministic
+// tables) — so a view carries an optional count variable and a weight
+// callback receiving the head tuple and the distinct count.
+//
+// Weight semantics (Sections 2.4-2.5):
+//   w = 0   hard denial constraint (the view must be empty);
+//   w < 1   negative correlation;
+//   w = 1   independence (the output tuple induces no feature);
+//   w > 1   positive correlation;
+//   w = inf is rejected — it would make the translated NV probability
+//           singular ((1-w)/w -> -1, p -> -inf) and the paper never uses it.
+
+#ifndef MVDB_CORE_MARKOVIEW_H_
+#define MVDB_CORE_MARKOVIEW_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "query/ast.h"
+#include "relational/types.h"
+
+namespace mvdb {
+
+class MarkoView {
+ public:
+  /// Weight callback: head tuple and distinct count of `count_var` bindings
+  /// (0 when no count variable is configured).
+  using WeightFn = std::function<double(std::span<const Value>, int64_t)>;
+
+  /// A view whose weight is computed per output tuple.
+  MarkoView(std::string name, Ucq definition, int count_var, WeightFn weight_fn)
+      : name_(std::move(name)),
+        definition_(std::move(definition)),
+        count_var_(count_var),
+        weight_fn_(std::move(weight_fn)) {}
+
+  /// A view with one constant weight for every output tuple, e.g. the
+  /// denial view V2(...)[0].
+  static MarkoView Constant(std::string name, Ucq definition, double weight) {
+    return MarkoView(std::move(name), std::move(definition), -1,
+                     [weight](std::span<const Value>, int64_t) { return weight; });
+  }
+
+  const std::string& name() const { return name_; }
+  const Ucq& definition() const { return definition_; }
+  int count_var() const { return count_var_; }
+  double Weight(std::span<const Value> head, int64_t count) const {
+    return weight_fn_(head, count);
+  }
+
+ private:
+  std::string name_;
+  Ucq definition_;
+  int count_var_;
+  WeightFn weight_fn_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_CORE_MARKOVIEW_H_

@@ -1,0 +1,146 @@
+#include "core/mvdb.h"
+
+#include <cmath>
+
+#include "query/eval.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+/// Appends the disjuncts of `def` (head cleared) to the Boolean query `w`,
+/// renaming variables apart. When `nv_relation` is non-null, each disjunct
+/// additionally receives the atom NV(head terms) in front — Eq. 4's
+/// NV_i(x) ^ Q_i(x).
+void MergeIntoW(Ucq* w, const Ucq& def, const std::string* nv_relation,
+                const std::string& view_name) {
+  std::vector<int> remap(static_cast<size_t>(def.num_vars()), -1);
+  auto map_var = [&](int v) {
+    int& m = remap[static_cast<size_t>(v)];
+    if (m < 0) {
+      m = w->AddVar(view_name + "." + def.var_names[static_cast<size_t>(v)]);
+    }
+    return m;
+  };
+  auto map_term = [&](const Term& t) {
+    return t.is_var() ? Term::Var(map_var(t.var)) : t;
+  };
+  for (const ConjunctiveQuery& cq : def.disjuncts) {
+    ConjunctiveQuery out;
+    if (nv_relation != nullptr) {
+      Atom nv;
+      nv.relation = *nv_relation;
+      for (int hv : def.head_vars) nv.args.push_back(Term::Var(map_var(hv)));
+      out.atoms.push_back(std::move(nv));
+    }
+    for (const Atom& a : cq.atoms) {
+      Atom atom;
+      atom.relation = a.relation;
+      atom.negated = a.negated;
+      for (const Term& t : a.args) atom.args.push_back(map_term(t));
+      out.atoms.push_back(std::move(atom));
+    }
+    for (const Comparison& c : cq.comparisons) {
+      out.comparisons.push_back(Comparison{map_term(c.lhs), c.op, map_term(c.rhs)});
+    }
+    w->disjuncts.push_back(std::move(out));
+  }
+}
+
+}  // namespace
+
+Status Mvdb::AddView(MarkoView view) {
+  if (translated_) {
+    return Status::InvalidArgument("cannot add views after Translate()");
+  }
+  if (view.definition().head_vars.empty()) {
+    return Status::InvalidArgument("MarkoView '" + view.name() +
+                                   "' must have head variables");
+  }
+  views_.push_back(std::move(view));
+  return Status::OK();
+}
+
+Status Mvdb::Translate() {
+  if (translated_) return Status::AlreadyExists("Translate() already ran");
+  base_num_vars_ = db_.num_vars();
+  w_ = Ucq{};
+  w_.name = "W";
+
+  view_tuples_.resize(views_.size());
+  for (size_t i = 0; i < views_.size(); ++i) {
+    const MarkoView& view = views_[i];
+
+    // Materialize the view over I_poss with lineage + distinct counts.
+    AnswerMap answers;
+    EvalOptions opts;
+    opts.count_var = view.count_var();
+    MVDB_RETURN_NOT_OK(Eval(db_, view.definition(), opts, &answers));
+
+    // First pass: compute weights, detect a pure denial view.
+    std::vector<ViewTuple>& tuples = view_tuples_[i];
+    bool all_denial = !answers.empty();
+    for (auto& [head, info] : answers) {
+      const double w = view.Weight(head, static_cast<int64_t>(info.count_values.size()));
+      if (std::isinf(w)) {
+        return Status::InvalidArgument("view '" + view.name() +
+                                       "' produced an infinite weight");
+      }
+      if (w < 0.0 || std::isnan(w)) {
+        return Status::InvalidArgument("view '" + view.name() +
+                                       "' produced an invalid weight");
+      }
+      if (w != 0.0) all_denial = false;
+      tuples.push_back(ViewTuple{head, w, std::move(info.lineage), kNoVar});
+    }
+
+    if (tuples.empty()) continue;  // empty view: no features, no W disjunct
+
+    if (all_denial) {
+      // Paper's simplification: NV is deterministic and can be dropped from
+      // W_i entirely; the constraint is the view body itself.
+      MergeIntoW(&w_, view.definition(), nullptr, view.name());
+      continue;
+    }
+
+    // Create the NV relation and populate it with w0 = (1-w)/w.
+    const std::string nv_name = NvTableName(i);
+    std::vector<std::string> attrs;
+    for (int hv : view.definition().head_vars) {
+      attrs.push_back(view.definition().var_names[static_cast<size_t>(hv)]);
+    }
+    MVDB_ASSIGN_OR_RETURN(Table * nv, db_.CreateTable(nv_name, attrs, true));
+    (void)nv;
+    for (ViewTuple& t : tuples) {
+      if (t.weight == 1.0) continue;  // independence: no feature, no NV tuple
+      const double w0 =
+          (t.weight == 0.0) ? kCertainWeight : (1.0 - t.weight) / t.weight;
+      t.nv_var = db_.InsertProbabilistic(nv_name, std::span<const Value>(t.head),
+                                         w0);
+    }
+    MergeIntoW(&w_, view.definition(), &nv_name, view.name());
+  }
+
+  translated_ = true;
+  return Status::OK();
+}
+
+StatusOr<GroundMln> Mvdb::ToGroundMln() const {
+  if (!translated_) {
+    return Status::InvalidArgument("call Translate() before ToGroundMln()");
+  }
+  std::vector<double> tuple_weights(base_num_vars_);
+  for (size_t v = 0; v < base_num_vars_; ++v) {
+    tuple_weights[v] = db_.var_weight(static_cast<VarId>(v));
+  }
+  GroundMln mln(base_num_vars_, std::move(tuple_weights));
+  for (const auto& tuples : view_tuples_) {
+    for (const ViewTuple& t : tuples) {
+      if (t.weight == 1.0) continue;  // no-op feature
+      mln.AddFeature(t.feature, t.weight);
+    }
+  }
+  return mln;
+}
+
+}  // namespace mvdb

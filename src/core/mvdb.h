@@ -1,0 +1,101 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Mvdb: the paper's data model (Definition 3: a triple (Tup, w, V)) and its
+// translation to a tuple-independent database (Definition 5 / Theorem 1).
+//
+// Usage:
+//   Mvdb mvdb;
+//   ... create tables and insert tuples through mvdb.db() ...
+//   mvdb.AddView(MarkoView::Constant("V2", v2_def, 0.0));
+//   MVDB_RETURN_NOT_OK(mvdb.Translate());
+//   // now mvdb.db() also holds the NV tables, and mvdb.W() is the Boolean
+//   // constraint UCQ of Eq. 4; query through core/engine.h.
+//
+// Translate() materializes every view over I_poss, computes per-tuple
+// weights, creates the NV relations with weight w0 = (1-w)/w (negative when
+// w > 1 — Section 3.3), and assembles W = v_i (exists x. NV_i(x) ^ Q_i(x)).
+// Denial views (all weights 0) follow the paper's simplification: NV_i is
+// dropped entirely and W_i is just the existentially closed view body.
+
+#ifndef MVDB_CORE_MVDB_H_
+#define MVDB_CORE_MVDB_H_
+
+#include <string>
+#include <vector>
+
+#include "core/markoview.h"
+#include "mln/mln.h"
+#include "prob/lineage.h"
+#include "query/ast.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// One materialized view output tuple and its induced MLN feature.
+struct ViewTuple {
+  std::vector<Value> head;
+  double weight;      ///< wV(t), the MarkoView weight
+  Lineage feature;    ///< lineage of Q_i(t) over the base tables (Def. 4)
+  VarId nv_var;       ///< Boolean variable of the NV tuple; kNoVar if none
+                      ///< (denial tuple under simplification, or w == 1)
+};
+
+class Mvdb {
+ public:
+  Mvdb() = default;
+  Mvdb(Mvdb&&) = default;
+  Mvdb& operator=(Mvdb&&) = default;
+
+  /// The underlying database: deterministic + probabilistic tables before
+  /// Translate(), plus the NV tables afterwards.
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  /// Registers a MarkoView. Must be called before Translate().
+  Status AddView(MarkoView view);
+
+  const std::vector<MarkoView>& views() const { return views_; }
+
+  /// Materializes all views and builds the associated INDB (Definition 5).
+  /// Idempotent: returns AlreadyExists on a second call.
+  Status Translate();
+
+  bool translated() const { return translated_; }
+
+  /// The Boolean constraint query W (Eq. 4). Valid after Translate().
+  const Ucq& W() const { return w_; }
+
+  /// Materialized tuples per view, parallel to views(). Valid after
+  /// Translate().
+  const std::vector<std::vector<ViewTuple>>& view_tuples() const {
+    return view_tuples_;
+  }
+
+  /// Number of Boolean variables before translation — the variables of the
+  /// MLN of Definition 4 (NV variables live above this bound).
+  size_t base_num_vars() const { return base_num_vars_; }
+
+  /// The ground MLN of Definition 4: one feature per base tuple (weights)
+  /// plus one feature per view tuple. Valid after Translate(). This is the
+  /// exact object Alchemy-style samplers run on (Figures 5-6) and the
+  /// ground-truth oracle for Theorem 1 tests.
+  StatusOr<GroundMln> ToGroundMln() const;
+
+  /// Name of the NV relation of view i ("NV_" + view name).
+  std::string NvTableName(size_t view_index) const {
+    return "NV_" + views_[view_index].name();
+  }
+
+ private:
+  Database db_;
+  std::vector<MarkoView> views_;
+  std::vector<std::vector<ViewTuple>> view_tuples_;
+  Ucq w_;
+  size_t base_num_vars_ = 0;
+  bool translated_ = false;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_CORE_MVDB_H_

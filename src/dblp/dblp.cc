@@ -1,0 +1,347 @@
+#include "dblp/dblp.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "query/parser.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mvdb {
+namespace dblp {
+namespace {
+
+// Publication ids live in their own integer namespace so that separator
+// domains never mix author ids with paper ids.
+constexpr Value kPidBase = 10'000'000;
+
+struct Generator {
+  const DblpConfig& cfg;
+  Rng rng;
+  Database* db;
+
+  std::vector<int> first_pub;          // per aid (1-based; [0] unused)
+  std::vector<bool> is_advisor;
+  std::vector<int64_t> homepage_inst;  // interned inst id or -1
+  Value next_pid = kPidBase;
+
+  // Co-authorship: unordered pair -> publication years (one entry per pid).
+  std::map<std::pair<int, int>, std::vector<std::pair<Value, int>>> copubs;
+
+  explicit Generator(const DblpConfig& c, Database* d)
+      : cfg(c), rng(c.seed), db(d) {}
+
+  Value AddPub(int year) {
+    const Value pid = next_pid++;
+    db->InsertDeterministic("Pub", {pid, pid, year});  // title == pid
+    return pid;
+  }
+
+  void AddWrote(int aid, Value pid) {
+    db->InsertDeterministic("Wrote", {aid, pid});
+  }
+
+  void AddCopub(int a, int b, int year) {
+    const Value pid = AddPub(year);
+    AddWrote(a, pid);
+    AddWrote(b, pid);
+    const auto key = std::minmax(a, b);
+    copubs[{key.first, key.second}].push_back({pid, year});
+  }
+
+  bool InStudentWindow(int aid, int year) const {
+    const int fp = first_pub[static_cast<size_t>(aid)];
+    return year >= fp - 1 && year <= fp + 5;
+  }
+};
+
+}  // namespace
+
+std::string AuthorName(int aid) { return "author" + std::to_string(aid); }
+
+StatusOr<std::unique_ptr<Mvdb>> BuildDblpMvdb(const DblpConfig& config,
+                                              DblpStats* stats) {
+  auto mvdb = std::make_unique<Mvdb>();
+  Database& db = mvdb->db();
+
+  // --- Schema ---------------------------------------------------------
+  MVDB_RETURN_NOT_OK(db.CreateTable("Author", {"aid", "name"}, false).status());
+  MVDB_RETURN_NOT_OK(db.CreateTable("Wrote", {"aid", "pid"}, false).status());
+  MVDB_RETURN_NOT_OK(db.CreateTable("Pub", {"pid", "title", "year"}, false).status());
+  MVDB_RETURN_NOT_OK(db.CreateTable("HomePage", {"aid", "url"}, false).status());
+  MVDB_RETURN_NOT_OK(db.CreateTable("FirstPub", {"aid", "year"}, false).status());
+  MVDB_RETURN_NOT_OK(
+      db.CreateTable("DBLPAffiliation", {"aid", "inst"}, false).status());
+  MVDB_RETURN_NOT_OK(db.CreateTable("Student", {"aid", "year"}, true).status());
+  MVDB_RETURN_NOT_OK(db.CreateTable("Advisor", {"aid1", "aid2"}, true).status());
+  MVDB_RETURN_NOT_OK(
+      db.CreateTable("Affiliation", {"aid", "inst"}, true).status());
+
+  Generator gen(config, &db);
+  const int n = config.num_authors;
+  gen.first_pub.assign(static_cast<size_t>(n) + 1, 0);
+  gen.is_advisor.assign(static_cast<size_t>(n) + 1, false);
+  gen.homepage_inst.assign(static_cast<size_t>(n) + 1, -1);
+
+  // --- Authors, roles, first-publication years -------------------------
+  // Advisors publish early (window ends before 2000); students publish from
+  // 2000 on, so advisor windows never overlap student windows.
+  std::vector<int> advisors, juniors;
+  for (int aid = 1; aid <= n; ++aid) {
+    db.InsertDeterministic("Author", {aid, db.Str(AuthorName(aid))});
+    const bool advisor = gen.rng.Uniform() < config.advisor_fraction;
+    gen.is_advisor[static_cast<size_t>(aid)] = advisor;
+    if (advisor) {
+      gen.first_pub[static_cast<size_t>(aid)] =
+          static_cast<int>(gen.rng.Range(1985, 1992));
+      advisors.push_back(aid);
+    } else {
+      gen.first_pub[static_cast<size_t>(aid)] =
+          static_cast<int>(gen.rng.Range(2000, 2008));
+      juniors.push_back(aid);
+    }
+  }
+
+  // --- Advisor/student co-publication clusters -------------------------
+  size_t junior_cursor = 0;
+  for (int adv : advisors) {
+    const int num_students =
+        1 + static_cast<int>(gen.rng.Below(
+                static_cast<uint64_t>(config.max_students_per_advisor)));
+    for (int s = 0; s < num_students && junior_cursor < juniors.size(); ++s) {
+      const int student = juniors[junior_cursor++];
+      const int fp = gen.first_pub[static_cast<size_t>(student)];
+      const int k = static_cast<int>(
+          gen.rng.Range(config.min_copubs, config.max_copubs));
+      for (int p = 0; p < k; ++p) {
+        gen.AddCopub(student, adv, fp + static_cast<int>(gen.rng.Below(5)));
+      }
+      // Occasionally a second advisor, so the V2 denial view has work to do.
+      if (gen.rng.Uniform() < 0.15 && advisors.size() > 1) {
+        int adv2 = advisors[gen.rng.Below(advisors.size())];
+        if (adv2 != adv) {
+          for (int p = 0; p <= config.advisor_copub_threshold; ++p) {
+            gen.AddCopub(student, adv2, fp + static_cast<int>(gen.rng.Below(5)));
+          }
+        }
+      }
+    }
+  }
+
+  // --- Random solo papers ----------------------------------------------
+  for (int aid = 1; aid <= n; ++aid) {
+    for (int p = 0; p < config.random_papers_per_author; ++p) {
+      const int year = gen.first_pub[static_cast<size_t>(aid)] +
+                       static_cast<int>(gen.rng.Below(8));
+      const Value pid = gen.AddPub(year);
+      gen.AddWrote(aid, pid);
+    }
+  }
+
+  // --- Home pages and declared affiliations ----------------------------
+  for (int aid = 1; aid <= n; ++aid) {
+    if (gen.rng.Uniform() >= config.homepage_fraction) continue;
+    const int inst_no = static_cast<int>(gen.rng.Below(
+        static_cast<uint64_t>(config.num_institutes)));
+    const Value inst = db.Str("www.inst" + std::to_string(inst_no) + ".edu");
+    const Value url =
+        db.Str("www.inst" + std::to_string(inst_no) + ".edu/~a" +
+               std::to_string(aid));
+    gen.homepage_inst[static_cast<size_t>(aid)] = inst;
+    db.InsertDeterministic("HomePage", {aid, url});
+    db.InsertDeterministic("DBLPAffiliation", {aid, inst});
+  }
+
+  // --- Prolific pairs feeding V3 ----------------------------------------
+  // Two authors without home pages who both co-publish recently with an
+  // institute "hub" (giving them inferred affiliations) and prolifically
+  // with each other (pushing V3's count(pid) over the threshold).
+  if (config.include_affiliation && n >= 8) {
+    for (int pair_no = 0; pair_no < config.num_prolific_pairs; ++pair_no) {
+      // Deterministically pick distinct junior authors without home pages.
+      int u = -1, v = -1, hub = -1;
+      for (int tries = 0; tries < 200 && (u < 0 || v < 0 || hub < 0); ++tries) {
+        const int cand = static_cast<int>(gen.rng.Range(1, n));
+        if (hub < 0 && gen.homepage_inst[static_cast<size_t>(cand)] >= 0) {
+          hub = cand;
+          continue;
+        }
+        if (gen.homepage_inst[static_cast<size_t>(cand)] >= 0) continue;
+        if (gen.is_advisor[static_cast<size_t>(cand)]) continue;
+        if (u < 0 && cand != v) u = cand;
+        else if (v < 0 && cand != u) v = cand;
+      }
+      if (u < 0 || v < 0 || hub < 0) break;
+      // Recent hub co-publications (year > 2005) -> inferred affiliation.
+      for (int p = 0; p < 3; ++p) {
+        gen.AddCopub(u, hub, 2006 + static_cast<int>(gen.rng.Below(4)));
+        gen.AddCopub(v, hub, 2006 + static_cast<int>(gen.rng.Below(4)));
+      }
+      // Prolific recent co-publication between u and v (year > 2004).
+      for (int p = 0; p <= config.v3_copub_threshold; ++p) {
+        gen.AddCopub(u, v, 2005 + static_cast<int>(gen.rng.Below(5)));
+      }
+    }
+  }
+
+  // --- Derived views -----------------------------------------------------
+  for (int aid = 1; aid <= n; ++aid) {
+    db.InsertDeterministic("FirstPub",
+                           {aid, gen.first_pub[static_cast<size_t>(aid)]});
+  }
+
+  // --- Probabilistic tables (Fig. 1 weight expressions) ------------------
+  // Student(aid, year)[exp(1 - .15 (year - year'))], year' - 1 <= year <=
+  // year' + 5.
+  for (int aid = 1; aid <= n; ++aid) {
+    const int fp = gen.first_pub[static_cast<size_t>(aid)];
+    for (int year = fp - 1; year <= fp + 5; ++year) {
+      const double w = std::exp(1.0 - 0.15 * (year - fp));
+      db.InsertProbabilistic("Student", {aid, year}, w);
+    }
+  }
+
+  // Advisor(aid1, aid2)[exp(.25 count(pid))]: co-publications while aid1 was
+  // a student and aid2 was not, count > threshold.
+  size_t advisor_rows = 0;
+  for (const auto& [pair, pubs] : gen.copubs) {
+    for (const auto& [a, b] : {pair, std::make_pair(pair.second, pair.first)}) {
+      int count = 0;
+      for (const auto& [pid, year] : pubs) {
+        if (gen.InStudentWindow(a, year) && !gen.InStudentWindow(b, year)) {
+          ++count;
+        }
+      }
+      if (count > config.advisor_copub_threshold) {
+        db.InsertProbabilistic("Advisor", {a, b}, std::exp(0.25 * count));
+        ++advisor_rows;
+      }
+    }
+  }
+
+  // Affiliation(aid, inst)[exp(.1 count(pid))]: recent co-publication with
+  // affiliated authors, for authors without a declared affiliation.
+  std::map<std::pair<int, Value>, std::set<Value>> affiliation_pids;
+  if (config.include_affiliation) {
+    for (const auto& [pair, pubs] : gen.copubs) {
+      for (const auto& [a, b] : {pair, std::make_pair(pair.second, pair.first)}) {
+        if (gen.homepage_inst[static_cast<size_t>(a)] >= 0) continue;
+        const int64_t inst = gen.homepage_inst[static_cast<size_t>(b)];
+        if (inst < 0) continue;
+        for (const auto& [pid, year] : pubs) {
+          if (year > 2005) affiliation_pids[{a, inst}].insert(pid);
+        }
+      }
+    }
+    for (const auto& [key, pids] : affiliation_pids) {
+      db.InsertProbabilistic("Affiliation", {key.first, key.second},
+                             std::exp(0.1 * static_cast<double>(pids.size())));
+    }
+  }
+
+  // --- MarkoViews --------------------------------------------------------
+  Interner* dict = &db.dict();
+  MVDB_ASSIGN_OR_RETURN(
+      Ucq v1_def,
+      ParseUcq("V1(aid1,aid2) :- Advisor(aid1,aid2), Student(aid1,year), "
+               "Wrote(aid1,pid), Wrote(aid2,pid), Pub(pid,title,year).",
+               dict));
+  int v1_pid = -1;
+  for (int i = 0; i < v1_def.num_vars(); ++i) {
+    if (v1_def.var_names[static_cast<size_t>(i)] == "pid") v1_pid = i;
+  }
+  MVDB_RETURN_NOT_OK(mvdb->AddView(MarkoView(
+      "V1", std::move(v1_def), v1_pid,
+      [](std::span<const Value>, int64_t count) {
+        return static_cast<double>(count) / 2.0;
+      })));
+
+  MVDB_ASSIGN_OR_RETURN(
+      Ucq v2_def,
+      ParseUcq("V2(aid1,aid2,aid3) :- Advisor(aid1,aid2), Advisor(aid1,aid3), "
+               "aid2 != aid3.",
+               dict));
+  MVDB_RETURN_NOT_OK(
+      mvdb->AddView(MarkoView::Constant("V2", std::move(v2_def), 0.0)));
+
+  if (config.include_affiliation) {
+    MVDB_ASSIGN_OR_RETURN(
+        Ucq v3_def,
+        ParseUcq("V3(aid1,aid2,inst) :- Affiliation(aid1,inst), "
+                 "Affiliation(aid2,inst), Wrote(aid1,pid), Wrote(aid2,pid), "
+                 "Pub(pid,title,year), year > 2004, aid1 != aid2.",
+                 dict));
+    int v3_pid = -1;
+    for (int i = 0; i < v3_def.num_vars(); ++i) {
+      if (v3_def.var_names[static_cast<size_t>(i)] == "pid") v3_pid = i;
+    }
+    const int threshold = config.v3_copub_threshold;
+    MVDB_RETURN_NOT_OK(mvdb->AddView(MarkoView(
+        "V3", std::move(v3_def), v3_pid,
+        [threshold](std::span<const Value>, int64_t count) {
+          // The paper's count(pid) > 30 gate: below the threshold the tuple
+          // induces no feature (weight 1 = independence).
+          return count > threshold ? static_cast<double>(count) / 5.0 : 1.0;
+        })));
+  }
+
+  if (stats != nullptr) {
+    stats->authors = db.Find("Author")->size();
+    stats->wrote = db.Find("Wrote")->size();
+    stats->pubs = db.Find("Pub")->size();
+    stats->homepages = db.Find("HomePage")->size();
+    stats->first_pub = db.Find("FirstPub")->size();
+    stats->dblp_affiliation = db.Find("DBLPAffiliation")->size();
+    stats->student = db.Find("Student")->size();
+    stats->advisor = advisor_rows;
+    stats->affiliation =
+        config.include_affiliation ? db.Find("Affiliation")->size() : 0;
+  }
+  return mvdb;
+}
+
+void CollectViewStats(const Mvdb& mvdb, DblpStats* stats) {
+  const auto& tuples = mvdb.view_tuples();
+  for (size_t i = 0; i < mvdb.views().size(); ++i) {
+    const std::string& name = mvdb.views()[i].name();
+    if (name == "V1") stats->v1 = tuples[i].size();
+    if (name == "V2") stats->v2 = tuples[i].size();
+    if (name == "V3") stats->v3 = tuples[i].size();
+  }
+}
+
+namespace {
+
+Ucq MustParse(const std::string& text, Interner* dict) {
+  auto result = ParseUcq(text, dict);
+  MVDB_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace
+
+Ucq StudentsOfAdvisorQuery(Mvdb* mvdb, const std::string& advisor_name) {
+  return MustParse(
+      "Q(aid) :- Student(aid,y), Advisor(aid,a1), Author(aid,n), "
+      "Author(a1,n1), n1 = \"" + advisor_name + "\".",
+      &mvdb->db().dict());
+}
+
+Ucq AdvisorOfStudentQuery(Mvdb* mvdb, const std::string& student_name) {
+  return MustParse(
+      "Q(a1) :- Student(aid,y), Advisor(aid,a1), Author(aid,n), "
+      "Author(a1,n1), n = \"" + student_name + "\".",
+      &mvdb->db().dict());
+}
+
+Ucq AffiliationOfAuthorQuery(Mvdb* mvdb, const std::string& author_name) {
+  return MustParse(
+      "Q(inst) :- Affiliation(aid,inst), Author(aid,n), n = \"" +
+          author_name + "\".",
+      &mvdb->db().dict());
+}
+
+}  // namespace dblp
+}  // namespace mvdb

@@ -1,0 +1,88 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Synthetic DBLP workload (Fig. 1). The paper runs on a DBLP snapshot we do
+// not have; this generator reproduces the *statistical shape* the
+// experiments depend on instead (see DESIGN.md, substitution table):
+//
+//   * base tables Author(aid,name), Wrote(aid,pid), Pub(pid,title,year),
+//     HomePage(aid,url) with planted advisor/student co-authorship clusters;
+//   * derived views FirstPub(aid,year), DBLPAffiliation(aid,inst);
+//   * probabilistic tables Student / Advisor / Affiliation with exactly the
+//     weight expressions of Fig. 1 (exp(1-.15(year-year')),
+//     exp(.25*count(pid)), exp(.1*count(pid)));
+//   * MarkoViews V1 (advisor/co-publication correlation, weight count/2),
+//     V2 (denial: one advisor per person, weight 0), V3 (common affiliation
+//     for prolific pairs, weight count/5 above a threshold).
+//
+// The scale knob is `num_authors` — the paper's "aid domain", swept from
+// 1000 to 10000 in Figures 4-9 and large for Figures 10-11.
+
+#ifndef MVDB_DBLP_DBLP_H_
+#define MVDB_DBLP_DBLP_H_
+
+#include <memory>
+#include <string>
+
+#include "core/mvdb.h"
+#include "util/status.h"
+
+namespace mvdb {
+namespace dblp {
+
+struct DblpConfig {
+  int num_authors = 1000;          ///< the "aid domain" scale knob
+  double advisor_fraction = 0.10;  ///< share of authors who advise students
+  int max_students_per_advisor = 3;
+  int min_copubs = 3;              ///< papers per advisor/student pair (min)
+  int max_copubs = 6;              ///< papers per advisor/student pair (max)
+  int random_papers_per_author = 1;
+  int num_institutes = 12;
+  double homepage_fraction = 0.06; ///< share of authors with a known page
+  /// V3's count(pid) > threshold; the paper uses 30 on real DBLP, scaled
+  /// down by default so planted prolific pairs stay cheap to generate.
+  int v3_copub_threshold = 5;
+  int num_prolific_pairs = 4;      ///< pairs planted to exceed the threshold
+  /// Advisor probabilistic table requires count(pid) > this (paper: 2).
+  int advisor_copub_threshold = 2;
+  bool include_affiliation = true; ///< generate Affiliation + V3 machinery
+  uint64_t seed = 7;
+};
+
+/// Cardinalities of everything generated — the Table 1 / Fig. 1 report.
+struct DblpStats {
+  size_t authors = 0, wrote = 0, pubs = 0, homepages = 0;
+  size_t first_pub = 0, dblp_affiliation = 0;
+  size_t student = 0, advisor = 0, affiliation = 0;
+  size_t v1 = 0, v2 = 0, v3 = 0;
+};
+
+/// Builds the full MVDB: base tables, probabilistic tables, and the three
+/// MarkoViews (registered but not yet translated — call
+/// mvdb->Translate() or compile through QueryEngine). `stats`, if non-null,
+/// receives the cardinalities *excluding* view sizes (those are known after
+/// translation; use CollectViewStats).
+StatusOr<std::unique_ptr<Mvdb>> BuildDblpMvdb(const DblpConfig& config,
+                                              DblpStats* stats);
+
+/// Fills in v1/v2/v3 sizes after translation.
+void CollectViewStats(const Mvdb& mvdb, DblpStats* stats);
+
+/// The paper's Fig. 2(a) query: students advised by the author with this
+/// name — Q(aid) :- Student(aid,y), Advisor(aid,a1), Author(aid,n),
+/// Author(a1,n1), n1 = name. (Our Student carries the year attribute, which
+/// is projected out existentially.)
+Ucq StudentsOfAdvisorQuery(Mvdb* mvdb, const std::string& advisor_name);
+
+/// Fig. 5's converse query: the advisor of the named student.
+Ucq AdvisorOfStudentQuery(Mvdb* mvdb, const std::string& student_name);
+
+/// Fig. 11's query: affiliations of the named author.
+Ucq AffiliationOfAuthorQuery(Mvdb* mvdb, const std::string& author_name);
+
+/// Name of author `aid` as generated ("author<aid>").
+std::string AuthorName(int aid);
+
+}  // namespace dblp
+}  // namespace mvdb
+
+#endif  // MVDB_DBLP_DBLP_H_

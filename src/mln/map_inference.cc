@@ -1,0 +1,181 @@
+#include "mln/map_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mvdb {
+
+double LogWorldWeight(const GroundMln& mln, const std::vector<bool>& world) {
+  double log_w = 0.0;
+  const auto& tw = mln.tuple_weights();
+  for (size_t v = 0; v < mln.num_vars(); ++v) {
+    if (world[v]) {
+      if (tw[v] == 0.0) return -HUGE_VAL;
+      if (tw[v] != kCertainWeight) log_w += std::log(tw[v]);
+    } else if (tw[v] == kCertainWeight) {
+      return -HUGE_VAL;
+    }
+  }
+  for (const MlnFeature& f : mln.features()) {
+    const bool sat = f.formula.Eval(world);
+    if (sat) {
+      if (f.weight == 0.0) return -HUGE_VAL;
+      if (f.weight != kCertainWeight) log_w += std::log(f.weight);
+    } else if (f.weight == kCertainWeight) {
+      return -HUGE_VAL;
+    }
+  }
+  return log_w;
+}
+
+StatusOr<MapResult> ExactMap(const GroundMln& mln) {
+  MVDB_CHECK_LE(mln.num_vars(), 24u) << "exact MAP limited to 24 variables";
+  const uint64_t n = uint64_t{1} << mln.num_vars();
+  MapResult best;
+  best.log_weight = -HUGE_VAL;
+  std::vector<bool> world(mln.num_vars(), false);
+  for (uint64_t mask = 0; mask < n; ++mask) {
+    for (size_t v = 0; v < mln.num_vars(); ++v) world[v] = (mask >> v) & 1;
+    const double lw = LogWorldWeight(mln, world);
+    if (lw > best.log_weight) {
+      best.log_weight = lw;
+      best.world = world;
+    }
+  }
+  if (best.log_weight == -HUGE_VAL) {
+    return Status::Internal("no possible world: hard constraints contradict");
+  }
+  return best;
+}
+
+namespace {
+
+/// Penalty of a world: sum over dissatisfied "preferences". Each feature
+/// prefers satisfaction when weight > 1 (penalty ln w if violated) and
+/// dissatisfaction when weight < 1 (penalty -ln w = ln 1/w if satisfied).
+/// Hard features (0 / infinity) get a large constant penalty.
+class Objective {
+ public:
+  static constexpr double kHardPenalty = 1e9;
+
+  explicit Objective(const GroundMln& mln) : mln_(mln) {}
+
+  double Penalty(const std::vector<bool>& world) const {
+    double penalty = 0.0;
+    const auto& tw = mln_.tuple_weights();
+    for (size_t v = 0; v < mln_.num_vars(); ++v) {
+      penalty += VarPenalty(tw[v], world[v]);
+    }
+    for (const MlnFeature& f : mln_.features()) {
+      penalty += FeaturePenalty(f, f.formula.Eval(world));
+    }
+    return penalty;
+  }
+
+  static double VarPenalty(double w, bool value) {
+    if (w == kCertainWeight) return value ? 0.0 : kHardPenalty;
+    if (w == 0.0) return value ? kHardPenalty : 0.0;
+    const double lw = std::log(w);
+    if (lw > 0) return value ? 0.0 : lw;    // prefers true
+    if (lw < 0) return value ? -lw : 0.0;   // prefers false
+    return 0.0;
+  }
+
+  static double FeaturePenalty(const MlnFeature& f, bool sat) {
+    if (f.weight == kCertainWeight) return sat ? 0.0 : kHardPenalty;
+    if (f.weight == 0.0) return sat ? kHardPenalty : 0.0;
+    const double lw = std::log(f.weight);
+    if (lw > 0) return sat ? 0.0 : lw;
+    if (lw < 0) return sat ? -lw : 0.0;
+    return 0.0;
+  }
+
+ private:
+  const GroundMln& mln_;
+};
+
+}  // namespace
+
+StatusOr<MapResult> MaxWalkSat(const GroundMln& mln,
+                               const MaxWalkSatOptions& options) {
+  if (mln.num_vars() == 0) {
+    return MapResult{{}, 0.0};
+  }
+  Rng rng(options.seed);
+  Objective objective(mln);
+
+  // Per-variable feature index for incremental penalty deltas.
+  std::vector<std::vector<size_t>> features_of_var(mln.num_vars());
+  const auto& features = mln.features();
+  for (size_t i = 0; i < features.size(); ++i) {
+    for (VarId v : features[i].formula.Vars()) {
+      features_of_var[static_cast<size_t>(v)].push_back(i);
+    }
+  }
+  auto flip_delta = [&](std::vector<bool>* world, VarId v) {
+    double before = Objective::VarPenalty(mln.tuple_weights()[static_cast<size_t>(v)],
+                                          (*world)[static_cast<size_t>(v)]);
+    for (size_t i : features_of_var[static_cast<size_t>(v)]) {
+      before += Objective::FeaturePenalty(features[i], features[i].formula.Eval(*world));
+    }
+    (*world)[static_cast<size_t>(v)] = !(*world)[static_cast<size_t>(v)];
+    double after = Objective::VarPenalty(mln.tuple_weights()[static_cast<size_t>(v)],
+                                         (*world)[static_cast<size_t>(v)]);
+    for (size_t i : features_of_var[static_cast<size_t>(v)]) {
+      after += Objective::FeaturePenalty(features[i], features[i].formula.Eval(*world));
+    }
+    (*world)[static_cast<size_t>(v)] = !(*world)[static_cast<size_t>(v)];
+    return after - before;
+  };
+
+  MapResult best;
+  best.log_weight = -HUGE_VAL;
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<bool> world(mln.num_vars());
+    for (size_t v = 0; v < world.size(); ++v) world[v] = rng.Chance(0.5);
+    double penalty = objective.Penalty(world);
+    double best_penalty = penalty;
+    std::vector<bool> best_world = world;
+    const int flips = options.max_flips / options.restarts;
+    for (int flip = 0; flip < flips; ++flip) {
+      VarId v;
+      if (rng.Uniform() < options.noise) {
+        v = static_cast<VarId>(rng.Below(mln.num_vars()));
+      } else {
+        // Greedy among a small random sample of variables.
+        double best_delta = HUGE_VAL;
+        v = static_cast<VarId>(rng.Below(mln.num_vars()));
+        for (int s = 0; s < 8; ++s) {
+          const VarId cand = static_cast<VarId>(rng.Below(mln.num_vars()));
+          const double d = flip_delta(&world, cand);
+          if (d < best_delta) {
+            best_delta = d;
+            v = cand;
+          }
+        }
+      }
+      penalty += flip_delta(&world, v);
+      world[static_cast<size_t>(v)] = !world[static_cast<size_t>(v)];
+      if (penalty < best_penalty) {
+        best_penalty = penalty;
+        best_world = world;
+        if (best_penalty == 0.0) break;  // all preferences satisfied
+      }
+    }
+    const double lw = LogWorldWeight(mln, best_world);
+    if (lw > best.log_weight) {
+      best.log_weight = lw;
+      best.world = std::move(best_world);
+    }
+  }
+  if (best.log_weight == -HUGE_VAL) {
+    return Status::Internal(
+        "MaxWalkSAT found no world satisfying the hard constraints");
+  }
+  return best;
+}
+
+}  // namespace mvdb

@@ -1,0 +1,57 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// MAP inference for ground MLNs: the most likely world arg max_I Phi(I)
+// (Section 2.3 distinguishes MAP from marginal inference; the paper focuses
+// on the latter but notes "our solutions easily generalize to solve the MAP
+// inference problem as well"). Two solvers:
+//
+//   * ExactMap         — exhaustive enumeration (<= 24 variables), the test
+//                        oracle;
+//   * MaxWalkSat       — the standard local-search MAP solver (Kautz,
+//                        Selman & Jiang), minimizing the sum of violated
+//                        feature penalties with hard constraints treated as
+//                        infinitely heavy.
+//
+// Weights are multiplicative (odds), as everywhere in this repository; the
+// optimization objective is the log-weight sum.
+
+#ifndef MVDB_MLN_MAP_INFERENCE_H_
+#define MVDB_MLN_MAP_INFERENCE_H_
+
+#include <vector>
+
+#include "mln/mln.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// A MAP solution: the world and its log weight log Phi(I).
+struct MapResult {
+  std::vector<bool> world;
+  double log_weight;
+};
+
+/// Exhaustive MAP; CHECK-fails beyond 24 variables. Internal error when no
+/// world has positive weight (contradictory hard constraints).
+StatusOr<MapResult> ExactMap(const GroundMln& mln);
+
+/// Log of Phi(I) for one world; -infinity when a hard constraint is
+/// violated.
+double LogWorldWeight(const GroundMln& mln, const std::vector<bool>& world);
+
+/// MaxWalkSAT options.
+struct MaxWalkSatOptions {
+  int max_flips = 100000;
+  int restarts = 3;
+  double noise = 0.2;     ///< probability of a random (non-greedy) move
+  uint64_t seed = 99;
+};
+
+/// Local-search MAP. Returns the best world found across restarts; with
+/// contradictory hard constraints returns Internal.
+StatusOr<MapResult> MaxWalkSat(const GroundMln& mln,
+                               const MaxWalkSatOptions& options);
+
+}  // namespace mvdb
+
+#endif  // MVDB_MLN_MAP_INFERENCE_H_

@@ -1,0 +1,322 @@
+#include "mln/mln.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace mvdb {
+
+GroundMln::GroundMln(size_t num_vars, std::vector<double> tuple_weights)
+    : num_vars_(num_vars), tuple_weights_(std::move(tuple_weights)) {
+  MVDB_CHECK_EQ(num_vars_, tuple_weights_.size());
+}
+
+void GroundMln::AddFeature(Lineage formula, double weight) {
+  MVDB_CHECK_GE(weight, 0.0) << "MLN feature weights are non-negative odds";
+  features_.push_back(MlnFeature{std::move(formula), weight});
+}
+
+double GroundMln::WorldWeight(const std::vector<bool>& world) const {
+  double w = 1.0;
+  for (size_t v = 0; v < num_vars_; ++v) {
+    const double tw = tuple_weights_[v];
+    if (world[v]) {
+      if (tw == 0.0) return 0.0;  // impossible tuple present
+      if (tw == kCertainWeight) continue;
+      w *= tw;
+    } else if (tw == kCertainWeight) {
+      return 0.0;  // certain tuple absent
+    }
+  }
+  for (const MlnFeature& f : features_) {
+    const bool sat = f.formula.Eval(world);
+    if (!sat) {
+      if (f.weight == kCertainWeight) return 0.0;  // hard feature violated
+      continue;
+    }
+    if (f.weight == 0.0) return 0.0;  // denial feature satisfied
+    if (f.weight != kCertainWeight) w *= f.weight;
+  }
+  return w;
+}
+
+double GroundMln::ExactPartition() const {
+  MVDB_CHECK_LE(num_vars_, 24u) << "exact MLN inference limited to 24 variables";
+  const uint64_t n = uint64_t{1} << num_vars_;
+  std::vector<bool> world(num_vars_, false);
+  double z = 0.0;
+  for (uint64_t mask = 0; mask < n; ++mask) {
+    for (size_t v = 0; v < num_vars_; ++v) world[v] = (mask >> v) & 1;
+    z += WorldWeight(world);
+  }
+  return z;
+}
+
+StatusOr<double> GroundMln::ExactQueryProb(const Lineage& query) const {
+  MVDB_CHECK_LE(num_vars_, 24u) << "exact MLN inference limited to 24 variables";
+  const uint64_t n = uint64_t{1} << num_vars_;
+  std::vector<bool> world(num_vars_, false);
+  double z = 0.0;
+  double phi_q = 0.0;
+  for (uint64_t mask = 0; mask < n; ++mask) {
+    for (size_t v = 0; v < num_vars_; ++v) world[v] = (mask >> v) & 1;
+    const double w = WorldWeight(world);
+    z += w;
+    if (query.Eval(world)) phi_q += w;
+  }
+  if (z == 0.0) {
+    return Status::Internal("partition function is zero: no possible world");
+  }
+  return phi_q / z;
+}
+
+// ---------------------------------------------------------------------------
+// MC-SAT
+// ---------------------------------------------------------------------------
+
+McSat::McSat(const GroundMln& mln, const SamplerOptions& opts)
+    : mln_(mln), opts_(opts), rng_(opts.seed) {
+  // Split features into hard constraints and soft slice candidates. A soft
+  // feature with weight w > 1 (log-weight ln w > 0) rewards satisfaction:
+  // when satisfied, MC-SAT keeps it with probability 1 - e^{-ln w} = 1-1/w.
+  // A weight w < 1 is equivalent to the negated feature with weight 1/w.
+  for (const MlnFeature& f : mln_.features()) {
+    if (f.weight == kCertainWeight) {
+      hard_.push_back(Constraint{&f.formula, true});
+    } else if (f.weight == 0.0) {
+      hard_.push_back(Constraint{&f.formula, false});
+    } else if (f.weight > 1.0) {
+      soft_.push_back(SoftSlice{&f.formula, true, 1.0 - 1.0 / f.weight});
+    } else if (f.weight < 1.0) {
+      soft_.push_back(SoftSlice{&f.formula, false, 1.0 - f.weight});
+    }
+    // weight == 1: indifferent, never constrains.
+  }
+  const auto& tw = mln_.tuple_weights();
+  for (size_t v = 0; v < tw.size(); ++v) {
+    const VarId var = static_cast<VarId>(v);
+    if (tw[v] == kCertainWeight) {
+      hard_vars_.push_back({var, true});
+    } else if (tw[v] == 0.0) {
+      hard_vars_.push_back({var, false});
+    } else if (tw[v] > 1.0) {
+      soft_vars_.push_back(SoftVar{var, true, 1.0 - 1.0 / tw[v]});
+    } else if (tw[v] < 1.0) {
+      soft_vars_.push_back(SoftVar{var, false, 1.0 - tw[v]});
+    }
+  }
+}
+
+bool McSat::Satisfied(const Constraint& c, const std::vector<bool>& x) const {
+  return c.formula->Eval(x) == c.must_hold;
+}
+
+bool McSat::SampleSat(const std::vector<Constraint>& constraints,
+                      std::vector<bool>* x) {
+  // Pin hard variables first; they are never flipped.
+  std::vector<bool> pinned(mln_.num_vars(), false);
+  for (const auto& [v, val] : hard_vars_) {
+    (*x)[static_cast<size_t>(v)] = val;
+    pinned[static_cast<size_t>(v)] = true;
+  }
+
+  // Incremental WalkSAT state: per-variable constraint index, plus the set
+  // of unsatisfied constraints with O(1) insert/remove (swap-with-last).
+  std::unordered_map<VarId, std::vector<size_t>> constraints_of_var;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    for (VarId v : constraints[i].formula->Vars()) {
+      constraints_of_var[v].push_back(i);
+    }
+  }
+  std::vector<size_t> unsat;                        // indices of violated
+  std::vector<int> pos(constraints.size(), -1);     // position in `unsat`
+  auto set_state = [&](size_t i, bool sat) {
+    if (!sat && pos[i] < 0) {
+      pos[i] = static_cast<int>(unsat.size());
+      unsat.push_back(i);
+    } else if (sat && pos[i] >= 0) {
+      const size_t last = unsat.back();
+      unsat[static_cast<size_t>(pos[i])] = last;
+      pos[last] = pos[i];
+      unsat.pop_back();
+      pos[i] = -1;
+    }
+  };
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    set_state(i, Satisfied(constraints[i], *x));
+  }
+  auto flip_var = [&](VarId v) {
+    (*x)[static_cast<size_t>(v)] = !(*x)[static_cast<size_t>(v)];
+    auto it = constraints_of_var.find(v);
+    if (it == constraints_of_var.end()) return;
+    for (size_t i : it->second) set_state(i, Satisfied(constraints[i], *x));
+  };
+
+  for (int flip = 0; flip < opts_.sample_sat_max_flips; ++flip) {
+    if (unsat.empty()) return true;
+    ++total_flips_;
+    const Constraint& con = constraints[unsat[rng_.Below(unsat.size())]];
+    std::vector<VarId> vars = con.formula->Vars();
+    std::erase_if(vars, [&](VarId v) { return pinned[static_cast<size_t>(v)]; });
+    if (vars.empty()) return false;  // hard conflict on pinned variables
+    if (rng_.Uniform() < opts_.walk_prob) {
+      flip_var(vars[rng_.Below(vars.size())]);
+    } else {
+      // Greedy move: flip the variable minimizing the violation count,
+      // evaluated incrementally (flip, measure, flip back).
+      size_t best_cost = SIZE_MAX;
+      VarId best_var = vars[0];
+      for (VarId v : vars) {
+        flip_var(v);
+        const size_t c = unsat.size();
+        flip_var(v);
+        if (c < best_cost) {
+          best_cost = c;
+          best_var = v;
+        }
+      }
+      flip_var(best_var);
+    }
+  }
+  return unsat.empty();
+}
+
+bool McSat::Step(std::vector<bool>* x) {
+  // Build the slice: all hard constraints plus each satisfied soft feature
+  // with its inclusion probability (Poon & Domingos 2006).
+  std::vector<Constraint> slice = hard_;
+  for (const SoftSlice& s : soft_) {
+    if (s.formula->Eval(*x) == s.must_hold && rng_.Uniform() < s.include_prob) {
+      slice.push_back(Constraint{s.formula, s.must_hold});
+    }
+  }
+  // Single-variable soft features join the slice as pinned-value singleton
+  // constraints, realized by sampling a required value.
+  std::vector<std::pair<VarId, bool>> var_pins;
+  for (const SoftVar& s : soft_vars_) {
+    if ((*x)[static_cast<size_t>(s.var)] == s.must_value &&
+        rng_.Uniform() < s.include_prob) {
+      var_pins.push_back({s.var, s.must_value});
+    }
+  }
+  // Start SampleSAT from a random state (near-uniform slice sampling).
+  std::vector<bool> fresh(mln_.num_vars());
+  for (size_t v = 0; v < fresh.size(); ++v) fresh[v] = rng_.Chance(0.5);
+  for (const auto& [v, val] : var_pins) fresh[static_cast<size_t>(v)] = val;
+  // Represent the var pins as constraints via temporary singleton lineages.
+  std::vector<Lineage> pin_storage;
+  pin_storage.reserve(var_pins.size());
+  std::vector<Constraint> all = slice;
+  for (const auto& [v, val] : var_pins) {
+    Lineage single;
+    single.AddClause({v});
+    pin_storage.push_back(std::move(single));
+    all.push_back(Constraint{&pin_storage.back(), val});
+  }
+  if (!SampleSat(all, &fresh)) return false;
+  *x = std::move(fresh);
+  return true;
+}
+
+StatusOr<double> McSat::EstimateQueryProb(const Lineage& query) {
+  std::vector<bool> x(mln_.num_vars());
+  for (size_t v = 0; v < x.size(); ++v) x[v] = rng_.Chance(0.5);
+  // Find an initial state satisfying the hard constraints.
+  if (!SampleSat(hard_, &x)) {
+    return Status::Internal("MC-SAT: no state satisfying hard constraints found");
+  }
+  size_t hits = 0;
+  size_t kept = 0;
+  for (int i = 0; i < opts_.burn_in + opts_.num_samples; ++i) {
+    if (!Step(&x)) continue;  // resampling failed; keep previous state
+    if (i < opts_.burn_in) continue;
+    ++kept;
+    if (query.Eval(x)) ++hits;
+  }
+  if (kept == 0) return Status::Internal("MC-SAT produced no samples");
+  return static_cast<double>(hits) / static_cast<double>(kept);
+}
+
+StatusOr<std::vector<double>> McSat::EstimateMarginals() {
+  std::vector<bool> x(mln_.num_vars());
+  for (size_t v = 0; v < x.size(); ++v) x[v] = rng_.Chance(0.5);
+  if (!SampleSat(hard_, &x)) {
+    return Status::Internal("MC-SAT: no state satisfying hard constraints found");
+  }
+  std::vector<double> counts(mln_.num_vars(), 0.0);
+  size_t kept = 0;
+  for (int i = 0; i < opts_.burn_in + opts_.num_samples; ++i) {
+    if (!Step(&x)) continue;
+    if (i < opts_.burn_in) continue;
+    ++kept;
+    for (size_t v = 0; v < x.size(); ++v) counts[v] += x[v] ? 1.0 : 0.0;
+  }
+  if (kept == 0) return Status::Internal("MC-SAT produced no samples");
+  for (double& c : counts) c /= static_cast<double>(kept);
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Gibbs
+// ---------------------------------------------------------------------------
+
+GibbsSampler::GibbsSampler(const GroundMln& mln, const SamplerOptions& opts)
+    : mln_(mln), opts_(opts), rng_(opts.seed) {
+  features_of_var_.resize(mln_.num_vars());
+  const auto& features = mln_.features();
+  for (size_t i = 0; i < features.size(); ++i) {
+    for (VarId v : features[i].formula.Vars()) {
+      features_of_var_[static_cast<size_t>(v)].push_back(i);
+    }
+  }
+}
+
+double GibbsSampler::ConditionalOn(const std::vector<bool>& x, VarId v) const {
+  // P(X_v = 1 | rest) = w1 / (w0 + w1) with w_b = product of weights of
+  // features touching v under X_v = b, times the tuple weight for b = 1.
+  std::vector<bool> y = x;
+  double w1 = mln_.tuple_weights()[static_cast<size_t>(v)];
+  double w0 = 1.0;
+  const auto& features = mln_.features();
+  y[static_cast<size_t>(v)] = true;
+  for (size_t i : features_of_var_[static_cast<size_t>(v)]) {
+    if (features[i].formula.Eval(y)) w1 *= features[i].weight;
+  }
+  y[static_cast<size_t>(v)] = false;
+  for (size_t i : features_of_var_[static_cast<size_t>(v)]) {
+    if (features[i].formula.Eval(y)) w0 *= features[i].weight;
+  }
+  return w1 / (w0 + w1);
+}
+
+StatusOr<double> GibbsSampler::EstimateQueryProb(const Lineage& query) {
+  for (const MlnFeature& f : mln_.features()) {
+    if (f.weight == 0.0 || f.weight == kCertainWeight) {
+      return Status::InvalidArgument(
+          "Gibbs sampling requires soft features only (use MC-SAT)");
+    }
+  }
+  for (double w : mln_.tuple_weights()) {
+    if (w == 0.0 || w == kCertainWeight) {
+      return Status::InvalidArgument(
+          "Gibbs sampling requires soft tuple weights only (use MC-SAT)");
+    }
+  }
+  std::vector<bool> x(mln_.num_vars());
+  for (size_t v = 0; v < x.size(); ++v) x[v] = rng_.Chance(0.5);
+  size_t hits = 0;
+  size_t kept = 0;
+  for (int i = 0; i < opts_.burn_in + opts_.num_samples; ++i) {
+    for (size_t v = 0; v < x.size(); ++v) {
+      x[v] = rng_.Uniform() < ConditionalOn(x, static_cast<VarId>(v));
+    }
+    if (i < opts_.burn_in) continue;
+    ++kept;
+    if (query.Eval(x)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(kept);
+}
+
+}  // namespace mvdb

@@ -1,0 +1,149 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Ground Markov Logic Networks (Section 2.3). An MVDB *is* a restricted MLN
+// (Definition 4): one single-tuple feature per probabilistic tuple plus one
+// grounded-UCQ feature per MarkoView output tuple. This module implements
+// that semantics directly:
+//
+//   * exact inference by world enumeration (Phi / Z of Eq. 1-2) — the
+//     ground-truth oracle the Theorem 1 property tests compare against;
+//   * MC-SAT (Poon & Domingos 2006), the sampling algorithm Alchemy runs in
+//     the paper's Figures 5-6 — our stand-in for the closed-source Alchemy
+//     binary, grounded over the same features;
+//   * Gibbs sampling for soft-only networks (a secondary baseline).
+//
+// Weights are multiplicative (odds) as everywhere in this repository:
+// a world's weight is the product of the weights of the satisfied features
+// (Eq. 1). Weight 0 is a hard "must not hold", weight infinity a hard
+// "must hold".
+
+#ifndef MVDB_MLN_MLN_H_
+#define MVDB_MLN_MLN_H_
+
+#include <vector>
+
+#include "prob/lineage.h"
+#include "relational/types.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// One grounded feature: a Boolean formula (positive DNF over tuple
+/// variables) with a multiplicative weight.
+struct MlnFeature {
+  Lineage formula;
+  double weight;
+};
+
+/// A ground MLN over Boolean variables 0..num_vars-1.
+class GroundMln {
+ public:
+  /// `tuple_weights[v]` is the weight of the single-tuple feature of
+  /// variable v (Definition 4's first feature set).
+  GroundMln(size_t num_vars, std::vector<double> tuple_weights);
+
+  /// Adds a view feature (Definition 4's second feature set).
+  void AddFeature(Lineage formula, double weight);
+
+  size_t num_vars() const { return num_vars_; }
+  const std::vector<double>& tuple_weights() const { return tuple_weights_; }
+  const std::vector<MlnFeature>& features() const { return features_; }
+
+  /// Weight Phi(I) of one world (Eq. 1), including the single-tuple
+  /// features. Hard violations yield 0.
+  double WorldWeight(const std::vector<bool>& world) const;
+
+  /// Exact partition function Z (Eq. 2) by enumeration. CHECK-fails beyond
+  /// 24 variables.
+  double ExactPartition() const;
+
+  /// Exact P(query) = sum of Phi over worlds satisfying the query, over Z
+  /// (Definition 1). CHECK-fails beyond 24 variables; Internal error if
+  /// Z = 0 (no possible world).
+  StatusOr<double> ExactQueryProb(const Lineage& query) const;
+
+ private:
+  size_t num_vars_;
+  std::vector<double> tuple_weights_;
+  std::vector<MlnFeature> features_;
+};
+
+/// Options for the samplers.
+struct SamplerOptions {
+  int burn_in = 200;
+  int num_samples = 2000;
+  int sample_sat_max_flips = 10000;
+  double walk_prob = 0.5;   ///< SampleSAT: random-walk vs greedy move mix
+  uint64_t seed = 42;
+};
+
+/// MC-SAT marginal/query inference (handles hard + soft features).
+class McSat {
+ public:
+  McSat(const GroundMln& mln, const SamplerOptions& opts);
+
+  /// Estimated P(query) from MC-SAT samples. Returns Internal error if no
+  /// state satisfying the hard constraints could be found.
+  StatusOr<double> EstimateQueryProb(const Lineage& query);
+
+  /// Estimated marginals of every variable (diagnostics / tests).
+  StatusOr<std::vector<double>> EstimateMarginals();
+
+  /// Number of flips performed across all SampleSAT calls (cost metric).
+  size_t total_flips() const { return total_flips_; }
+
+ private:
+  /// A slice constraint: `formula` must evaluate to `must_hold`.
+  struct Constraint {
+    const Lineage* formula;
+    bool must_hold;
+  };
+
+  bool Satisfied(const Constraint& c, const std::vector<bool>& x) const;
+  /// WalkSAT/SampleSAT: mutates x toward satisfying all constraints.
+  bool SampleSat(const std::vector<Constraint>& constraints, std::vector<bool>* x);
+  /// One MC-SAT round: build the slice from the current state, resample.
+  bool Step(std::vector<bool>* x);
+
+  const GroundMln& mln_;
+  SamplerOptions opts_;
+  Rng rng_;
+  std::vector<Constraint> hard_;
+  // Soft features, pre-split: (formula, must_hold, inclusion probability).
+  struct SoftSlice {
+    const Lineage* formula;
+    bool must_hold;
+    double include_prob;
+  };
+  std::vector<SoftSlice> soft_;
+  // Single-variable soft weights: var -> (must_value, include_prob).
+  struct SoftVar {
+    VarId var;
+    bool must_value;
+    double include_prob;
+  };
+  std::vector<SoftVar> soft_vars_;
+  std::vector<std::pair<VarId, bool>> hard_vars_;  // pinned variables
+  size_t total_flips_ = 0;
+};
+
+/// Gibbs sampler for networks without hard constraints (weight 0/infinity
+/// features are rejected with InvalidArgument).
+class GibbsSampler {
+ public:
+  GibbsSampler(const GroundMln& mln, const SamplerOptions& opts);
+  StatusOr<double> EstimateQueryProb(const Lineage& query);
+
+ private:
+  double ConditionalOn(const std::vector<bool>& x, VarId v) const;
+
+  const GroundMln& mln_;
+  SamplerOptions opts_;
+  Rng rng_;
+  std::vector<std::vector<size_t>> features_of_var_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_MLN_MLN_H_

@@ -1,0 +1,117 @@
+#include "mvindex/flat_obdd.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mvdb {
+
+FlatObdd::FlatObdd(const BddManager& mgr, NodeId root,
+                   const std::vector<double>& var_probs) {
+  level_probs_.resize(mgr.num_levels());
+  for (size_t l = 0; l < mgr.num_levels(); ++l) {
+    level_probs_[l] = var_probs[static_cast<size_t>(mgr.var_at_level(static_cast<int32_t>(l)))];
+  }
+  if (mgr.IsSink(root)) {
+    root_ = (root == BddManager::kTrue) ? kFlatTrue : kFlatFalse;
+    return;
+  }
+
+  // Collect reachable internal nodes, then sort by (level, discovery order).
+  std::vector<NodeId> reachable;
+  {
+    std::unordered_map<NodeId, bool> seen;
+    std::vector<NodeId> stack = {root};
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      if (mgr.IsSink(id) || seen.count(id)) continue;
+      seen.emplace(id, true);
+      reachable.push_back(id);
+      stack.push_back(mgr.node(id).lo);
+      stack.push_back(mgr.node(id).hi);
+    }
+  }
+  std::unordered_map<NodeId, size_t> discovery;
+  discovery.reserve(reachable.size());
+  for (size_t i = 0; i < reachable.size(); ++i) discovery.emplace(reachable[i], i);
+  std::stable_sort(reachable.begin(), reachable.end(),
+                   [&](NodeId a, NodeId b) {
+                     const int32_t la = mgr.level(a), lb = mgr.level(b);
+                     if (la != lb) return la < lb;
+                     return discovery[a] < discovery[b];
+                   });
+
+  nodes_.reserve(reachable.size());
+  index_of_.reserve(reachable.size());
+  for (size_t i = 0; i < reachable.size(); ++i) {
+    index_of_.emplace(reachable[i], static_cast<FlatId>(i));
+  }
+  auto flat_of = [&](NodeId id) -> FlatId {
+    if (id == BddManager::kFalse) return kFlatFalse;
+    if (id == BddManager::kTrue) return kFlatTrue;
+    return index_of_.at(id);
+  };
+  for (NodeId id : reachable) {
+    const BddNode& n = mgr.node(id);
+    nodes_.push_back(FlatNode{n.level, flat_of(n.lo), flat_of(n.hi)});
+  }
+  root_ = flat_of(root);
+
+  // probUnder: children always sit at larger indexes (levels strictly grow
+  // along edges), so a single reverse pass suffices.
+  prob_under_.resize(nodes_.size());
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    const FlatNode& n = nodes_[i];
+    const double p = level_probs_[static_cast<size_t>(n.level)];
+    prob_under_[i] = ScaledDouble(1.0 - p) * prob_under_scaled(n.lo) +
+                     ScaledDouble(p) * prob_under_scaled(n.hi);
+  }
+
+  // reachability: forward pass from the root.
+  reach_.assign(nodes_.size(), ScaledDouble::Zero());
+  reach_[static_cast<size_t>(root_)] = ScaledDouble::One();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const FlatNode& n = nodes_[i];
+    const double p = level_probs_[static_cast<size_t>(n.level)];
+    if (n.lo >= 0) {
+      reach_[static_cast<size_t>(n.lo)] += reach_[i] * ScaledDouble(1.0 - p);
+    }
+    if (n.hi >= 0) {
+      reach_[static_cast<size_t>(n.hi)] += reach_[i] * ScaledDouble(p);
+    }
+  }
+}
+
+FlatId FlatObdd::IndexOf(NodeId manager_node) const {
+  if (manager_node == BddManager::kFalse) return kFlatFalse;
+  if (manager_node == BddManager::kTrue) return kFlatTrue;
+  auto it = index_of_.find(manager_node);
+  MVDB_CHECK(it != index_of_.end()) << "node not in flattened OBDD";
+  return it->second;
+}
+
+size_t FlatObdd::Width() const {
+  size_t width = 0;
+  size_t i = 0;
+  while (i < nodes_.size()) {
+    size_t j = i;
+    while (j < nodes_.size() && nodes_[j].level == nodes_[i].level) ++j;
+    width = std::max(width, j - i);
+    i = j;
+  }
+  return width;
+}
+
+std::pair<FlatId, FlatId> FlatObdd::NodesAtLevel(int32_t level) const {
+  auto lower = std::lower_bound(
+      nodes_.begin(), nodes_.end(), level,
+      [](const FlatNode& n, int32_t l) { return n.level < l; });
+  auto upper = std::upper_bound(
+      nodes_.begin(), nodes_.end(), level,
+      [](int32_t l, const FlatNode& n) { return l < n.level; });
+  return {static_cast<FlatId>(lower - nodes_.begin()),
+          static_cast<FlatId>(upper - nodes_.begin())};
+}
+
+}  // namespace mvdb

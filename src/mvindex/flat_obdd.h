@@ -1,0 +1,102 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// FlatObdd: the cache-conscious OBDD layout of Section 4.3. Nodes are
+// stored in one contiguous vector sorted by variable level (edges only point
+// forward), so traversals are sequential array walks instead of pointer
+// chases — the CC-MVIntersect optimization. Each node is augmented with the
+// two quantities of Section 4.1:
+//
+//   probUnder(u)    — probability of the sub-OBDD rooted at u;
+//   reachability(u) — total probability of all root-to-u paths.
+//
+// Both are computed once at build time in two linear passes and remain valid
+// for probabilities outside [0,1].
+
+#ifndef MVDB_MVINDEX_FLAT_OBDD_H_
+#define MVDB_MVINDEX_FLAT_OBDD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "obdd/manager.h"
+#include "util/scaled_double.h"
+
+namespace mvdb {
+
+/// Index of a node inside the flat vector, or a sink sentinel.
+using FlatId = int32_t;
+inline constexpr FlatId kFlatFalse = -1;
+inline constexpr FlatId kFlatTrue = -2;
+
+struct FlatNode {
+  int32_t level;
+  FlatId lo;
+  FlatId hi;
+};
+
+class FlatObdd {
+ public:
+  /// Flattens the sub-DAG of `mgr` rooted at `root`. `var_probs` is indexed
+  /// by VarId and is snapshotted per level for the annotation passes.
+  FlatObdd(const BddManager& mgr, NodeId root, const std::vector<double>& var_probs);
+
+  /// Root as a flat id (may be a sink sentinel for constant functions).
+  FlatId root() const { return root_; }
+  size_t size() const { return nodes_.size(); }
+  bool IsSinkId(FlatId id) const { return id < 0; }
+
+  int32_t level(FlatId id) const { return nodes_[static_cast<size_t>(id)].level; }
+  FlatId lo(FlatId id) const { return nodes_[static_cast<size_t>(id)].lo; }
+  FlatId hi(FlatId id) const { return nodes_[static_cast<size_t>(id)].hi; }
+
+  /// Marginal probability of the variable branched on at `level`.
+  double prob_at_level(int32_t level) const {
+    return level_probs_[static_cast<size_t>(level)];
+  }
+
+  /// probUnder annotation (extended range); sinks return their constant.
+  ScaledDouble prob_under_scaled(FlatId id) const {
+    if (id == kFlatFalse) return ScaledDouble::Zero();
+    if (id == kFlatTrue) return ScaledDouble::One();
+    return prob_under_[static_cast<size_t>(id)];
+  }
+
+  /// probUnder converted to double (diagnostics/tests; may under/overflow).
+  double prob_under(FlatId id) const { return prob_under_scaled(id).ToDouble(); }
+
+  /// reachability annotation (root = 1), extended range.
+  ScaledDouble reachability_scaled(FlatId id) const {
+    return reach_[static_cast<size_t>(id)];
+  }
+  double reachability(FlatId id) const {
+    return reach_[static_cast<size_t>(id)].ToDouble();
+  }
+
+  /// P(function): probUnder of the root.
+  ScaledDouble prob_root_scaled() const { return prob_under_scaled(root_); }
+  double prob_root() const { return prob_root_scaled().ToDouble(); }
+
+  /// Flat index of a manager node; kFlatFalse/kFlatTrue for sinks,
+  /// CHECK-fails for nodes outside the flattened sub-DAG.
+  FlatId IndexOf(NodeId manager_node) const;
+
+  /// Maximum number of nodes on one level (the OBDD width of Section 4.1).
+  size_t Width() const;
+
+  /// IntraBddIndex: all flat node positions labeled with this level
+  /// (contiguous because the vector is level-sorted). Returns [begin, end).
+  std::pair<FlatId, FlatId> NodesAtLevel(int32_t level) const;
+
+ private:
+  std::vector<FlatNode> nodes_;
+  std::vector<ScaledDouble> prob_under_;
+  std::vector<ScaledDouble> reach_;
+  std::vector<double> level_probs_;
+  std::unordered_map<NodeId, FlatId> index_of_;
+  FlatId root_ = kFlatFalse;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_MVINDEX_FLAT_OBDD_H_

@@ -1,0 +1,321 @@
+#include "mvindex/mv_index.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "query/analysis.h"
+#include "query/eval.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+Ucq SubUcq(const Ucq& q, const std::vector<size_t>& disjuncts) {
+  Ucq out = q;
+  out.disjuncts.clear();
+  for (size_t d : disjuncts) out.disjuncts.push_back(q.disjuncts[d]);
+  return out;
+}
+
+/// Pre-chain block: standalone NOT W_b OBDD plus metadata.
+struct RawBlock {
+  std::string key;
+  NodeId not_f;
+  int32_t first_level;
+  int32_t last_level;
+  ScaledDouble prob;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
+    const Database& db, const Ucq& w, BddManager* mgr,
+    const std::vector<double>& var_probs) {
+  auto is_prob = [&db](const std::string& rel) {
+    const Table* t = db.Find(rel);
+    return t != nullptr && t->probabilistic();
+  };
+
+  std::unique_ptr<MvIndex> index(new MvIndex());
+  index->mgr_ = mgr;
+  index->var_probs_ = var_probs;
+
+  ConObddBuilder builder(db, mgr);
+  std::vector<RawBlock> raw;
+
+  auto add_block = [&](const std::string& key, NodeId f) -> Status {
+    if (f == BddManager::kFalse) return Status::OK();  // NOT W_b = true: skip
+    if (f == BddManager::kTrue) {
+      return Status::InvalidArgument(
+          "MarkoView constraint W is certainly true: the MVDB admits no "
+          "possible world (1 - P0(W) = 0), block " + key);
+    }
+    const NodeId not_f = mgr->Not(f);
+    const auto [lo, hi] = mgr->LevelRange(not_f);
+    raw.push_back(RawBlock{key, not_f, lo, hi, mgr->ProbScaled(not_f, var_probs)});
+    return Status::OK();
+  };
+
+  if (!w.disjuncts.empty()) {
+    const auto groups = IndependentUnionComponents(w, is_prob);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      Ucq sub = SubUcq(w, groups[g]);
+      const auto sep = FindSeparator(sub, is_prob);
+      bool decomposed = false;
+      if (sep.has_value()) {
+        bool any_var = false;
+        for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
+        if (any_var) {
+          // One block per separator value: the per-value subqueries are
+          // tuple-disjoint (Proposition 1), hence variable-disjoint blocks.
+          std::set<Value> domain;
+          for (size_t d = 0; d < sub.disjuncts.size(); ++d) {
+            const int z = sep->var_of_disjunct[d];
+            if (z < 0) continue;
+            for (const Atom& a : sub.disjuncts[d].atoms) {
+              if (!is_prob(a.relation)) continue;
+              const Table* t = db.Find(a.relation);
+              const size_t pos = sep->position.at(a.relation);
+              const auto vals = t->DistinctValues(pos);
+              domain.insert(vals.begin(), vals.end());
+            }
+          }
+          for (Value a : domain) {
+            Ucq block_q = sub;
+            for (size_t d = 0; d < block_q.disjuncts.size(); ++d) {
+              const int z = sep->var_of_disjunct[d];
+              if (z >= 0) SubstituteInDisjunct(&block_q, d, z, a);
+            }
+            MVDB_ASSIGN_OR_RETURN(NodeId f, builder.Build(block_q));
+            MVDB_RETURN_NOT_OK(
+                add_block("g" + std::to_string(g) + "/" + std::to_string(a), f));
+          }
+          decomposed = true;
+        }
+      }
+      if (!decomposed) {
+        MVDB_ASSIGN_OR_RETURN(NodeId f, builder.Build(sub));
+        MVDB_RETURN_NOT_OK(add_block("g" + std::to_string(g), f));
+      }
+    }
+  }
+
+  // Sort blocks by level and merge any with interleaving ranges so the
+  // final chain is strictly level-ordered (merging only happens for
+  // non-inversion-free residues).
+  std::sort(raw.begin(), raw.end(), [](const RawBlock& a, const RawBlock& b) {
+    return a.first_level < b.first_level;
+  });
+  std::vector<RawBlock> merged;
+  for (RawBlock& b : raw) {
+    if (!merged.empty() && b.first_level <= merged.back().last_level) {
+      RawBlock& m = merged.back();
+      m.not_f = mgr->And(m.not_f, b.not_f);
+      m.last_level = std::max(m.last_level, b.last_level);
+      m.key += "+" + b.key;
+      m.prob = mgr->ProbScaled(m.not_f, var_probs);
+    } else {
+      merged.push_back(std::move(b));
+    }
+  }
+
+  // Chain the blocks right-to-left with AND-concatenation, remembering each
+  // block's entry node in the chain.
+  std::vector<NodeId> chain_roots(merged.size());
+  NodeId chain = BddManager::kTrue;
+  for (size_t i = merged.size(); i-- > 0;) {
+    chain = mgr->ConcatAnd(merged[i].not_f, chain);
+    chain_roots[i] = chain;
+  }
+
+  index->not_w_root_ = chain;
+  index->flat_ = std::make_unique<FlatObdd>(*mgr, chain, var_probs);
+  for (size_t i = 0; i < merged.size(); ++i) {
+    index->blocks_.push_back(MvBlock{merged[i].key,
+                                     index->flat_->IndexOf(chain_roots[i]),
+                                     merged[i].first_level, merged[i].last_level,
+                                     merged[i].prob});
+  }
+  return index;
+}
+
+void MvIndex::FastForward(int32_t q_first_level, ScaledDouble* prefix,
+                          FlatId* start) const {
+  *prefix = ScaledDouble::One();
+  if (blocks_.empty()) {
+    *start = flat_->root();
+    return;
+  }
+  for (const MvBlock& b : blocks_) {
+    if (b.last_level >= q_first_level) {
+      *start = b.chain_root;
+      return;
+    }
+    *prefix *= b.prob;
+  }
+  *start = kFlatTrue;
+}
+
+double MvIndex::ProbQ(NodeId q, std::unordered_map<NodeId, double>* memo) const {
+  if (q == BddManager::kFalse) return 0.0;
+  if (q == BddManager::kTrue) return 1.0;
+  auto it = memo->find(q);
+  if (it != memo->end()) return it->second;
+  const BddNode& n = mgr_->node(q);
+  const double p = flat_->prob_at_level(n.level);
+  const double r = (1.0 - p) * ProbQ(n.lo, memo) + p * ProbQ(n.hi, memo);
+  memo->emplace(q, r);
+  return r;
+}
+
+namespace {
+
+uint64_t PairKey(NodeId q, FlatId u) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(q)) << 32) |
+         static_cast<uint32_t>(u);
+}
+
+}  // namespace
+
+ScaledDouble MvIndex::MVIntersectScaled(NodeId q_root) const {
+  if (q_root == BddManager::kFalse) return ScaledDouble::Zero();
+  if (q_root == BddManager::kTrue) return ProbNotWScaled();
+  std::unordered_map<NodeId, double> qmemo;
+  ScaledDouble prefix;
+  FlatId start;
+  FastForward(mgr_->level(q_root), &prefix, &start);
+  if (start == kFlatTrue) return prefix * ScaledDouble(ProbQ(q_root, &qmemo));
+  if (start == kFlatFalse) return ScaledDouble::Zero();
+
+  std::unordered_map<uint64_t, ScaledDouble> memo;
+  // Recursive lambda over (query node, W-chain flat node).
+  auto rec = [&](auto&& self, NodeId q, FlatId u) -> ScaledDouble {
+    if (q == BddManager::kFalse || u == kFlatFalse) return ScaledDouble::Zero();
+    if (q == BddManager::kTrue) return flat_->prob_under_scaled(u);
+    if (u == kFlatTrue) return ScaledDouble(ProbQ(q, &qmemo));
+    const uint64_t key = PairKey(q, u);
+    auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    const int32_t lq = mgr_->level(q);
+    const int32_t lu = flat_->level(u);
+    const int32_t l = std::min(lq, lu);
+    const double p = flat_->prob_at_level(l);
+    NodeId q0 = q, q1 = q;
+    if (lq == l) {
+      const BddNode& n = mgr_->node(q);
+      q0 = n.lo;
+      q1 = n.hi;
+    }
+    FlatId u0 = u, u1 = u;
+    if (lu == l) {
+      u0 = flat_->lo(u);
+      u1 = flat_->hi(u);
+    }
+    const ScaledDouble r = ScaledDouble(1.0 - p) * self(self, q0, u0) +
+                           ScaledDouble(p) * self(self, q1, u1);
+    memo.emplace(key, r);
+    return r;
+  };
+  return prefix * rec(rec, q_root, start);
+}
+
+ScaledDouble MvIndex::CCMVIntersectScaled(NodeId q_root) const {
+  if (q_root == BddManager::kFalse) return ScaledDouble::Zero();
+  if (q_root == BddManager::kTrue) return ProbNotWScaled();
+  std::unordered_map<NodeId, double> qmemo;
+  ScaledDouble prefix;
+  FlatId start;
+  FastForward(mgr_->level(q_root), &prefix, &start);
+  if (start == kFlatTrue) return prefix * ScaledDouble(ProbQ(q_root, &qmemo));
+  if (start == kFlatFalse) return ScaledDouble::Zero();
+
+  // Sequential sweep over the level-sorted node vector: edges only point
+  // forward, so one pass from `start` visits every reachable pairing. The
+  // per-node buckets are a reusable member; only touched entries are
+  // cleared afterwards.
+  if (cc_buckets_.size() < flat_->size()) cc_buckets_.resize(flat_->size());
+  ScaledDouble total;
+  std::vector<FlatId> touched;
+  size_t pending = 1;
+  cc_buckets_[static_cast<size_t>(start)].push_back({q_root, ScaledDouble::One()});
+  touched.push_back(start);
+
+  std::unordered_map<NodeId, ScaledDouble> merged;
+  std::unordered_map<NodeId, ScaledDouble> next_level;
+  for (FlatId u = start; pending > 0 && u < static_cast<FlatId>(flat_->size());
+       ++u) {
+    auto& bucket = cc_buckets_[static_cast<size_t>(u)];
+    if (bucket.empty()) continue;
+    pending -= bucket.size();
+    const int32_t lu = flat_->level(u);
+    const double pu = flat_->prob_at_level(lu);
+
+    // Merge duplicate query nodes, then expand query-only levels below lu
+    // one level at a time (merging keeps the set bounded by the query OBDD
+    // width, not the number of paths).
+    merged.clear();
+    for (const auto& [q, w] : bucket) merged[q] += w;
+    bucket.clear();
+    while (true) {
+      int32_t min_level = BddManager::kSinkLevel;
+      for (const auto& [q, w] : merged) {
+        if (!mgr_->IsSink(q)) min_level = std::min(min_level, mgr_->level(q));
+      }
+      if (min_level >= lu) break;
+      next_level.clear();
+      const double p = flat_->prob_at_level(min_level);
+      for (const auto& [q, w] : merged) {
+        if (q == BddManager::kFalse) continue;
+        if (q == BddManager::kTrue) {
+          total += w * flat_->prob_under_scaled(u);
+          continue;
+        }
+        if (mgr_->level(q) == min_level) {
+          const BddNode& n = mgr_->node(q);
+          next_level[n.lo] += w * ScaledDouble(1.0 - p);
+          next_level[n.hi] += w * ScaledDouble(p);
+        } else {
+          next_level[q] += w;
+        }
+      }
+      merged.swap(next_level);
+    }
+
+    auto emit = [&](FlatId next_u, NodeId next_q, const ScaledDouble& w) {
+      if (next_q == BddManager::kFalse || next_u == kFlatFalse) return;
+      if (next_u == kFlatTrue) {
+        total += w * ScaledDouble(ProbQ(next_q, &qmemo));
+        return;
+      }
+      if (next_q == BddManager::kTrue) {
+        total += w * flat_->prob_under_scaled(next_u);
+        return;
+      }
+      auto& b = cc_buckets_[static_cast<size_t>(next_u)];
+      if (b.empty()) touched.push_back(next_u);
+      b.push_back({next_q, w});
+      ++pending;
+    };
+    for (const auto& [q, w] : merged) {
+      if (q == BddManager::kFalse) continue;
+      if (q == BddManager::kTrue) {
+        total += w * flat_->prob_under_scaled(u);
+        continue;
+      }
+      NodeId q0 = q, q1 = q;
+      if (mgr_->level(q) == lu) {
+        const BddNode& n = mgr_->node(q);
+        q0 = n.lo;
+        q1 = n.hi;
+      }
+      emit(flat_->lo(u), q0, w * ScaledDouble(1.0 - pu));
+      emit(flat_->hi(u), q1, w * ScaledDouble(pu));
+    }
+  }
+  for (FlatId t : touched) cc_buckets_[static_cast<size_t>(t)].clear();
+  return prefix * total;
+}
+
+}  // namespace mvdb

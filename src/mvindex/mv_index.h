@@ -1,0 +1,112 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// The MV-index (Section 4): an offline compilation of the MarkoView
+// constraint query W into an augmented OBDD of NOT W, organized as a chain
+// of variable-disjoint *blocks* — one per independent view group and
+// separator value ("a set of augmented OBDD, each associated with a
+// particular key ... over disjoint sets of variables"). On top of the flat
+// augmented OBDD it keeps:
+//
+//   InterBddIndex — which block a tuple variable lives in (here: level
+//                   ranges per block, binary-searchable);
+//   IntraBddIndex — the flat positions of the nodes labeled with a given
+//                   variable (contiguity of the level-sorted layout);
+//   per-block P(NOT W_b) — lets online evaluation *skip* every block the
+//                   query does not touch.
+//
+// Online evaluation computes P0(Q ^ NOT W) — the numerator of Eq. 5, since
+// P0(Q v W) - P0(W) = P0(Q ^ NOT W) — via two interchangeable algorithms:
+// MVIntersect (top-down, memoized on node pairs) and CC-MVIntersect
+// (iterative forward sweep over the flat vector; Section 4.3, Prop. 3).
+
+#ifndef MVDB_MVINDEX_MV_INDEX_H_
+#define MVDB_MVINDEX_MV_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mvindex/flat_obdd.h"
+#include "obdd/conobdd.h"
+#include "obdd/manager.h"
+#include "query/ast.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// One variable-disjoint block of the compiled NOT W chain.
+struct MvBlock {
+  std::string key;        ///< "group/separatorValue" diagnostics key
+  FlatId chain_root;      ///< entry point of the chain at this block
+  int32_t first_level;    ///< smallest variable level in the block
+  int32_t last_level;     ///< largest variable level in the block
+  ScaledDouble prob;      ///< standalone P(NOT W_b), extended range
+};
+
+class MvIndex {
+ public:
+  /// Compiles W (the union of view constraint queries, Eq. 4) into an
+  /// MV-index. The manager must already hold the global variable order and
+  /// is also used later for query-side OBDDs. `var_probs` is indexed by
+  /// VarId (NV variables may carry negative probabilities).
+  static StatusOr<std::unique_ptr<MvIndex>> Build(
+      const Database& db, const Ucq& w, BddManager* mgr,
+      const std::vector<double>& var_probs);
+
+  /// P0(NOT W) — the denominator of Eq. 5 is 1 - P0(W) = P0(NOT W).
+  /// Extended range: at DBLP scale this is a product of thousands of block
+  /// factors and routinely leaves double range; only the Eq. 5 *ratio* is an
+  /// ordinary probability.
+  ScaledDouble ProbNotWScaled() const { return flat_->prob_root_scaled(); }
+  double ProbNotW() const { return ProbNotWScaled().ToDouble(); }
+
+  /// P0(Q ^ NOT W) by the top-down memoized MVIntersect. `q_root` is a
+  /// query OBDD in the same manager/order.
+  ScaledDouble MVIntersectScaled(NodeId q_root) const;
+  double MVIntersect(NodeId q_root) const {
+    return MVIntersectScaled(q_root).ToDouble();
+  }
+
+  /// P0(Q ^ NOT W) by the cache-conscious forward sweep.
+  ScaledDouble CCMVIntersectScaled(NodeId q_root) const;
+  double CCMVIntersect(NodeId q_root) const {
+    return CCMVIntersectScaled(q_root).ToDouble();
+  }
+
+  const FlatObdd& flat() const { return *flat_; }
+  const std::vector<MvBlock>& blocks() const { return blocks_; }
+  const BddManager& manager() const { return *mgr_; }
+
+  /// Total nodes in the compiled chain (the paper reports 1.38M for DBLP).
+  size_t size() const { return flat_->size(); }
+
+  /// Manager node of the compiled NOT W chain (e.g. to derive the W OBDD
+  /// once via Not() for index-less evaluation baselines).
+  NodeId not_w_manager_root() const { return not_w_root_; }
+
+ private:
+  MvIndex() = default;
+
+  /// Shared fast-forward: skips blocks entirely above the query's first
+  /// variable, returning their probability product and the chain entry.
+  void FastForward(int32_t q_first_level, ScaledDouble* prefix, FlatId* start) const;
+
+  /// P(query sub-OBDD) with per-call memo (used when the W side exhausts).
+  double ProbQ(NodeId q, std::unordered_map<NodeId, double>* memo) const;
+
+  BddManager* mgr_ = nullptr;
+  std::unique_ptr<FlatObdd> flat_;
+  std::vector<MvBlock> blocks_;
+  std::vector<double> var_probs_;
+  NodeId not_w_root_ = BddManager::kTrue;
+
+  // Reusable scratch for the CC sweep: one bucket per flat node, cleared
+  // after each query (touched entries only), so queries allocate nothing
+  // beyond their span.
+  mutable std::vector<std::vector<std::pair<NodeId, ScaledDouble>>> cc_buckets_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_MVINDEX_MV_INDEX_H_

@@ -1,0 +1,273 @@
+#include "obdd/conobdd.h"
+
+#include <algorithm>
+#include <set>
+
+#include "query/eval.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+/// Distinct values at column `pos` among the rows compatible with the
+/// atom's ground arguments (an index probe keeps nested separator
+/// decompositions linear instead of rescanning whole columns).
+std::vector<Value> AtomColumnDomain(const Database& db, const Atom& atom,
+                                    size_t pos) {
+  const Table* t = db.Find(atom.relation);
+  MVDB_CHECK(t != nullptr);
+  int probe_col = -1;
+  Value probe_val = 0;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (!atom.args[i].is_var()) {
+      probe_col = static_cast<int>(i);
+      probe_val = atom.args[i].constant;
+      break;
+    }
+  }
+  std::vector<Value> out;
+  auto consider = [&](RowId r) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (!atom.args[i].is_var() && t->At(r, i) != atom.args[i].constant) return;
+    }
+    out.push_back(t->At(r, pos));
+  };
+  if (probe_col >= 0) {
+    for (RowId r : t->Probe(static_cast<size_t>(probe_col), probe_val)) consider(r);
+  } else {
+    const size_t n = t->size();
+    for (size_t r = 0; r < n; ++r) consider(static_cast<RowId>(r));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Builds a sub-UCQ keeping only the listed disjuncts.
+Ucq SubUcq(const Ucq& q, const std::vector<size_t>& disjuncts) {
+  Ucq out = q;
+  out.disjuncts.clear();
+  for (size_t d : disjuncts) out.disjuncts.push_back(q.disjuncts[d]);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<NodeId> ConObddBuilder::Build(const Ucq& boolean_query) {
+  if (!boolean_query.IsBoolean()) {
+    return Status::InvalidArgument("ConObdd requires a Boolean query");
+  }
+  MVDB_ASSIGN_OR_RETURN(ConResult r, BuildUcq(boolean_query));
+  return r.id;
+}
+
+ConObddBuilder::ConResult ConObddBuilder::CombineOr(const ConResult& a,
+                                                    const ConResult& b) {
+  ConResult out;
+  out.min_level = std::min(a.min_level, b.min_level);
+  out.max_level = std::max(a.max_level, b.max_level);
+  if (a.id == BddManager::kFalse) { out.id = b.id; return out; }
+  if (b.id == BddManager::kFalse) { out.id = a.id; return out; }
+  if (a.id == BddManager::kTrue || b.id == BddManager::kTrue) {
+    out.id = BddManager::kTrue;
+    return out;
+  }
+  if (a.max_level < b.min_level) {
+    out.id = mgr_->ConcatOr(a.id, b.id);
+    ++concat_count_;
+  } else if (b.max_level < a.min_level) {
+    out.id = mgr_->ConcatOr(b.id, a.id);
+    ++concat_count_;
+  } else {
+    out.id = mgr_->Or(a.id, b.id);
+    ++synthesis_count_;
+  }
+  return out;
+}
+
+ConObddBuilder::ConResult ConObddBuilder::CombineAnd(const ConResult& a,
+                                                     const ConResult& b) {
+  ConResult out;
+  out.min_level = std::min(a.min_level, b.min_level);
+  out.max_level = std::max(a.max_level, b.max_level);
+  if (a.id == BddManager::kTrue) { out.id = b.id; return out; }
+  if (b.id == BddManager::kTrue) { out.id = a.id; return out; }
+  if (a.id == BddManager::kFalse || b.id == BddManager::kFalse) {
+    out.id = BddManager::kFalse;
+    return out;
+  }
+  if (a.max_level < b.min_level) {
+    out.id = mgr_->ConcatAnd(a.id, b.id);
+    ++concat_count_;
+  } else if (b.max_level < a.min_level) {
+    out.id = mgr_->ConcatAnd(b.id, a.id);
+    ++concat_count_;
+  } else {
+    out.id = mgr_->And(a.id, b.id);
+    ++synthesis_count_;
+  }
+  return out;
+}
+
+StatusOr<ConObddBuilder::ConResult> ConObddBuilder::BuildFallback(const Ucq& q) {
+  MVDB_ASSIGN_OR_RETURN(Lineage lineage, EvalBoolean(db_, q));
+  ConResult out;
+  if (lineage.IsTrue()) {
+    out.id = BddManager::kTrue;
+    return out;
+  }
+  if (lineage.IsFalse()) {
+    out.id = BddManager::kFalse;
+    return out;
+  }
+  out.id = mgr_->FromLineageSynthesis(lineage);
+  // A single clause is a chain built directly, no apply: concatenation-grade.
+  if (lineage.size() > 1) {
+    ++synthesis_count_;
+  } else {
+    ++concat_count_;
+  }
+  for (VarId v : lineage.Vars()) {
+    const int32_t l = mgr_->level_of_var(v);
+    out.min_level = std::min(out.min_level, l);
+    out.max_level = std::max(out.max_level, l);
+  }
+  return out;
+}
+
+StatusOr<ConObddBuilder::ConResult> ConObddBuilder::BuildUcq(const Ucq& q) {
+  // Separate disjuncts with no probabilistic atoms: each is deterministically
+  // true or false on I_poss; a true one makes the whole query true.
+  Ucq pruned = q;
+  for (size_t d = 0; d < q.disjuncts.size(); ++d) {
+    if (HasProbAtom(q.disjuncts[d], is_prob_)) continue;
+    Ucq single = SubUcq(q, {d});
+    MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(db_, single));
+    if (lin.IsTrue()) {
+      ConResult out;
+      out.id = BddManager::kTrue;
+      return out;
+    }
+  }
+  std::erase_if(pruned.disjuncts, [&](const ConjunctiveQuery& cq) {
+    return !HasProbAtom(cq, is_prob_);
+  });
+  if (pruned.disjuncts.empty()) return ConResult{};  // false
+
+  // R1: independent unions concatenate.
+  const auto groups = IndependentUnionComponents(pruned, is_prob_);
+  if (groups.size() > 1) {
+    std::vector<ConResult> parts;
+    for (const auto& g : groups) {
+      MVDB_ASSIGN_OR_RETURN(ConResult r, BuildUcq(SubUcq(pruned, g)));
+      parts.push_back(r);
+    }
+    std::sort(parts.begin(), parts.end(),
+              [](const ConResult& a, const ConResult& b) {
+                return a.min_level < b.min_level;
+              });
+    // Fold right-to-left: ConcatOr(f, g) rebuilds f only, so folding from
+    // the back rebuilds each part once (linear) instead of rebuilding the
+    // growing chain at every step (quadratic).
+    ConResult acc = parts.back();
+    for (size_t i = parts.size() - 1; i-- > 0;) acc = CombineOr(parts[i], acc);
+    return acc;
+  }
+
+  // R2: a single CQ splits into independent join components.
+  if (pruned.disjuncts.size() == 1) {
+    auto comps = ConnectedComponents(pruned.disjuncts[0], is_prob_);
+    if (comps.size() > 1) {
+      std::vector<ConResult> parts;
+      for (auto& comp : comps) {
+        Ucq sub = pruned;
+        sub.disjuncts = {std::move(comp)};
+        // Deterministic-only components are constraints: true keeps the
+        // conjunction, false kills it.
+        if (!HasProbAtom(sub.disjuncts[0], is_prob_)) {
+          MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(db_, sub));
+          if (!lin.IsTrue()) return ConResult{};  // false conjunct
+          continue;
+        }
+        MVDB_ASSIGN_OR_RETURN(ConResult r, BuildUcq(sub));
+        parts.push_back(r);
+      }
+      if (parts.empty()) {
+        ConResult out;
+        out.id = BddManager::kTrue;
+        return out;
+      }
+      std::sort(parts.begin(), parts.end(),
+                [](const ConResult& a, const ConResult& b) {
+                  return a.min_level < b.min_level;
+                });
+      // Right-to-left fold: each part rebuilt once (see CombineOr above).
+      ConResult acc = parts.back();
+      for (size_t i = parts.size() - 1; i-- > 0;) {
+        acc = CombineAnd(parts[i], acc);
+      }
+      return acc;
+    }
+  }
+
+  // R3: separator decomposition over the active domain.
+  if (auto sep = FindSeparator(pruned, is_prob_); sep.has_value()) {
+    // Only decompose if at least one disjunct still has a variable to ground
+    // (all-ground queries go to the fallback).
+    bool any_var = false;
+    for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
+    if (any_var) {
+      // Collect candidate separator values: per disjunct, intersect the
+      // distinct values of the separator column across its probabilistic
+      // atoms; union across disjuncts.
+      std::set<Value> domain;
+      for (size_t d = 0; d < pruned.disjuncts.size(); ++d) {
+        const int z = sep->var_of_disjunct[d];
+        if (z < 0) continue;
+        std::vector<Value> values;
+        bool first = true;
+        for (const Atom& a : pruned.disjuncts[d].atoms) {
+          if (!is_prob_(a.relation)) continue;
+          const size_t pos = sep->position.at(a.relation);
+          std::vector<Value> col = AtomColumnDomain(db_, a, pos);
+          if (first) {
+            values = std::move(col);
+            first = false;
+          } else {
+            std::vector<Value> merged;
+            std::set_intersection(values.begin(), values.end(), col.begin(),
+                                  col.end(), std::back_inserter(merged));
+            values = std::move(merged);
+          }
+        }
+        domain.insert(values.begin(), values.end());
+      }
+      std::vector<ConResult> blocks;
+      blocks.reserve(domain.size());
+      for (Value a : domain) {
+        Ucq sub = pruned;
+        for (size_t d = 0; d < sub.disjuncts.size(); ++d) {
+          const int z = sep->var_of_disjunct[d];
+          if (z >= 0) SubstituteInDisjunct(&sub, d, z, a);
+        }
+        MVDB_ASSIGN_OR_RETURN(ConResult r, BuildUcq(sub));
+        if (r.id == BddManager::kTrue) return r;
+        if (r.id != BddManager::kFalse) blocks.push_back(r);
+      }
+      if (blocks.empty()) return ConResult{};  // false
+      // Domain values ascend, and the separator-first order makes block
+      // ranges ascend with them; fold right-to-left so each block is
+      // rebuilt at most once (Proposition 1's linear bound).
+      ConResult acc = blocks.back();
+      for (size_t i = blocks.size() - 1; i-- > 0;) {
+        acc = CombineOr(blocks[i], acc);
+      }
+      return acc;
+    }
+  }
+
+  // R4: residual subquery — classic synthesis on its lineage.
+  return BuildFallback(pruned);
+}
+
+}  // namespace mvdb

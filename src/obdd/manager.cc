@@ -1,0 +1,206 @@
+#include "obdd/manager.h"
+
+#include <algorithm>
+
+namespace mvdb {
+
+BddManager::BddManager(std::vector<VarId> order) : order_(std::move(order)) {
+  level_of_.reserve(order_.size());
+  for (size_t l = 0; l < order_.size(); ++l) {
+    auto [it, inserted] = level_of_.emplace(order_[l], static_cast<int32_t>(l));
+    MVDB_CHECK(inserted) << "duplicate variable in order: " << order_[l];
+  }
+  nodes_.push_back(BddNode{kSinkLevel, kFalse, kFalse});  // 0 = false sink
+  nodes_.push_back(BddNode{kSinkLevel, kTrue, kTrue});    // 1 = true sink
+}
+
+int32_t BddManager::level_of_var(VarId v) const {
+  auto it = level_of_.find(v);
+  MVDB_CHECK(it != level_of_.end()) << "variable " << v << " not in order";
+  return it->second;
+}
+
+NodeId BddManager::Mk(int32_t level, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;
+  MVDB_DCHECK(level < nodes_[static_cast<size_t>(lo)].level);
+  MVDB_DCHECK(level < nodes_[static_cast<size_t>(hi)].level);
+  const UniqueKey key{level, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(BddNode{level, lo, hi});
+  unique_.emplace(key, id);
+  return id;
+}
+
+NodeId BddManager::Apply(OpKind op, NodeId f, NodeId g) {
+  // Terminal cases.
+  if (op == OpKind::kAnd) {
+    if (f == kFalse || g == kFalse) return kFalse;
+    if (f == kTrue) return g;
+    if (g == kTrue) return f;
+    if (f == g) return f;
+  } else {
+    if (f == kTrue || g == kTrue) return kTrue;
+    if (f == kFalse) return g;
+    if (g == kFalse) return f;
+    if (f == g) return f;
+  }
+  if (f > g) std::swap(f, g);  // commutative: canonicalize the cache key
+  auto& cache = (op == OpKind::kAnd) ? and_cache_ : or_cache_;
+  auto it = cache.find({f, g});
+  if (it != cache.end()) return it->second;
+  ++apply_steps_;
+
+  const BddNode& nf = nodes_[static_cast<size_t>(f)];
+  const BddNode& ng = nodes_[static_cast<size_t>(g)];
+  const int32_t m = std::min(nf.level, ng.level);
+  const NodeId f0 = (nf.level == m) ? nf.lo : f;
+  const NodeId f1 = (nf.level == m) ? nf.hi : f;
+  const NodeId g0 = (ng.level == m) ? ng.lo : g;
+  const NodeId g1 = (ng.level == m) ? ng.hi : g;
+  const NodeId r = Mk(m, Apply(op, f0, g0), Apply(op, f1, g1));
+  cache.emplace(std::make_pair(f, g), r);
+  return r;
+}
+
+NodeId BddManager::Not(NodeId f) {
+  if (f == kFalse) return kTrue;
+  if (f == kTrue) return kFalse;
+  auto it = not_cache_.find(f);
+  if (it != not_cache_.end()) return it->second;
+  const BddNode n = nodes_[static_cast<size_t>(f)];
+  const NodeId r = Mk(n.level, Not(n.lo), Not(n.hi));
+  not_cache_.emplace(f, r);
+  return r;
+}
+
+NodeId BddManager::ConcatRec(NodeId f, NodeId g, NodeId sink_to_replace,
+                             std::unordered_map<NodeId, NodeId>* memo) {
+  if (f == sink_to_replace) return g;
+  if (IsSink(f)) return f;
+  auto it = memo->find(f);
+  if (it != memo->end()) return it->second;
+  const BddNode n = nodes_[static_cast<size_t>(f)];
+  const NodeId r = Mk(n.level, ConcatRec(n.lo, g, sink_to_replace, memo),
+                      ConcatRec(n.hi, g, sink_to_replace, memo));
+  memo->emplace(f, r);
+  return r;
+}
+
+NodeId BddManager::ConcatOr(NodeId f, NodeId g) {
+  if (f == kFalse) return g;
+  if (f == kTrue) return kTrue;
+  if (g == kFalse) return f;
+  std::unordered_map<NodeId, NodeId> memo;
+  return ConcatRec(f, g, kFalse, &memo);
+}
+
+NodeId BddManager::ConcatAnd(NodeId f, NodeId g) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return kFalse;
+  if (g == kTrue) return f;
+  std::unordered_map<NodeId, NodeId> memo;
+  return ConcatRec(f, g, kTrue, &memo);
+}
+
+NodeId BddManager::FromSignedClause(const Clause& pos, const Clause& neg) {
+  // Build the conjunction chain bottom-up in descending level order; a
+  // positive literal branches false on 0, a negated one branches false on 1.
+  std::vector<std::pair<int32_t, bool>> lits;
+  lits.reserve(pos.size() + neg.size());
+  for (VarId v : pos) lits.push_back({level_of_var(v), false});
+  for (VarId v : neg) lits.push_back({level_of_var(v), true});
+  std::sort(lits.begin(), lits.end());
+  for (size_t i = 1; i < lits.size(); ++i) {
+    if (lits[i].first == lits[i - 1].first && lits[i].second != lits[i - 1].second) {
+      return kFalse;  // x ^ !x
+    }
+  }
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  NodeId acc = kTrue;
+  for (auto it = lits.rbegin(); it != lits.rend(); ++it) {
+    acc = it->second ? Mk(it->first, acc, kFalse) : Mk(it->first, kFalse, acc);
+  }
+  return acc;
+}
+
+NodeId BddManager::FromLineageSynthesis(const Lineage& lineage) {
+  NodeId acc = kFalse;
+  const auto& pos = lineage.clauses();
+  const auto& neg = lineage.neg_clauses();
+  for (size_t i = 0; i < pos.size(); ++i) {
+    const Clause empty;
+    acc = Or(acc, FromSignedClause(pos[i], i < neg.size() ? neg[i] : empty));
+  }
+  return acc;
+}
+
+ScaledDouble BddManager::ProbScaled(NodeId f,
+                                    const std::vector<double>& var_probs) const {
+  std::unordered_map<NodeId, ScaledDouble> memo;
+  memo.emplace(kFalse, ScaledDouble::Zero());
+  memo.emplace(kTrue, ScaledDouble::One());
+  // Iterative post-order to avoid deep recursion on chain-shaped OBDDs.
+  std::vector<NodeId> stack = {f};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    if (memo.count(id)) {
+      stack.pop_back();
+      continue;
+    }
+    const BddNode& n = nodes_[static_cast<size_t>(id)];
+    const auto lo_it = memo.find(n.lo);
+    const auto hi_it = memo.find(n.hi);
+    if (lo_it != memo.end() && hi_it != memo.end()) {
+      const double p = var_probs[static_cast<size_t>(order_[static_cast<size_t>(n.level)])];
+      memo.emplace(id, ScaledDouble(1.0 - p) * lo_it->second +
+                           ScaledDouble(p) * hi_it->second);
+      stack.pop_back();
+    } else {
+      if (lo_it == memo.end()) stack.push_back(n.lo);
+      if (hi_it == memo.end()) stack.push_back(n.hi);
+    }
+  }
+  return memo.at(f);
+}
+
+size_t BddManager::CountNodes(NodeId f) const {
+  std::unordered_map<NodeId, bool> seen;
+  std::vector<NodeId> stack = {f};
+  size_t count = 0;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (seen.count(id)) continue;
+    seen.emplace(id, true);
+    ++count;
+    if (!IsSink(id)) {
+      const BddNode& n = nodes_[static_cast<size_t>(id)];
+      stack.push_back(n.lo);
+      stack.push_back(n.hi);
+    }
+  }
+  return count;
+}
+
+std::pair<int32_t, int32_t> BddManager::LevelRange(NodeId f) const {
+  int32_t min_level = kSinkLevel;
+  int32_t max_level = -1;
+  std::unordered_map<NodeId, bool> seen;
+  std::vector<NodeId> stack = {f};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (IsSink(id) || seen.count(id)) continue;
+    seen.emplace(id, true);
+    const BddNode& n = nodes_[static_cast<size_t>(id)];
+    min_level = std::min(min_level, n.level);
+    max_level = std::max(max_level, n.level);
+    stack.push_back(n.lo);
+    stack.push_back(n.hi);
+  }
+  return {min_level, max_level};
+}
+
+}  // namespace mvdb

@@ -1,0 +1,162 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Ordered Binary Decision Diagrams (Section 4.1). BddManager is a
+// hash-consed OBDD package in the style of CUDD: a unique table guarantees
+// canonicity (per variable order), and binary operations are computed by the
+// classic memoized apply ("synthesis"), whose cost is O(|G1||G2|). It also
+// provides the paper's *concatenation* primitives (Section 4.2): when the
+// operands' variable ranges do not interleave, OR/AND can be formed by
+// redirecting sink nodes, in time linear in the first operand only — the key
+// ingredient that makes MarkoView compilation two orders of magnitude faster
+// than native CUDD synthesis (Fig. 8).
+//
+// Probability evaluation uses Shannon expansion and is valid for marginal
+// probabilities outside [0,1] (Section 3.3): the expansion is a polynomial
+// identity in the tuple probabilities.
+
+#ifndef MVDB_OBDD_MANAGER_H_
+#define MVDB_OBDD_MANAGER_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "prob/lineage.h"
+#include "util/scaled_double.h"
+#include "relational/types.h"
+#include "util/logging.h"
+
+namespace mvdb {
+
+/// Node handle. 0 and 1 are the terminal sinks.
+using NodeId = int32_t;
+
+/// One OBDD node: branch variable (as a level in the global order) and the
+/// 0/1 successors.
+struct BddNode {
+  int32_t level;
+  NodeId lo;
+  NodeId hi;
+};
+
+class BddManager {
+ public:
+  static constexpr NodeId kFalse = 0;
+  static constexpr NodeId kTrue = 1;
+  static constexpr int32_t kSinkLevel = std::numeric_limits<int32_t>::max();
+
+  /// `order[l]` is the VarId branched on at level l. Every variable that any
+  /// formula built in this manager mentions must appear in the order.
+  explicit BddManager(std::vector<VarId> order);
+
+  size_t num_levels() const { return order_.size(); }
+  VarId var_at_level(int32_t level) const {
+    return order_[static_cast<size_t>(level)];
+  }
+  /// Level of a variable; CHECK-fails if the variable is not in the order.
+  int32_t level_of_var(VarId v) const;
+  bool has_var(VarId v) const { return level_of_.count(v) > 0; }
+
+  const BddNode& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
+  int32_t level(NodeId id) const { return nodes_[static_cast<size_t>(id)].level; }
+  bool IsSink(NodeId id) const { return id == kFalse || id == kTrue; }
+
+  /// Reduced, hash-consed node constructor.
+  NodeId Mk(int32_t level, NodeId lo, NodeId hi);
+
+  /// The single-variable BDD for v.
+  NodeId MkVar(VarId v) { return Mk(level_of_var(v), kFalse, kTrue); }
+
+  /// Classic memoized apply (synthesis). O(|f| * |g|).
+  NodeId And(NodeId f, NodeId g) { return Apply(OpKind::kAnd, f, g); }
+  NodeId Or(NodeId f, NodeId g) { return Apply(OpKind::kOr, f, g); }
+
+  /// Complement by sink swap; O(|f|), memoized per manager.
+  NodeId Not(NodeId f);
+
+  /// Concatenation (Section 4.2): redirects every kFalse (resp. kTrue) sink
+  /// of f to g. Sound for disjunction (resp. conjunction) when every level
+  /// in f is strictly smaller than every level in g. O(|f|).
+  NodeId ConcatOr(NodeId f, NodeId g);
+  NodeId ConcatAnd(NodeId f, NodeId g);
+
+  /// Conjunction of positive literals, built directly (no apply).
+  NodeId FromClause(const Clause& clause) { return FromSignedClause(clause, {}); }
+
+  /// Conjunction pos ^ !neg (Section 2.5 negation extension), built
+  /// directly. Returns kFalse on a contradictory literal pair.
+  NodeId FromSignedClause(const Clause& pos, const Clause& neg);
+
+  /// Baseline OBDD construction exactly as a stock package performs it:
+  /// clause BDDs combined by repeated synthesis. This is the "native CUDD"
+  /// comparator in Fig. 8.
+  NodeId FromLineageSynthesis(const Lineage& lineage);
+
+  /// P(f) by memoized Shannon expansion; probs indexed by VarId. Valid for
+  /// probabilities outside [0,1]. Computed in extended-range arithmetic —
+  /// with negative probabilities, per-node values routinely leave double
+  /// range even when the final ratio of interest is ordinary (see
+  /// util/scaled_double.h).
+  ScaledDouble ProbScaled(NodeId f, const std::vector<double>& var_probs) const;
+
+  /// Convenience: ProbScaled converted to double (in-range results only).
+  double Prob(NodeId f, const std::vector<double>& var_probs) const {
+    return ProbScaled(f, var_probs).ToDouble();
+  }
+
+  /// Number of distinct nodes reachable from f (including sinks).
+  size_t CountNodes(NodeId f) const;
+
+  /// Smallest / largest internal level reachable from f. For sinks-only
+  /// BDDs min > max (empty range).
+  std::pair<int32_t, int32_t> LevelRange(NodeId f) const;
+
+  /// Construction-effort counters (Fig. 8's cost proxy).
+  size_t num_created() const { return nodes_.size() - 2; }
+  size_t apply_steps() const { return apply_steps_; }
+  void ResetCounters() { apply_steps_ = 0; }
+
+ private:
+  enum class OpKind : uint8_t { kAnd, kOr };
+
+  NodeId Apply(OpKind op, NodeId f, NodeId g);
+  NodeId ConcatRec(NodeId f, NodeId g, NodeId sink_to_replace,
+                   std::unordered_map<NodeId, NodeId>* memo);
+
+  struct UniqueKey {
+    int32_t level;
+    NodeId lo;
+    NodeId hi;
+    bool operator==(const UniqueKey& o) const {
+      return level == o.level && lo == o.lo && hi == o.hi;
+    }
+  };
+  struct UniqueKeyHash {
+    size_t operator()(const UniqueKey& k) const {
+      uint64_t h = static_cast<uint32_t>(k.level);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.lo);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.hi);
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+  struct PairHash {
+    size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      return static_cast<size_t>((static_cast<uint64_t>(static_cast<uint32_t>(p.first)) << 32) |
+                                 static_cast<uint32_t>(p.second));
+    }
+  };
+
+  std::vector<VarId> order_;
+  std::unordered_map<VarId, int32_t> level_of_;
+  std::vector<BddNode> nodes_;
+  std::unordered_map<UniqueKey, NodeId, UniqueKeyHash> unique_;
+  std::unordered_map<std::pair<NodeId, NodeId>, NodeId, PairHash> and_cache_;
+  std::unordered_map<std::pair<NodeId, NodeId>, NodeId, PairHash> or_cache_;
+  std::unordered_map<NodeId, NodeId> not_cache_;
+  size_t apply_steps_ = 0;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_OBDD_MANAGER_H_

@@ -1,0 +1,74 @@
+#include "obdd/order.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+struct OrderKey {
+  int component;
+  std::vector<Value> permuted;  // tuple values in pi order
+  size_t arity;
+  const std::string* relation;
+  RowId row;
+  VarId var;
+
+  bool operator<(const OrderKey& o) const {
+    if (component != o.component) return component < o.component;
+    if (permuted != o.permuted) {
+      return std::lexicographical_compare(permuted.begin(), permuted.end(),
+                                          o.permuted.begin(), o.permuted.end());
+    }
+    if (arity != o.arity) return arity < o.arity;
+    if (*relation != *o.relation) return *relation < *o.relation;
+    return row < o.row;
+  }
+};
+
+}  // namespace
+
+std::vector<VarId> BuildVariableOrder(const Database& db, const OrderSpec& spec) {
+  std::vector<OrderKey> keys;
+  keys.reserve(db.num_vars());
+  for (const std::string& name : db.table_names()) {
+    const Table* t = db.Find(name);
+    if (!t->probabilistic()) continue;
+    int component = 0;
+    if (auto it = spec.component_rank.find(name); it != spec.component_rank.end()) {
+      component = it->second;
+    }
+    std::vector<size_t> perm;
+    if (auto it = spec.pi.find(name); it != spec.pi.end()) {
+      perm = it->second;
+      MVDB_CHECK_EQ(perm.size(), t->arity()) << "bad permutation for " << name;
+    } else {
+      perm.resize(t->arity());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    }
+    const size_t n = t->size();
+    for (size_t r = 0; r < n; ++r) {
+      OrderKey key;
+      key.component = component;
+      key.permuted.reserve(t->arity());
+      for (size_t p : perm) key.permuted.push_back(t->At(static_cast<RowId>(r), p));
+      key.arity = t->arity();
+      key.relation = &t->name();
+      key.row = static_cast<RowId>(r);
+      key.var = t->var(static_cast<RowId>(r));
+      keys.push_back(std::move(key));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<VarId> order;
+  order.reserve(keys.size());
+  for (const OrderKey& k : keys) order.push_back(k.var);
+  return order;
+}
+
+std::vector<VarId> BuildDefaultOrder(const Database& db) {
+  return BuildVariableOrder(db, OrderSpec{});
+}
+
+}  // namespace mvdb

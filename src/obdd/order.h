@@ -1,0 +1,49 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Variable orders Pi for OBDDs, derived from attribute permutations pi
+// (Section 4.2). Given per-relation permutations of attributes and the
+// ordered active domain, the paper defines a total order on all
+// probabilistic tuples: group by the first (permuted) attribute value in
+// domain order, then recurse on the remaining attributes. That recursive
+// definition is exactly lexicographic order on the permuted value sequences,
+// with shorter sequences first on prefix ties — e.g. for R(A), S(A,B) with
+// identity pi and domain a1 < a2 < b1 < ... the order is
+// X1(=R(a1)), Y1(=S(a1,b1)), Y2(=S(a1,b2)), X2(=R(a2)), Y3, Y4 (Fig. 3).
+//
+// The order additionally supports a coarse component grouping: independent
+// components of W (view groups sharing no probabilistic relation) are laid
+// out consecutively so that OBDD concatenation applies between them.
+
+#ifndef MVDB_OBDD_ORDER_H_
+#define MVDB_OBDD_ORDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/analysis.h"
+#include "relational/database.h"
+
+namespace mvdb {
+
+/// Specification of the variable order.
+struct OrderSpec {
+  /// Per-relation attribute permutation; relations absent use the identity.
+  AttrPerm pi;
+  /// Optional coarse grouping: relations with smaller rank come first.
+  /// Relations absent default to rank 0. Used to keep independent view
+  /// groups of W contiguous.
+  std::unordered_map<std::string, int> component_rank;
+};
+
+/// Computes the total order Pi over all probabilistic tuple variables of the
+/// database: a vector of VarIds, position = level. Deterministic tables have
+/// no variables and do not participate.
+std::vector<VarId> BuildVariableOrder(const Database& db, const OrderSpec& spec);
+
+/// Convenience: identity permutations, no grouping.
+std::vector<VarId> BuildDefaultOrder(const Database& db);
+
+}  // namespace mvdb
+
+#endif  // MVDB_OBDD_ORDER_H_

@@ -1,0 +1,60 @@
+#include "prob/brute_force.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+// Enumerates assignments of `vars`, summing the weight of assignments where
+// `pred(assignment)` holds. `assignment` is indexed by VarId (global ids).
+template <typename Pred>
+double Enumerate(const std::vector<VarId>& vars, const std::vector<double>& probs,
+                 Pred pred) {
+  MVDB_CHECK_LE(vars.size(), 30u) << "brute force limited to 30 variables";
+  size_t max_var = 0;
+  for (VarId v : vars) max_var = std::max(max_var, static_cast<size_t>(v));
+  std::vector<bool> assignment(max_var + 1, false);
+  const uint64_t n = uint64_t{1} << vars.size();
+  double total = 0.0;
+  for (uint64_t mask = 0; mask < n; ++mask) {
+    double w = 1.0;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      const bool on = (mask >> i) & 1;
+      assignment[static_cast<size_t>(vars[i])] = on;
+      const double p = probs[static_cast<size_t>(vars[i])];
+      w *= on ? p : (1.0 - p);
+    }
+    if (pred(assignment)) total += w;
+  }
+  return total;
+}
+
+}  // namespace
+
+double BruteForceProb(const Lineage& lineage, const std::vector<double>& probs) {
+  if (lineage.IsFalse()) return 0.0;
+  if (lineage.IsTrue()) return 1.0;
+  const std::vector<VarId> vars = lineage.Vars();
+  return Enumerate(vars, probs,
+                   [&](const std::vector<bool>& a) { return lineage.Eval(a); });
+}
+
+double BruteForceProbAndNot(const Lineage& a, const Lineage& b,
+                            const std::vector<double>& probs) {
+  std::vector<VarId> vars = a.Vars();
+  const std::vector<VarId> bv = b.Vars();
+  vars.insert(vars.end(), bv.begin(), bv.end());
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  if (vars.empty()) {
+    // Both formulas are variable-free constants.
+    return (a.IsTrue() && !b.IsTrue()) ? 1.0 : 0.0;
+  }
+  return Enumerate(vars, probs, [&](const std::vector<bool>& x) {
+    return a.Eval(x) && !b.Eval(x);
+  });
+}
+
+}  // namespace mvdb

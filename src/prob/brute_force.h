@@ -1,0 +1,34 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Exact probability of a lineage formula by enumerating all assignments of
+// its variables. Exponential — used as the ground-truth oracle in tests and
+// as the smallest backend in examples, exactly the role exhaustive
+// enumeration plays when validating Theorem 1 on small MVDBs.
+//
+// Works with probabilities outside [0,1] (Section 3.3): the enumeration sum
+// P(Phi) = sum over satisfying assignments of prod p_i^{x_i} (1-p_i)^{1-x_i}
+// is a polynomial identity in the p_i, so it remains the unique multilinear
+// extension regardless of the p_i's range.
+
+#ifndef MVDB_PROB_BRUTE_FORCE_H_
+#define MVDB_PROB_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "prob/lineage.h"
+
+namespace mvdb {
+
+/// Exact P(lineage) where probs[v] is the marginal probability of VarId v.
+/// Cost: O(2^k * |lineage|) with k = number of distinct variables in the
+/// lineage. CHECK-fails if k > 30.
+double BruteForceProb(const Lineage& lineage, const std::vector<double>& probs);
+
+/// Exact P(a AND NOT b) by joint enumeration (used to cross-check
+/// P0(Q ^ !W) from the MV-index).
+double BruteForceProbAndNot(const Lineage& a, const Lineage& b,
+                            const std::vector<double>& probs);
+
+}  // namespace mvdb
+
+#endif  // MVDB_PROB_BRUTE_FORCE_H_

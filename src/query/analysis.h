@@ -1,0 +1,116 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Static analysis of UCQs used by the OBDD construction (Section 4.2) and
+// the lifted/safe-plan evaluator:
+//
+//  * root variables    — variables occurring in every probabilistic atom of
+//                        a conjunctive query;
+//  * separator         — a per-disjunct choice of root variables such that
+//                        any two atoms with the same (probabilistic) relation
+//                        symbol contain the separator on the same attribute
+//                        position (Section 4.2); decomposing on a separator
+//                        yields tuple-disjoint subqueries (Proposition 1);
+//  * independence      — partitions of disjuncts / atoms that share no
+//                        probabilistic relation symbol (and, for atoms, no
+//                        variable), enabling OBDD concatenation (rules R1/R2);
+//  * inversion-freeness— existence of attribute permutations pi under which
+//                        the recursive construction only concatenates
+//                        (Proposition 2: constant-width, linear-size OBDD).
+//
+// "Probabilistic" is a property of the database schema, so every routine
+// takes a predicate telling which relation symbols are probabilistic.
+// Deterministic atoms carry no Boolean variables and are ignored by the
+// independence/separator conditions.
+
+#ifndef MVDB_QUERY_ANALYSIS_H_
+#define MVDB_QUERY_ANALYSIS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace mvdb {
+
+/// Tells whether a relation symbol is probabilistic in the current schema.
+using IsProbFn = std::function<bool(const std::string&)>;
+
+/// Distinct variable ids occurring in the atom, ascending.
+std::vector<int> AtomVars(const Atom& atom);
+
+/// Distinct variable ids occurring in the CQ's atoms, ascending.
+std::vector<int> CqVars(const ConjunctiveQuery& cq);
+
+/// True if the CQ contains at least one probabilistic atom.
+bool HasProbAtom(const ConjunctiveQuery& cq, const IsProbFn& is_prob);
+
+/// Root variables: variables occurring in *every* probabilistic atom of the
+/// CQ. Returns empty if the CQ has no probabilistic atoms.
+std::vector<int> RootVars(const ConjunctiveQuery& cq, const IsProbFn& is_prob);
+
+/// A separator for a UCQ: one root variable per disjunct plus, for every
+/// probabilistic relation symbol, the attribute position on which the
+/// separator appears in all atoms of that symbol.
+struct Separator {
+  std::vector<int> var_of_disjunct;                    // one per disjunct
+  std::unordered_map<std::string, size_t> position;    // per prob symbol
+};
+
+/// Finds a separator, or nullopt. Disjuncts with no probabilistic atoms are
+/// skipped (their entry in var_of_disjunct is -1).
+std::optional<Separator> FindSeparator(const Ucq& q, const IsProbFn& is_prob);
+
+/// Partitions disjunct indices into groups that share no probabilistic
+/// relation symbol: the groups are independent unions (rule R1).
+std::vector<std::vector<size_t>> IndependentUnionComponents(
+    const Ucq& q, const IsProbFn& is_prob);
+
+/// True if two atoms of the same relation can match the same tuple:
+/// positions where both carry constants must agree. (Atoms of different
+/// relations never share tuples.)
+bool Unifiable(const Atom& a, const Atom& b);
+
+/// Splits one CQ into connected components. Two atoms are connected if they
+/// share a variable (directly or through a comparison) or use the same
+/// probabilistic relation symbol with unifiable argument patterns
+/// (potential tuple sharing). Components are probabilistically independent
+/// (rule R2). Comparisons follow the component of their variables; ground
+/// comparisons go to component 0.
+std::vector<ConjunctiveQuery> ConnectedComponents(const ConjunctiveQuery& cq,
+                                                  const IsProbFn& is_prob);
+
+/// True if there is a homomorphism from `general` into `specific`: a
+/// mapping of general's variables to specific's terms sending every atom of
+/// `general` onto some atom of `specific` (constants preserved). When it
+/// exists, `specific` logically implies `general`, so `general` is redundant
+/// in a conjunction — the minimization step the lifted algorithm needs
+/// after inclusion–exclusion. `general` must have no comparisons (callers
+/// skip minimization otherwise).
+bool MapsInto(const ConjunctiveQuery& general, const ConjunctiveQuery& specific);
+
+/// Removes redundant atoms from a conjunctive query: an atom A is dropped
+/// when some other atom B of the same relation subsumes it — every position
+/// of A either equals B's term or holds a variable occurring *only* in A
+/// (mapped consistently onto B's terms). This is the sound core of CQ
+/// minimization; the lifted evaluator needs it for inclusion–exclusion
+/// conjunctions like (R(x) ^ S(x)) ^ R(x').
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq);
+
+/// Attribute permutations pi: relation symbol -> permutation of its column
+/// indices (Section 4.2). Relations not present use the identity.
+using AttrPerm = std::unordered_map<std::string, std::vector<size_t>>;
+
+/// Checks whether q is inversion-free and, if so, returns attribute
+/// permutations under which ConOBDD performs only concatenations, with
+/// separator-bearing attributes placed first (the paper's heuristic).
+/// Deterministic atoms are ignored. `arity` maps relation symbols to arity.
+std::optional<AttrPerm> FindInversionFreePi(
+    const Ucq& q, const IsProbFn& is_prob,
+    const std::unordered_map<std::string, size_t>& arity);
+
+}  // namespace mvdb
+
+#endif  // MVDB_QUERY_ANALYSIS_H_

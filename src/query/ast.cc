@@ -1,0 +1,133 @@
+#include "query/ast.h"
+
+#include <span>
+
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+Term SubstTerm(const Term& t, int var, Value value) {
+  if (t.is_var() && t.var == var) return Term::Const(value);
+  return t;
+}
+
+}  // namespace
+
+Ucq Substitute(const Ucq& q, int var, Value value) {
+  Ucq out = q;
+  for (auto& cq : out.disjuncts) {
+    for (auto& atom : cq.atoms) {
+      for (auto& arg : atom.args) arg = SubstTerm(arg, var, value);
+    }
+    for (auto& cmp : cq.comparisons) {
+      cmp.lhs = SubstTerm(cmp.lhs, var, value);
+      cmp.rhs = SubstTerm(cmp.rhs, var, value);
+    }
+  }
+  return out;
+}
+
+void SubstituteInDisjunct(Ucq* q, size_t disjunct, int var, Value value) {
+  MVDB_CHECK_LT(disjunct, q->disjuncts.size());
+  ConjunctiveQuery& cq = q->disjuncts[disjunct];
+  for (auto& atom : cq.atoms) {
+    for (auto& arg : atom.args) arg = SubstTerm(arg, var, value);
+  }
+  for (auto& cmp : cq.comparisons) {
+    cmp.lhs = SubstTerm(cmp.lhs, var, value);
+    cmp.rhs = SubstTerm(cmp.rhs, var, value);
+  }
+}
+
+Ucq GroundHead(const Ucq& q, std::span<const Value> head_values) {
+  MVDB_CHECK_EQ(head_values.size(), q.head_vars.size());
+  Ucq out = q;
+  for (size_t i = 0; i < head_values.size(); ++i) {
+    out = Substitute(out, q.head_vars[i], head_values[i]);
+  }
+  out.head_vars.clear();
+  return out;
+}
+
+void AppendDisjunctsRenamed(Ucq* dst, const Ucq& src, const std::string& prefix) {
+  std::vector<int> remap(static_cast<size_t>(src.num_vars()), -1);
+  auto map_term = [&](const Term& t) -> Term {
+    if (!t.is_var()) return t;
+    int& m = remap[static_cast<size_t>(t.var)];
+    if (m < 0) {
+      m = dst->AddVar(prefix + src.var_names[static_cast<size_t>(t.var)]);
+    }
+    return Term::Var(m);
+  };
+  for (const ConjunctiveQuery& cq : src.disjuncts) {
+    ConjunctiveQuery out;
+    for (const Atom& a : cq.atoms) {
+      Atom atom;
+      atom.relation = a.relation;
+      atom.negated = a.negated;
+      for (const Term& t : a.args) atom.args.push_back(map_term(t));
+      out.atoms.push_back(std::move(atom));
+    }
+    for (const Comparison& c : cq.comparisons) {
+      out.comparisons.push_back(Comparison{map_term(c.lhs), c.op, map_term(c.rhs)});
+    }
+    dst->disjuncts.push_back(std::move(out));
+  }
+}
+
+std::string ToString(const Ucq& q) {
+  auto term = [&](const Term& t) {
+    if (t.is_var()) {
+      return t.var < q.num_vars() ? q.var_names[static_cast<size_t>(t.var)]
+                                  : "v" + std::to_string(t.var);
+    }
+    return std::to_string(t.constant);
+  };
+  auto cmp_op = [](CmpOp op) {
+    switch (op) {
+      case CmpOp::kEq: return "=";
+      case CmpOp::kNe: return "!=";
+      case CmpOp::kLt: return "<";
+      case CmpOp::kLe: return "<=";
+      case CmpOp::kGt: return ">";
+      case CmpOp::kGe: return ">=";
+    }
+    return "?";
+  };
+  std::string out = q.name.empty() ? "Q" : q.name;
+  out += "(";
+  for (size_t i = 0; i < q.head_vars.size(); ++i) {
+    if (i) out += ",";
+    out += q.var_names[static_cast<size_t>(q.head_vars[i])];
+  }
+  out += ") :- ";
+  for (size_t d = 0; d < q.disjuncts.size(); ++d) {
+    if (d) out += " v ";
+    const auto& cq = q.disjuncts[d];
+    bool first = true;
+    for (const auto& atom : cq.atoms) {
+      if (!first) out += ", ";
+      first = false;
+      if (atom.negated) out += "not ";
+      out += atom.relation + "(";
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (i) out += ",";
+        out += term(atom.args[i]);
+      }
+      out += ")";
+    }
+    for (const auto& c : cq.comparisons) {
+      if (!first) out += ", ";
+      first = false;
+      out += term(c.lhs);
+      out += " ";
+      out += cmp_op(c.op);
+      out += " ";
+      out += term(c.rhs);
+    }
+  }
+  return out;
+}
+
+}  // namespace mvdb

@@ -1,0 +1,117 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Abstract syntax for Unions of Conjunctive Queries (UCQ), the query class
+// the whole paper is built on (Section 2.1): MarkoView definitions, user
+// queries, and the translated constraint query W are all UCQs. Conjunctive
+// queries consist of positive relational atoms plus inequality predicates;
+// negation/aggregation are confined to deterministic tables and handled
+// outside the AST (Section 2.1, footnote 3).
+
+#ifndef MVDB_QUERY_AST_H_
+#define MVDB_QUERY_AST_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "relational/types.h"
+
+namespace mvdb {
+
+/// A term is either a query variable (id into Ucq::var_names) or a constant.
+struct Term {
+  enum class Kind { kVar, kConst };
+  Kind kind = Kind::kVar;
+  int var = -1;       ///< valid iff kind == kVar
+  Value constant = 0; ///< valid iff kind == kConst
+
+  static Term Var(int v) { return Term{Kind::kVar, v, 0}; }
+  static Term Const(Value c) { return Term{Kind::kConst, -1, c}; }
+  bool is_var() const { return kind == Kind::kVar; }
+  bool operator==(const Term& o) const {
+    return kind == o.kind && var == o.var && constant == o.constant;
+  }
+};
+
+/// A relational atom R(t1, ..., tk), or its negation `not R(t1, ..., tk)`
+/// (Section 2.5's extension; safe negation: every variable of a negated
+/// atom must be bound by positive atoms).
+struct Atom {
+  std::string relation;
+  std::vector<Term> args;
+  bool negated = false;
+};
+
+/// Comparison operators allowed in inequality predicates.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A predicate `lhs op rhs`, e.g. `aid2 <> aid3`, `year > 2004`.
+struct Comparison {
+  Term lhs;
+  CmpOp op = CmpOp::kEq;
+  Term rhs;
+
+  /// Evaluates the comparison on bound values.
+  static bool Apply(CmpOp op, Value a, Value b) {
+    switch (op) {
+      case CmpOp::kEq: return a == b;
+      case CmpOp::kNe: return a != b;
+      case CmpOp::kLt: return a < b;
+      case CmpOp::kLe: return a <= b;
+      case CmpOp::kGt: return a > b;
+      case CmpOp::kGe: return a >= b;
+    }
+    return false;
+  }
+};
+
+/// One conjunctive query: exists (non-head vars) . atoms ^ comparisons.
+struct ConjunctiveQuery {
+  std::vector<Atom> atoms;
+  std::vector<Comparison> comparisons;
+};
+
+/// A Union of Conjunctive Queries with shared head variables. Boolean
+/// queries have an empty head. Variable ids index var_names; head variables
+/// have the same ids in every disjunct.
+struct Ucq {
+  std::string name;                     ///< head predicate name (optional)
+  std::vector<int> head_vars;           ///< ids of head variables
+  std::vector<std::string> var_names;   ///< id -> source-level name
+  std::vector<ConjunctiveQuery> disjuncts;
+  std::optional<double> weight;         ///< [w] annotation on a view rule
+
+  bool IsBoolean() const { return head_vars.empty(); }
+  int num_vars() const { return static_cast<int>(var_names.size()); }
+
+  /// Allocates a fresh variable with the given name; returns its id.
+  int AddVar(std::string name) {
+    var_names.push_back(std::move(name));
+    return num_vars() - 1;
+  }
+};
+
+/// Substitutes variable `var` by constant `value` in every disjunct,
+/// producing a UCQ with one fewer free variable logically (the variable id
+/// stays allocated but no longer occurs).
+Ucq Substitute(const Ucq& q, int var, Value value);
+
+/// Substitutes `var` by `value` within a single disjunct only (used when
+/// different disjuncts decompose on different separator variables).
+void SubstituteInDisjunct(Ucq* q, size_t disjunct, int var, Value value);
+
+/// Grounds all head variables with the given tuple, yielding a Boolean UCQ.
+Ucq GroundHead(const Ucq& q, std::span<const Value> head_values);
+
+/// Appends the disjuncts of the Boolean UCQ `src` to `dst`, renaming
+/// variables apart (prefixing their names for readability). Used to form
+/// Q v W queries for Eq. 5.
+void AppendDisjunctsRenamed(Ucq* dst, const Ucq& src, const std::string& prefix);
+
+/// Pretty-prints a UCQ in datalog syntax (constants shown as raw ints).
+std::string ToString(const Ucq& q);
+
+}  // namespace mvdb
+
+#endif  // MVDB_QUERY_AST_H_

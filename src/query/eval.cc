@@ -1,0 +1,279 @@
+#include "query/eval.h"
+
+#include <algorithm>
+
+#include "query/analysis.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+/// Backtracking join state for one conjunctive query.
+class CqEvaluator {
+ public:
+  CqEvaluator(const Database& db, const Ucq& q, const ConjunctiveQuery& cq,
+              const EvalOptions& opts, AnswerMap* out)
+      : db_(db), q_(q), cq_(cq), opts_(opts), out_(out) {}
+
+  Status Run() {
+    for (size_t i = 0; i < cq_.atoms.size(); ++i) {
+      (cq_.atoms[i].negated ? negatives_ : positives_).push_back(i);
+    }
+    MVDB_RETURN_NOT_OK(Validate());
+    binding_.assign(static_cast<size_t>(q_.num_vars()), 0);
+    bound_.assign(static_cast<size_t>(q_.num_vars()), false);
+    order_ = PlanAtomOrder();
+    clause_vars_.clear();
+    Join(0);
+    return Status::OK();
+  }
+
+ private:
+  Status Validate() {
+    for (const Atom& a : cq_.atoms) {
+      const Table* t = db_.Find(a.relation);
+      if (t == nullptr) return Status::NotFound("no such table: " + a.relation);
+      if (t->arity() != a.args.size()) {
+        return Status::InvalidArgument("arity mismatch on " + a.relation);
+      }
+    }
+    // Range-restriction: every head variable and every comparison variable
+    // must occur in some *positive* atom, or evaluation cannot bind it; the
+    // same holds for the variables of negated atoms (safe negation).
+    std::vector<int> atom_vars;
+    for (size_t i : positives_) {
+      const auto av = AtomVars(cq_.atoms[i]);
+      atom_vars.insert(atom_vars.end(), av.begin(), av.end());
+    }
+    std::sort(atom_vars.begin(), atom_vars.end());
+    atom_vars.erase(std::unique(atom_vars.begin(), atom_vars.end()),
+                    atom_vars.end());
+    auto occurs = [&](int v) {
+      return std::binary_search(atom_vars.begin(), atom_vars.end(), v);
+    };
+    for (int hv : q_.head_vars) {
+      if (!occurs(hv)) {
+        return Status::InvalidArgument("head variable '" +
+                                       q_.var_names[static_cast<size_t>(hv)] +
+                                       "' not bound by any atom");
+      }
+    }
+    for (const Comparison& c : cq_.comparisons) {
+      for (const Term* t : {&c.lhs, &c.rhs}) {
+        if (t->is_var() && !occurs(t->var)) {
+          return Status::InvalidArgument(
+              "comparison variable '" + q_.var_names[static_cast<size_t>(t->var)] +
+              "' not bound by any atom");
+        }
+      }
+    }
+    for (size_t i : negatives_) {
+      for (int v : AtomVars(cq_.atoms[i])) {
+        if (!occurs(v)) {
+          return Status::InvalidArgument(
+              "unsafe negation: variable '" +
+              q_.var_names[static_cast<size_t>(v)] +
+              "' of a negated atom is not bound by a positive atom");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Greedy atom order over the positive atoms: repeatedly pick the atom
+  /// with the most bound arguments (ties: smaller table). Bound arguments
+  /// enable index probes. Negated atoms are checked at the leaf.
+  std::vector<size_t> PlanAtomOrder() const {
+    const size_t n = cq_.atoms.size();
+    std::vector<size_t> order;
+    std::vector<bool> used(n, false);
+    for (size_t i = 0; i < n; ++i) used[i] = cq_.atoms[i].negated;
+    std::vector<bool> bound(static_cast<size_t>(q_.num_vars()), false);
+    for (size_t step = 0; step < positives_.size(); ++step) {
+      size_t best = n;
+      long best_score = -1;
+      size_t best_size = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        long score = 0;
+        for (const Term& t : cq_.atoms[i].args) {
+          if (!t.is_var() || bound[static_cast<size_t>(t.var)]) ++score;
+        }
+        const size_t size = db_.Find(cq_.atoms[i].relation)->size();
+        if (best == n || score > best_score ||
+            (score == best_score && size < best_size)) {
+          best = i;
+          best_score = score;
+          best_size = size;
+        }
+      }
+      used[best] = true;
+      order.push_back(best);
+      for (const Term& t : cq_.atoms[best].args) {
+        if (t.is_var()) bound[static_cast<size_t>(t.var)] = true;
+      }
+    }
+    return order;
+  }
+
+  bool TermValue(const Term& t, Value* out) const {
+    if (!t.is_var()) {
+      *out = t.constant;
+      return true;
+    }
+    if (bound_[static_cast<size_t>(t.var)]) {
+      *out = binding_[static_cast<size_t>(t.var)];
+      return true;
+    }
+    return false;
+  }
+
+  /// Checks all comparisons whose variables are fully bound. Called after
+  /// each new binding; unbound comparisons are deferred.
+  bool ComparisonsHold() const {
+    for (const Comparison& c : cq_.comparisons) {
+      Value a, b;
+      if (TermValue(c.lhs, &a) && TermValue(c.rhs, &b)) {
+        if (!Comparison::Apply(c.op, a, b)) return false;
+      }
+    }
+    return true;
+  }
+
+  void Join(size_t depth) {
+    if (depth == order_.size()) {
+      Emit();
+      return;
+    }
+    const Atom& atom = cq_.atoms[order_[depth]];
+    const Table* table = db_.Find(atom.relation);
+
+    // Choose a probe column: any argument that is a constant or bound var.
+    int probe_col = -1;
+    Value probe_val = 0;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      Value v;
+      if (TermValue(atom.args[i], &v)) {
+        probe_col = static_cast<int>(i);
+        probe_val = v;
+        break;
+      }
+    }
+
+    auto try_row = [&](RowId r) {
+      const auto row = table->Row(r);
+      // Match and bind.
+      std::vector<int> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        Value expect;
+        if (TermValue(t, &expect)) {
+          if (row[i] != expect) { ok = false; break; }
+        } else {
+          // Unbound variable: bind it. Handle repeated vars within the atom:
+          // subsequent occurrences go through the TermValue branch above.
+          binding_[static_cast<size_t>(t.var)] = row[i];
+          bound_[static_cast<size_t>(t.var)] = true;
+          newly_bound.push_back(t.var);
+        }
+      }
+      if (ok && ComparisonsHold()) {
+        const VarId var = table->var(r);
+        const bool pushed = (var != kNoVar);
+        if (pushed) clause_vars_.push_back(var);
+        Join(depth + 1);
+        if (pushed) clause_vars_.pop_back();
+      }
+      for (int v : newly_bound) bound_[static_cast<size_t>(v)] = false;
+    };
+
+    if (probe_col >= 0) {
+      for (RowId r : table->Probe(static_cast<size_t>(probe_col), probe_val)) {
+        try_row(r);
+      }
+    } else {
+      const size_t n = table->size();
+      for (size_t r = 0; r < n; ++r) try_row(static_cast<RowId>(r));
+    }
+  }
+
+  void Emit() {
+    // Safe negation: all variables of negated atoms are bound here. A
+    // negated *deterministic* atom whose tuple exists kills the binding; a
+    // negated *probabilistic* atom whose tuple is possible contributes a
+    // negated literal (Section 2.5's extension).
+    Clause neg_vars;
+    for (size_t i : negatives_) {
+      const Atom& atom = cq_.atoms[i];
+      const Table* table = db_.Find(atom.relation);
+      std::vector<Value> row;
+      row.reserve(atom.args.size());
+      for (const Term& t : atom.args) {
+        Value v;
+        MVDB_CHECK(TermValue(t, &v));
+        row.push_back(v);
+      }
+      RowId r;
+      if (!table->FindRow(row, &r)) continue;  // impossible tuple: not holds
+      const VarId var = table->var(r);
+      if (var == kNoVar) return;  // deterministic tuple present: binding dies
+      neg_vars.push_back(var);
+    }
+    std::vector<Value> head;
+    head.reserve(q_.head_vars.size());
+    for (int hv : q_.head_vars) {
+      MVDB_DCHECK(bound_[static_cast<size_t>(hv)]);
+      head.push_back(binding_[static_cast<size_t>(hv)]);
+    }
+    AnswerInfo& info = (*out_)[head];
+    info.lineage.AddSignedClause(clause_vars_, neg_vars);
+    if (opts_.count_var >= 0 && bound_[static_cast<size_t>(opts_.count_var)]) {
+      info.count_values.insert(binding_[static_cast<size_t>(opts_.count_var)]);
+    }
+  }
+
+  const Database& db_;
+  const Ucq& q_;
+  const ConjunctiveQuery& cq_;
+  const EvalOptions& opts_;
+  AnswerMap* out_;
+  std::vector<size_t> positives_;
+  std::vector<size_t> negatives_;
+  std::vector<size_t> order_;
+  std::vector<Value> binding_;
+  std::vector<bool> bound_;
+  Clause clause_vars_;
+};
+
+}  // namespace
+
+Status Eval(const Database& db, const Ucq& q, const EvalOptions& opts,
+            AnswerMap* out) {
+  for (const ConjunctiveQuery& cq : q.disjuncts) {
+    if (cq.atoms.empty()) {
+      return Status::InvalidArgument("disjunct with no atoms");
+    }
+    CqEvaluator eval(db, q, cq, opts, out);
+    MVDB_RETURN_NOT_OK(eval.Run());
+  }
+  // Normalize lineages (sorting, dedup, absorption) so downstream consumers
+  // see canonical DNFs.
+  for (auto& [head, info] : *out) {
+    info.lineage.Normalize();
+  }
+  return Status::OK();
+}
+
+StatusOr<Lineage> EvalBoolean(const Database& db, const Ucq& q) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("EvalBoolean requires a Boolean query");
+  }
+  AnswerMap answers;
+  MVDB_RETURN_NOT_OK(Eval(db, q, EvalOptions{}, &answers));
+  if (answers.empty()) return Lineage();
+  MVDB_CHECK_EQ(answers.size(), 1u);
+  return answers.begin()->second.lineage;
+}
+
+}  // namespace mvdb

@@ -1,0 +1,52 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// UCQ evaluation over a Database, producing per-answer lineage: the role
+// Postgres plays in the paper's prototype ("round trip call to Postgres, to
+// compute the query's lineage", Section 5.4). Evaluation is a backtracking
+// index-nested-loop join with greedy atom ordering; every join result emits
+// one lineage clause containing the Boolean variables of the probabilistic
+// tuples it used.
+
+#ifndef MVDB_QUERY_EVAL_H_
+#define MVDB_QUERY_EVAL_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "prob/lineage.h"
+#include "query/ast.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// Per-answer evaluation result.
+struct AnswerInfo {
+  Lineage lineage;
+  /// Distinct bindings of EvalOptions::count_var within this head group —
+  /// the `count(pid)` style aggregate the paper's weight expressions use.
+  std::set<Value> count_values;
+};
+
+/// Answers keyed by head tuple (deterministic order for reproducibility).
+using AnswerMap = std::map<std::vector<Value>, AnswerInfo>;
+
+struct EvalOptions {
+  /// Variable id whose distinct bindings are counted per head group, or -1.
+  int count_var = -1;
+};
+
+/// Evaluates a UCQ over the set of *possible* tuples (I_poss): probabilistic
+/// tables are treated as containing all their possible tuples, which is
+/// exactly the instance lineage is defined over (Section 2.4).
+Status Eval(const Database& db, const Ucq& q, const EvalOptions& opts,
+            AnswerMap* out);
+
+/// Evaluates a Boolean UCQ, returning its lineage (false lineage if no
+/// derivations exist).
+StatusOr<Lineage> EvalBoolean(const Database& db, const Ucq& q);
+
+}  // namespace mvdb
+
+#endif  // MVDB_QUERY_EVAL_H_

@@ -1,0 +1,358 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace mvdb {
+namespace {
+
+enum class TokKind {
+  kIdent, kNumber, kString, kLParen, kRParen, kComma, kImplies, kDot,
+  kLBracket, kRBracket, kCmp, kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // ident / string contents / cmp operator
+  double number = 0;  // kNumber
+  size_t pos = 0;
+};
+
+/// Hand-written tokenizer; `%` comments run to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t i = 0;
+    const size_t n = text_.size();
+    while (i < n) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) { ++i; continue; }
+      if (c == '%') {  // comment
+        while (i < n && text_[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '(') { out->push_back({TokKind::kLParen, "(", 0, i}); ++i; continue; }
+      if (c == ')') { out->push_back({TokKind::kRParen, ")", 0, i}); ++i; continue; }
+      if (c == ',') { out->push_back({TokKind::kComma, ",", 0, i}); ++i; continue; }
+      if (c == '.') { out->push_back({TokKind::kDot, ".", 0, i}); ++i; continue; }
+      if (c == '[') { out->push_back({TokKind::kLBracket, "[", 0, i}); ++i; continue; }
+      if (c == ']') { out->push_back({TokKind::kRBracket, "]", 0, i}); ++i; continue; }
+      if (c == ':' && i + 1 < n && text_[i + 1] == '-') {
+        out->push_back({TokKind::kImplies, ":-", 0, i});
+        i += 2;
+        continue;
+      }
+      if (c == '<' && i + 1 < n && text_[i + 1] == '>') {
+        out->push_back({TokKind::kCmp, "!=", 0, i});
+        i += 2;
+        continue;
+      }
+      if (c == '!' && i + 1 < n && text_[i + 1] == '=') {
+        out->push_back({TokKind::kCmp, "!=", 0, i});
+        i += 2;
+        continue;
+      }
+      if (c == '<' || c == '>') {
+        std::string op(1, c);
+        if (i + 1 < n && text_[i + 1] == '=') { op += '='; ++i; }
+        out->push_back({TokKind::kCmp, op, 0, i});
+        ++i;
+        continue;
+      }
+      if (c == '=') { out->push_back({TokKind::kCmp, "=", 0, i}); ++i; continue; }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        size_t j = i + 1;
+        std::string s;
+        while (j < n && text_[j] != quote) { s += text_[j]; ++j; }
+        if (j >= n) return Status::ParseError("unterminated string literal");
+        out->push_back({TokKind::kString, std::move(s), 0, i});
+        i = j + 1;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text_[i + 1])))) {
+        size_t j = i;
+        if (text_[j] == '-') ++j;
+        while (j < n && (std::isdigit(static_cast<unsigned char>(text_[j])) ||
+                         text_[j] == '.' || text_[j] == 'e' || text_[j] == 'E' ||
+                         ((text_[j] == '-' || text_[j] == '+') && j > i &&
+                          (text_[j - 1] == 'e' || text_[j - 1] == 'E')))) {
+          ++j;
+        }
+        // A trailing '.' is the rule terminator, not part of the number.
+        if (j > i && text_[j - 1] == '.') --j;
+        Token t{TokKind::kNumber, std::string(text_.substr(i, j - i)), 0, i};
+        t.number = std::strtod(t.text.c_str(), nullptr);
+        out->push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+                         text_[j] == '_')) {
+          ++j;
+        }
+        out->push_back({TokKind::kIdent, std::string(text_.substr(i, j - i)), 0, i});
+        i = j;
+        continue;
+      }
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(i));
+    }
+    out->push_back({TokKind::kEnd, "", 0, n});
+    return Status::OK();
+  }
+
+ private:
+  std::string_view text_;
+};
+
+struct RawRule {
+  std::string head_name;
+  std::vector<std::string> head_vars;
+  std::optional<double> weight;
+  ConjunctiveQuery body;                       // terms reference rule_vars
+  std::vector<std::string> rule_vars;          // per-rule variable names
+};
+
+/// Recursive-descent parser producing RawRules, later grouped into UCQs.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Interner* dict)
+      : tokens_(std::move(tokens)), dict_(dict) {}
+
+  Status ParseRules(std::vector<RawRule>* out) {
+    while (Peek().kind != TokKind::kEnd) {
+      RawRule rule;
+      MVDB_RETURN_NOT_OK(ParseRule(&rule));
+      out->push_back(std::move(rule));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::ParseError(std::string("expected ") + what + " near '" +
+                                Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  int VarId(RawRule* rule, const std::string& name) {
+    auto it = var_ids_.find(name);
+    if (it != var_ids_.end()) return it->second;
+    int id = static_cast<int>(rule->rule_vars.size());
+    rule->rule_vars.push_back(name);
+    var_ids_.emplace(name, id);
+    return id;
+  }
+
+  /// Variables start lowercase or with '_' by datalog convention? The paper
+  /// mixes cases freely (aid1, Student). We use: an identifier in an atom
+  /// argument or comparison is a variable; constants must be numbers or
+  /// quoted strings. Relation names only appear before '('.
+  Status ParseTerm(RawRule* rule, Term* out) {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kIdent) {
+      *out = Term::Var(VarId(rule, t.text));
+      ++pos_;
+      return Status::OK();
+    }
+    if (t.kind == TokKind::kNumber) {
+      *out = Term::Const(static_cast<Value>(t.number));
+      ++pos_;
+      return Status::OK();
+    }
+    if (t.kind == TokKind::kString) {
+      *out = Term::Const(dict_->Intern(t.text));
+      ++pos_;
+      return Status::OK();
+    }
+    return Status::ParseError("expected term near '" + t.text + "'");
+  }
+
+  Status ParseRule(RawRule* rule) {
+    var_ids_.clear();
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::ParseError("expected rule head near '" + Peek().text + "'");
+    }
+    rule->head_name = Next().text;
+    if (Peek().kind == TokKind::kLParen) {
+      ++pos_;
+      if (Peek().kind != TokKind::kRParen) {
+        while (true) {
+          if (Peek().kind != TokKind::kIdent) {
+            return Status::ParseError("head arguments must be variables");
+          }
+          rule->head_vars.push_back(Next().text);
+          if (Peek().kind == TokKind::kComma) { ++pos_; continue; }
+          break;
+        }
+      }
+      MVDB_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    }
+    if (Peek().kind == TokKind::kLBracket) {
+      ++pos_;
+      if (Peek().kind != TokKind::kNumber) {
+        return Status::ParseError("expected numeric weight in [...]");
+      }
+      rule->weight = Next().number;
+      MVDB_RETURN_NOT_OK(Expect(TokKind::kRBracket, "']'"));
+    }
+    MVDB_RETURN_NOT_OK(Expect(TokKind::kImplies, "':-'"));
+    // Register head variables first so their ids are stable across rules.
+    for (const std::string& v : rule->head_vars) VarId(rule, v);
+    while (true) {
+      MVDB_RETURN_NOT_OK(ParseLiteral(rule));
+      if (Peek().kind == TokKind::kComma) { ++pos_; continue; }
+      break;
+    }
+    if (Peek().kind == TokKind::kDot) ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseLiteral(RawRule* rule) {
+    // Negation prefix: `not R(...)`.
+    bool negated = false;
+    if (Peek().kind == TokKind::kIdent && Peek().text == "not" &&
+        tokens_[pos_ + 1].kind == TokKind::kIdent &&
+        tokens_[pos_ + 2].kind == TokKind::kLParen) {
+      negated = true;
+      ++pos_;
+    }
+    // Lookahead: IDENT '(' => atom; otherwise comparison.
+    if (Peek().kind == TokKind::kIdent &&
+        tokens_[pos_ + 1].kind == TokKind::kLParen) {
+      Atom atom;
+      atom.negated = negated;
+      atom.relation = Next().text;
+      ++pos_;  // '('
+      if (Peek().kind != TokKind::kRParen) {
+        while (true) {
+          Term t;
+          MVDB_RETURN_NOT_OK(ParseTerm(rule, &t));
+          atom.args.push_back(t);
+          if (Peek().kind == TokKind::kComma) { ++pos_; continue; }
+          break;
+        }
+      }
+      MVDB_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+      rule->body.atoms.push_back(std::move(atom));
+      return Status::OK();
+    }
+    Comparison cmp;
+    MVDB_RETURN_NOT_OK(ParseTerm(rule, &cmp.lhs));
+    if (Peek().kind != TokKind::kCmp) {
+      return Status::ParseError("expected comparison operator near '" +
+                                Peek().text + "'");
+    }
+    const std::string op = Next().text;
+    if (op == "=") cmp.op = CmpOp::kEq;
+    else if (op == "!=") cmp.op = CmpOp::kNe;
+    else if (op == "<") cmp.op = CmpOp::kLt;
+    else if (op == "<=") cmp.op = CmpOp::kLe;
+    else if (op == ">") cmp.op = CmpOp::kGt;
+    else if (op == ">=") cmp.op = CmpOp::kGe;
+    else return Status::ParseError("unknown comparison '" + op + "'");
+    MVDB_RETURN_NOT_OK(ParseTerm(rule, &cmp.rhs));
+    rule->body.comparisons.push_back(cmp);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Interner* dict_;
+  std::unordered_map<std::string, int> var_ids_;
+};
+
+/// Merges one rule into the UCQ under construction, remapping rule-local
+/// variable ids so head variables share ids across disjuncts and body
+/// variables are renamed apart.
+Status MergeRule(const RawRule& rule, Ucq* ucq) {
+  if (rule.head_vars.size() != ucq->head_vars.size()) {
+    return Status::ParseError("rules for '" + rule.head_name +
+                              "' disagree on head arity");
+  }
+  std::vector<int> remap(rule.rule_vars.size(), -1);
+  for (size_t i = 0; i < rule.head_vars.size(); ++i) {
+    // Head var i of this rule maps to the UCQ's shared head var i.
+    remap[static_cast<size_t>(i)] = ucq->head_vars[i];
+  }
+  auto map_term = [&](Term t) -> Term {
+    if (!t.is_var()) return t;
+    int& m = remap[static_cast<size_t>(t.var)];
+    if (m < 0) m = ucq->AddVar(rule.rule_vars[static_cast<size_t>(t.var)]);
+    return Term::Var(m);
+  };
+  ConjunctiveQuery cq;
+  for (const Atom& a : rule.body.atoms) {
+    Atom out;
+    out.relation = a.relation;
+    out.negated = a.negated;
+    for (const Term& t : a.args) out.args.push_back(map_term(t));
+    cq.atoms.push_back(std::move(out));
+  }
+  for (const Comparison& c : rule.body.comparisons) {
+    cq.comparisons.push_back(Comparison{map_term(c.lhs), c.op, map_term(c.rhs)});
+  }
+  ucq->disjuncts.push_back(std::move(cq));
+  if (rule.weight.has_value()) {
+    if (ucq->weight.has_value() && *ucq->weight != *rule.weight) {
+      return Status::ParseError("rules for '" + rule.head_name +
+                                "' carry different weights");
+    }
+    ucq->weight = rule.weight;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Ucq>> ParseProgram(std::string_view text, Interner* dict) {
+  std::vector<Token> tokens;
+  MVDB_RETURN_NOT_OK(Lexer(text).Tokenize(&tokens));
+  std::vector<RawRule> rules;
+  MVDB_RETURN_NOT_OK(Parser(std::move(tokens), dict).ParseRules(&rules));
+  if (rules.empty()) return Status::ParseError("no rules found");
+
+  std::vector<Ucq> ucqs;
+  std::map<std::string, size_t> by_name;
+  for (const RawRule& rule : rules) {
+    auto it = by_name.find(rule.head_name);
+    if (it == by_name.end()) {
+      Ucq ucq;
+      ucq.name = rule.head_name;
+      for (const std::string& hv : rule.head_vars) {
+        ucq.head_vars.push_back(ucq.AddVar(hv));
+      }
+      by_name.emplace(rule.head_name, ucqs.size());
+      ucqs.push_back(std::move(ucq));
+      it = by_name.find(rule.head_name);
+    }
+    MVDB_RETURN_NOT_OK(MergeRule(rule, &ucqs[it->second]));
+  }
+  return ucqs;
+}
+
+StatusOr<Ucq> ParseUcq(std::string_view text, Interner* dict) {
+  MVDB_ASSIGN_OR_RETURN(std::vector<Ucq> ucqs, ParseProgram(text, dict));
+  if (ucqs.size() != 1) {
+    return Status::ParseError("expected a single UCQ, found " +
+                              std::to_string(ucqs.size()));
+  }
+  return std::move(ucqs[0]);
+}
+
+}  // namespace mvdb

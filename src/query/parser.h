@@ -1,0 +1,45 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// A small datalog-style parser for UCQs and MarkoView definitions, mirroring
+// the notation of the paper (Fig. 1 / Fig. 2):
+//
+//   Q(aid) :- Student(aid), Advisor(aid, a1), Author(a1, n), n = "Madden".
+//   V2(a1, a2, a3)[0] :- Advisor(a1, a2), Advisor(a1, a3), a2 != a3.
+//   W :- R(x), S(x, y).
+//
+// Grammar (informal):
+//   program  := rule+
+//   rule     := head [ "[" number "]" ] ":-" body "."?
+//   head     := IDENT [ "(" varlist ")" ]
+//   body     := literal ("," literal)*
+//   literal  := IDENT "(" termlist ")" | term cmp term
+//   term     := IDENT (variable) | NUMBER | STRING
+//   cmp      := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//
+// Multiple rules with the same head name and arity form the disjuncts of one
+// UCQ. String constants are interned through the supplied Interner so they
+// compare as integers inside the engine.
+
+#ifndef MVDB_QUERY_PARSER_H_
+#define MVDB_QUERY_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "query/ast.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// Parses a whole program (one or more rules, possibly several UCQs).
+/// Rules are grouped by head name into UCQs, in first-appearance order.
+StatusOr<std::vector<Ucq>> ParseProgram(std::string_view text, Interner* dict);
+
+/// Parses exactly one UCQ (all rules must share one head). Convenience for
+/// tests and examples.
+StatusOr<Ucq> ParseUcq(std::string_view text, Interner* dict);
+
+}  // namespace mvdb
+
+#endif  // MVDB_QUERY_PARSER_H_

@@ -1,0 +1,64 @@
+#include "relational/database.h"
+
+namespace mvdb {
+
+StatusOr<Table*> Database::CreateTable(const std::string& name,
+                                       std::vector<std::string> attrs,
+                                       bool probabilistic) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(attrs), probabilistic);
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  order_.push_back(name);
+  return ptr;
+}
+
+const Table* Database::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::FindMutable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+RowId Database::InsertDeterministic(const std::string& table,
+                                    std::span<const Value> row) {
+  Table* t = FindMutable(table);
+  MVDB_CHECK(t != nullptr) << "no such table: " << table;
+  MVDB_CHECK(!t->probabilistic())
+      << "InsertDeterministic on probabilistic table " << table;
+  return t->AppendRow(row, kCertainWeight, kNoVar);
+}
+
+VarId Database::InsertProbabilistic(const std::string& table,
+                                    std::span<const Value> row, double weight) {
+  Table* t = FindMutable(table);
+  MVDB_CHECK(t != nullptr) << "no such table: " << table;
+  MVDB_CHECK(t->probabilistic())
+      << "InsertProbabilistic on deterministic table " << table;
+  VarId v = static_cast<VarId>(var_weights_.size());
+  RowId r = t->AppendRow(row, weight, v);
+  var_weights_.push_back(weight);
+  var_tuples_.push_back(TupleRef{t, r});
+  return v;
+}
+
+void Database::set_var_weight(VarId v, double w) {
+  MVDB_CHECK_GE(v, 0);
+  MVDB_CHECK_LT(static_cast<size_t>(v), var_weights_.size());
+  var_weights_[static_cast<size_t>(v)] = w;
+}
+
+std::vector<double> Database::VarProbs() const {
+  std::vector<double> probs(var_weights_.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = WeightToProb(var_weights_[i]);
+  }
+  return probs;
+}
+
+}  // namespace mvdb

@@ -1,0 +1,113 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Database: a named collection of deterministic and probabilistic tables,
+// the global Boolean-variable registry (VarId -> tuple, weight), and the
+// string dictionary. This is the "tuple-independent database" substrate
+// (Definition 2): the pair (Tup0, w0). MVDBs (src/core) are built on top by
+// adding MarkoViews.
+
+#ifndef MVDB_RELATIONAL_DATABASE_H_
+#define MVDB_RELATIONAL_DATABASE_H_
+
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/table.h"
+#include "relational/types.h"
+#include "util/interner.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// Identifies one probabilistic tuple: which table, which row.
+struct TupleRef {
+  const Table* table = nullptr;
+  RowId row = 0;
+};
+
+/// A tuple-independent probabilistic database (INDB).
+///
+/// Weights follow Definition 2: each probabilistic tuple t has a real weight
+/// w0(t); its marginal probability is w0/(1+w0). Weights may be negative
+/// (Section 3.3) — this is essential for the MVDB->INDB translation.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates a table. Fails if the name exists.
+  StatusOr<Table*> CreateTable(const std::string& name,
+                               std::vector<std::string> attrs,
+                               bool probabilistic);
+
+  /// Returns the table or nullptr.
+  const Table* Find(const std::string& name) const;
+  Table* FindMutable(const std::string& name);
+
+  /// Appends a deterministic row.
+  RowId InsertDeterministic(const std::string& table, std::span<const Value> row);
+  RowId InsertDeterministic(const std::string& table,
+                            std::initializer_list<Value> row) {
+    return InsertDeterministic(table, std::span<const Value>(row.begin(), row.size()));
+  }
+
+  /// Appends a probabilistic row with the given weight (odds). Allocates and
+  /// returns its Boolean variable id.
+  VarId InsertProbabilistic(const std::string& table, std::span<const Value> row,
+                            double weight);
+  VarId InsertProbabilistic(const std::string& table,
+                            std::initializer_list<Value> row, double weight) {
+    return InsertProbabilistic(table, std::span<const Value>(row.begin(), row.size()),
+                               weight);
+  }
+
+  /// Number of Boolean variables allocated so far.
+  size_t num_vars() const { return var_weights_.size(); }
+
+  /// Weight of variable v.
+  double var_weight(VarId v) const { return var_weights_[static_cast<size_t>(v)]; }
+
+  /// Overrides the weight of variable v (used by the translation when a view
+  /// weight is updated, and by tests).
+  void set_var_weight(VarId v, double w);
+
+  /// Marginal probability of variable v; may lie outside [0,1] for
+  /// translated NV variables (Section 3.3).
+  double var_prob(VarId v) const { return WeightToProb(var_weight(v)); }
+
+  /// The probabilistic tuple owning variable v.
+  const TupleRef& var_tuple(VarId v) const { return var_tuples_[static_cast<size_t>(v)]; }
+
+  /// Vector of marginal probabilities indexed by VarId — the input the
+  /// probability evaluators (brute force, OBDD, safe plan) consume.
+  std::vector<double> VarProbs() const;
+
+  /// All table names, in creation order.
+  const std::vector<std::string>& table_names() const { return order_; }
+
+  /// String dictionary shared by all tables.
+  Interner& dict() { return dict_; }
+  const Interner& dict() const { return dict_; }
+
+  /// Convenience: intern a string constant into a Value.
+  Value Str(std::string_view s) { return dict_.Intern(s); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> order_;
+  std::vector<double> var_weights_;
+  std::vector<TupleRef> var_tuples_;
+  Interner dict_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_RELATIONAL_DATABASE_H_

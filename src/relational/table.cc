@@ -1,0 +1,51 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace mvdb {
+
+const std::vector<RowId> Table::kEmptyRows;
+
+const std::vector<RowId>& Table::Probe(size_t col, Value v) const {
+  MVDB_CHECK_LT(col, arity());
+  auto it = indexes_.find(col);
+  if (it == indexes_.end()) {
+    auto& idx = indexes_[col];
+    const size_t n = size();
+    idx.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      idx[At(static_cast<RowId>(r), col)].push_back(static_cast<RowId>(r));
+    }
+    it = indexes_.find(col);
+  }
+  auto hit = it->second.find(v);
+  return hit == it->second.end() ? kEmptyRows : hit->second;
+}
+
+std::vector<Value> Table::DistinctValues(size_t col) const {
+  std::vector<Value> values;
+  const size_t n = size();
+  values.reserve(n);
+  for (size_t r = 0; r < n; ++r) values.push_back(At(static_cast<RowId>(r), col));
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+bool Table::FindRow(std::span<const Value> row, RowId* out) const {
+  MVDB_CHECK_EQ(row.size(), arity());
+  // Probe on the first column, then verify the remainder.
+  for (RowId r : Probe(0, row[0])) {
+    bool match = true;
+    for (size_t c = 1; c < arity(); ++c) {
+      if (At(r, c) != row[c]) { match = false; break; }
+    }
+    if (match) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mvdb

@@ -1,0 +1,101 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// In-memory table: flat row store with per-column hash indexes, plus the
+// probabilistic annotations (per-tuple weight and Boolean variable id) that
+// make a relation a "probabilistic table" in the sense of Section 2.1.
+
+#ifndef MVDB_RELATIONAL_TABLE_H_
+#define MVDB_RELATIONAL_TABLE_H_
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/types.h"
+#include "util/logging.h"
+
+namespace mvdb {
+
+/// One relation instance. Rows are stored in a single flat Value vector with
+/// stride = arity (cache-friendly scans). A table is either deterministic
+/// (every tuple certain, no variables) or probabilistic (each tuple carries a
+/// weight and a VarId).
+class Table {
+ public:
+  /// `attrs` are attribute names, purely for printing and for binding
+  /// permutations pi by name.
+  Table(std::string name, std::vector<std::string> attrs, bool probabilistic)
+      : name_(std::move(name)),
+        attrs_(std::move(attrs)),
+        probabilistic_(probabilistic) {
+    MVDB_CHECK_GT(attrs_.size(), 0u);
+  }
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attrs_.size(); }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  bool probabilistic() const { return probabilistic_; }
+  size_t size() const { return data_.size() / arity(); }
+
+  /// Appends a row. For probabilistic tables the caller (Database) supplies
+  /// the weight and the freshly allocated variable id; deterministic tables
+  /// pass kCertainWeight / kNoVar. Invalidates indexes.
+  RowId AppendRow(std::span<const Value> row, double weight, VarId var) {
+    MVDB_CHECK_EQ(row.size(), arity());
+    RowId id = static_cast<RowId>(size());
+    data_.insert(data_.end(), row.begin(), row.end());
+    if (probabilistic_) {
+      weights_.push_back(weight);
+      vars_.push_back(var);
+    }
+    indexes_.clear();
+    return id;
+  }
+
+  /// Read access to one row.
+  std::span<const Value> Row(RowId r) const {
+    return std::span<const Value>(data_.data() + static_cast<size_t>(r) * arity(),
+                                  arity());
+  }
+
+  Value At(RowId r, size_t col) const {
+    MVDB_DCHECK(col < arity());
+    return data_[static_cast<size_t>(r) * arity() + col];
+  }
+
+  /// Weight of tuple r (kCertainWeight for deterministic tables).
+  double weight(RowId r) const {
+    return probabilistic_ ? weights_[r] : kCertainWeight;
+  }
+
+  /// Boolean variable of tuple r (kNoVar for deterministic tables).
+  VarId var(RowId r) const { return probabilistic_ ? vars_[r] : kNoVar; }
+
+  /// Rows whose column `col` equals `v`. Builds the hash index on first use.
+  const std::vector<RowId>& Probe(size_t col, Value v) const;
+
+  /// Sorted distinct values of a column (the column's active domain).
+  std::vector<Value> DistinctValues(size_t col) const;
+
+  /// Looks up a full row; returns true and sets *out if present.
+  bool FindRow(std::span<const Value> row, RowId* out) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attrs_;
+  bool probabilistic_;
+  std::vector<Value> data_;       // flat, stride = arity
+  std::vector<double> weights_;   // parallel to rows iff probabilistic
+  std::vector<VarId> vars_;       // parallel to rows iff probabilistic
+
+  // Lazily built per-column hash indexes: indexes_[col][value] -> row ids.
+  mutable std::unordered_map<size_t,
+                             std::unordered_map<Value, std::vector<RowId>>>
+      indexes_;
+  static const std::vector<RowId> kEmptyRows;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_RELATIONAL_TABLE_H_

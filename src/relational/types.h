@@ -1,0 +1,52 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Base value types shared by every layer of the system.
+//
+// All column values are dictionary-encoded int64s (see util/interner.h), so
+// the active domain is an ordered set of integers — the property that the
+// paper's variable-order construction (Section 4.2) is defined over.
+
+#ifndef MVDB_RELATIONAL_TYPES_H_
+#define MVDB_RELATIONAL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace mvdb {
+
+/// A column value: either a small integer (year, count) or an interned
+/// string id (author name, institute). Comparisons are plain integer order.
+using Value = int64_t;
+
+/// Row index within one table.
+using RowId = uint32_t;
+
+/// Boolean random variable id. Every *probabilistic* tuple in the database
+/// owns exactly one VarId (Section 2.1: the variable X_t). Deterministic
+/// tuples have kNoVar.
+using VarId = int32_t;
+
+inline constexpr VarId kNoVar = -1;
+
+/// Weight of a certain (deterministic) tuple: w = infinity, i.e. p = 1.
+inline constexpr double kCertainWeight = std::numeric_limits<double>::infinity();
+
+/// Converts an MLN-style weight (odds) to a probability: p = w / (1 + w)
+/// (Definition 2). Negative weights — which arise for translated NV tuples
+/// with w0 = (1-w)/w when the MarkoView weight w exceeds 1 — yield
+/// probabilities outside [0,1]; Section 3.3 shows all exact inference rules
+/// remain valid for them, and all our evaluators honor that.
+inline double WeightToProb(double w) {
+  if (w == kCertainWeight) return 1.0;
+  return w / (1.0 + w);
+}
+
+/// Inverse of WeightToProb: w = p / (1 - p).
+inline double ProbToWeight(double p) {
+  if (p == 1.0) return kCertainWeight;
+  return p / (1.0 - p);
+}
+
+}  // namespace mvdb
+
+#endif  // MVDB_RELATIONAL_TYPES_H_

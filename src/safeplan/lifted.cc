@@ -1,0 +1,322 @@
+#include "safeplan/lifted.h"
+#include <bit>
+
+#include <algorithm>
+#include <set>
+
+#include "query/analysis.h"
+#include "query/eval.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+class LiftedEvaluator {
+ public:
+  LiftedEvaluator(const Database& db, const std::vector<double>& probs)
+      : db_(db), probs_(probs) {
+    is_prob_ = [this](const std::string& rel) {
+      const Table* t = db_.Find(rel);
+      return t != nullptr && t->probabilistic();
+    };
+  }
+
+  StatusOr<double> EvalUcq(const Ucq& q) {
+    // Validate relations up front (clearer errors than deep inside).
+    for (const auto& cq : q.disjuncts) {
+      for (const Atom& a : cq.atoms) {
+        const Table* t = db_.Find(a.relation);
+        if (t == nullptr) return Status::NotFound("no such table: " + a.relation);
+        if (t->arity() != a.args.size()) {
+          return Status::InvalidArgument("arity mismatch on " + a.relation);
+        }
+        if (a.negated) {
+          return Status::UnsafeQuery(
+              "lifted inference does not support negated atoms (the UCQ "
+              "dichotomy of [8] excludes negation); use an OBDD backend");
+        }
+      }
+    }
+    return EvalUnion(q);
+  }
+
+ private:
+  /// Probability of a Boolean UCQ.
+  StatusOr<double> EvalUnion(const Ucq& q) {
+    // Deterministic-only disjuncts are certain or impossible.
+    Ucq pruned = q;
+    for (size_t d = 0; d < q.disjuncts.size(); ++d) {
+      if (HasProbAtom(q.disjuncts[d], is_prob_)) continue;
+      Ucq single = q;
+      single.disjuncts = {q.disjuncts[d]};
+      MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(db_, single));
+      if (lin.IsTrue()) return 1.0;
+    }
+    std::erase_if(pruned.disjuncts, [&](const ConjunctiveQuery& cq) {
+      return !HasProbAtom(cq, is_prob_);
+    });
+    if (pruned.disjuncts.empty()) return 0.0;
+
+    // Rule 1: independent union over symbol-disjoint groups.
+    const auto groups = IndependentUnionComponents(pruned, is_prob_);
+    if (groups.size() > 1) {
+      double not_any = 1.0;
+      for (const auto& g : groups) {
+        Ucq sub = pruned;
+        sub.disjuncts.clear();
+        for (size_t d : g) sub.disjuncts.push_back(pruned.disjuncts[d]);
+        MVDB_ASSIGN_OR_RETURN(double p, EvalUnion(sub));
+        not_any *= (1.0 - p);
+      }
+      return 1.0 - not_any;
+    }
+
+    // Rule 2: inclusion–exclusion over the disjuncts of one dependent group.
+    const size_t m = pruned.disjuncts.size();
+    if (m == 1) return EvalCq(pruned, pruned.disjuncts[0]);
+    if (m > 20) {
+      return Status::UnsafeQuery("inclusion-exclusion over " +
+                                 std::to_string(m) + " disjuncts is infeasible");
+    }
+    double total = 0.0;
+    for (uint32_t mask = 1; mask < (1u << m); ++mask) {
+      Ucq conj = pruned;
+      ConjunctiveQuery merged;
+      for (size_t d = 0; d < m; ++d) {
+        if (!((mask >> d) & 1)) continue;
+        // Rename this disjunct's variables apart before conjoining.
+        std::unordered_map<int, int> remap;
+        auto rename = [&](Term t) -> Term {
+          if (!t.is_var()) return t;
+          auto [it, inserted] = remap.emplace(t.var, 0);
+          if (inserted) {
+            it->second = conj.AddVar(
+                conj.var_names[static_cast<size_t>(t.var)] + "#" + std::to_string(d));
+          }
+          return Term::Var(it->second);
+        };
+        for (const Atom& a : pruned.disjuncts[d].atoms) {
+          Atom out;
+          out.relation = a.relation;
+          out.negated = a.negated;
+          for (const Term& t : a.args) out.args.push_back(rename(t));
+          merged.atoms.push_back(std::move(out));
+        }
+        for (const Comparison& c : pruned.disjuncts[d].comparisons) {
+          merged.comparisons.push_back(
+              Comparison{rename(c.lhs), c.op, rename(c.rhs)});
+        }
+      }
+      MVDB_ASSIGN_OR_RETURN(double p, EvalCq(conj, merged));
+      total += (std::popcount(mask) % 2 == 1) ? p : -p;
+    }
+    return total;
+  }
+
+  /// Probability of a single (possibly disconnected) conjunctive query.
+  /// `ctx` supplies variable names; `cq` is the query itself.
+  StatusOr<double> EvalCq(const Ucq& ctx, const ConjunctiveQuery& raw_cq) {
+    // Minimize first: inclusion-exclusion conjunctions routinely contain
+    // subsumed atoms (e.g. (R(x) ^ S(x)) ^ R(x')), which would otherwise
+    // block the separator rule.
+    const ConjunctiveQuery cq = MinimizeCq(raw_cq);
+    // Rule 3: independent join over connected components, after dropping
+    // redundant components — a component implied (via homomorphism) by
+    // another contributes nothing to the conjunction. This minimization is
+    // what makes inclusion–exclusion conjunctions like
+    // (R(x) ^ S(x)) ^ R(x') evaluable (the paper's reliance on [8]).
+    auto comps = ConnectedComponents(cq, is_prob_);
+    if (comps.size() > 1) {
+      std::vector<ConjunctiveQuery> kept;
+      for (auto& c : comps) {
+        bool redundant = false;
+        for (const auto& k : kept) {
+          if (MapsInto(c, k)) { redundant = true; break; }
+        }
+        if (redundant) continue;
+        std::erase_if(kept, [&](const ConjunctiveQuery& k) {
+          return MapsInto(k, c);
+        });
+        kept.push_back(std::move(c));
+      }
+      comps = std::move(kept);
+    }
+    if (comps.size() > 1) {
+      double prod = 1.0;
+      for (auto& comp : comps) {
+        MVDB_ASSIGN_OR_RETURN(double p, EvalComponent(ctx, comp));
+        prod *= p;
+      }
+      return prod;
+    }
+    return EvalComponent(ctx, comps[0]);
+  }
+
+  /// Probability of one connected conjunctive query.
+  StatusOr<double> EvalComponent(const Ucq& ctx, const ConjunctiveQuery& cq) {
+    if (!HasProbAtom(cq, is_prob_)) {
+      // Pure deterministic constraint: certain or impossible.
+      Ucq single = ctx;
+      single.disjuncts = {cq};
+      MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(db_, single));
+      return lin.IsTrue() ? 1.0 : 0.0;
+    }
+
+    // Ground leaf: every probabilistic atom fully ground.
+    bool prob_ground = true;
+    for (const Atom& a : cq.atoms) {
+      if (!is_prob_(a.relation)) continue;
+      for (const Term& t : a.args) {
+        if (t.is_var()) { prob_ground = false; break; }
+      }
+      if (!prob_ground) break;
+    }
+    if (prob_ground) return EvalGroundLeaf(ctx, cq);
+
+    // Rule 4: separator grounding.
+    Ucq single = ctx;
+    single.disjuncts = {cq};
+    const auto sep = FindSeparator(single, is_prob_);
+    if (!sep.has_value() || sep->var_of_disjunct[0] < 0) {
+      return Status::UnsafeQuery("no separator variable in " + ToString(single));
+    }
+    const int z = sep->var_of_disjunct[0];
+    // Domain: intersect the column values of every atom containing z
+    // (probabilistic atoms at the separator position; deterministic atoms
+    // at any position where z occurs).
+    std::vector<Value> domain;
+    bool first = true;
+    for (const Atom& a : cq.atoms) {
+      std::vector<size_t> positions;
+      if (is_prob_(a.relation)) {
+        positions.push_back(sep->position.at(a.relation));
+      } else {
+        for (size_t i = 0; i < a.args.size(); ++i) {
+          if (a.args[i].is_var() && a.args[i].var == z) positions.push_back(i);
+        }
+        if (positions.empty()) continue;
+      }
+      std::vector<Value> col = AtomColumnDomain(a, positions[0]);
+      if (first) {
+        domain = std::move(col);
+        first = false;
+      } else {
+        std::vector<Value> merged;
+        std::set_intersection(domain.begin(), domain.end(), col.begin(),
+                              col.end(), std::back_inserter(merged));
+        domain = std::move(merged);
+      }
+      if (domain.empty()) break;
+    }
+    double not_any = 1.0;
+    for (Value a : domain) {
+      Ucq sub = single;
+      SubstituteInDisjunct(&sub, 0, z, a);
+      MVDB_ASSIGN_OR_RETURN(double p, EvalCq(sub, sub.disjuncts[0]));
+      not_any *= (1.0 - p);
+    }
+    return 1.0 - not_any;
+  }
+
+  /// Leaf: all probabilistic atoms ground. P = prod of distinct tuple
+  /// marginals, gated by satisfiability of the deterministic residue.
+  StatusOr<double> EvalGroundLeaf(const Ucq& ctx, const ConjunctiveQuery& cq) {
+    std::set<VarId> tuples;
+    ConjunctiveQuery residue;
+    residue.comparisons = cq.comparisons;
+    for (const Atom& a : cq.atoms) {
+      if (!is_prob_(a.relation)) {
+        residue.atoms.push_back(a);
+        continue;
+      }
+      const Table* t = db_.Find(a.relation);
+      std::vector<Value> row;
+      row.reserve(a.args.size());
+      for (const Term& arg : a.args) row.push_back(arg.constant);
+      RowId r;
+      if (!t->FindRow(row, &r)) return 0.0;  // impossible tuple
+      tuples.insert(t->var(r));
+    }
+    // Ground comparisons involving only constants are checked by the
+    // evaluator; comparisons with variables belong to the residue.
+    if (!residue.atoms.empty() || !residue.comparisons.empty()) {
+      Ucq single = ctx;
+      if (residue.atoms.empty()) {
+        // Pure comparisons: evaluate directly.
+        for (const Comparison& c : residue.comparisons) {
+          if (!c.lhs.is_var() && !c.rhs.is_var()) {
+            if (!Comparison::Apply(c.op, c.lhs.constant, c.rhs.constant)) {
+              return 0.0;
+            }
+          } else {
+            return Status::InvalidArgument(
+                "comparison variable not bound by any atom");
+          }
+        }
+      } else {
+        single.disjuncts = {residue};
+        MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(db_, single));
+        if (!lin.IsTrue()) return 0.0;
+      }
+    }
+    double prod = 1.0;
+    for (VarId v : tuples) prod *= probs_[static_cast<size_t>(v)];
+    return prod;
+  }
+
+  /// Distinct values of `pos` among rows compatible with the atom's ground
+  /// arguments.
+  std::vector<Value> AtomColumnDomain(const Atom& atom, size_t pos) {
+    const Table* t = db_.Find(atom.relation);
+    int probe_col = -1;
+    Value probe_val = 0;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (!atom.args[i].is_var()) {
+        probe_col = static_cast<int>(i);
+        probe_val = atom.args[i].constant;
+        break;
+      }
+    }
+    std::vector<Value> out;
+    auto consider = [&](RowId r) {
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (!atom.args[i].is_var() && t->At(r, i) != atom.args[i].constant) return;
+      }
+      out.push_back(t->At(r, pos));
+    };
+    if (probe_col >= 0) {
+      for (RowId r : t->Probe(static_cast<size_t>(probe_col), probe_val)) {
+        consider(r);
+      }
+    } else {
+      const size_t n = t->size();
+      for (size_t r = 0; r < n; ++r) consider(static_cast<RowId>(r));
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  const Database& db_;
+  const std::vector<double>& probs_;
+  IsProbFn is_prob_;
+};
+
+}  // namespace
+
+StatusOr<double> LiftedProb(const Database& db, const Ucq& q,
+                            const std::vector<double>& var_probs) {
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("LiftedProb requires a Boolean query");
+  }
+  LiftedEvaluator eval(db, var_probs);
+  return eval.EvalUcq(q);
+}
+
+bool IsSafe(const Database& db, const Ucq& q) {
+  const std::vector<double> probs = db.VarProbs();
+  auto result = LiftedProb(db, q, probs);
+  return result.ok();
+}
+
+}  // namespace mvdb

@@ -1,0 +1,52 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Lifted (safe-plan) inference for UCQs over tuple-independent databases —
+// the Dalvi–Suciu R-algorithm the paper leans on for tractability detection
+// ("the set of tractable UCQ over INDB is already known [8]"; Theorem 1's
+// corollary: MVDB query evaluation is PTIME whenever Q v W and W are safe).
+//
+// The recursion applies, in order:
+//   1. independent union      P(Q1 v Q2) = 1 - (1-P(Q1))(1-P(Q2))
+//                             when the disjuncts share no probabilistic
+//                             relation symbol;
+//   2. inclusion–exclusion    P(v_i Qi) = sum_S (-1)^{|S|+1} P(^_{i in S} Qi)
+//                             (a conjunction of CQs is again a CQ after
+//                             renaming apart);
+//   3. independent join       P(Q1 ^ Q2) = P(Q1) P(Q2) over connected
+//                             components;
+//   4. separator grounding    P(Q) = 1 - prod_a (1 - P(Q[a/z])) for a
+//                             separator variable z (tuple-disjoint, hence
+//                             independent, ground instances);
+//   5. ground leaf            product of the marginals of the (distinct)
+//                             ground probabilistic tuples.
+// If no rule applies the query is reported UNSAFE (e.g. the H0 query
+// R(x),S(x,y),T(y), which is #P-hard).
+//
+// Completeness caveat: the textbook dichotomy additionally requires query
+// minimization and cancellation detection in step 2; we implement the core
+// rules, which cover all safe queries arising in this repository (and report
+// UnsafeQuery otherwise — never a wrong probability).
+
+#ifndef MVDB_SAFEPLAN_LIFTED_H_
+#define MVDB_SAFEPLAN_LIFTED_H_
+
+#include "query/ast.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// Exact P(Q) for a Boolean UCQ over the tuple-independent database, or
+/// StatusCode::kUnsafeQuery if the lifted rules do not apply. `var_probs`
+/// is indexed by VarId and may contain values outside [0,1] (Section 3.3's
+/// negative probabilities are handled by the same arithmetic).
+StatusOr<double> LiftedProb(const Database& db, const Ucq& q,
+                            const std::vector<double>& var_probs);
+
+/// Structure-only safety check: true if LiftedProb would succeed. Runs the
+/// same recursion with the database's schema but does not compute numbers.
+bool IsSafe(const Database& db, const Ucq& q);
+
+}  // namespace mvdb
+
+#endif  // MVDB_SAFEPLAN_LIFTED_H_

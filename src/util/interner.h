@@ -1,0 +1,58 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// String interner: maps strings (author names, paper titles, institute URLs,
+// relation names) to dense int32 ids so that the relational engine can store
+// every column as int64 values. Interning is what lets us treat the active
+// domain as an ordered set of integers, which Section 4.2's variable-order
+// construction requires.
+
+#ifndef MVDB_UTIL_INTERNER_H_
+#define MVDB_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace mvdb {
+
+/// Bidirectional string <-> id dictionary. Ids are dense and start at 0.
+/// Not thread-safe; the engine is single-threaded like the paper's prototype.
+class Interner {
+ public:
+  /// Returns the id for `s`, inserting it if new.
+  int64_t Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    int64_t id = static_cast<int64_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s` or -1 if it was never interned.
+  int64_t Find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  /// Reverse lookup. Precondition: 0 <= id < size().
+  const std::string& Lookup(int64_t id) const {
+    MVDB_CHECK_GE(id, 0);
+    MVDB_CHECK_LT(static_cast<size_t>(id), strings_.size());
+    return strings_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> ids_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_UTIL_INTERNER_H_

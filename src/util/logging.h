@@ -1,0 +1,59 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// CHECK macros for internal invariants (crash with a message on violation)
+// and a minimal leveled logger. Modeled after the glog subset used by Arrow
+// and RocksDB: CHECK failures are programming errors, not recoverable
+// conditions — recoverable conditions return Status (see util/status.h).
+
+#ifndef MVDB_UTIL_LOGGING_H_
+#define MVDB_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mvdb {
+namespace internal {
+
+/// Accumulates a message and aborts the process when destroyed.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "FATAL " << file << ":" << line << "] ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mvdb
+
+#define MVDB_CHECK(cond)                                      \
+  if (!(cond))                                                \
+  ::mvdb::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define MVDB_CHECK_EQ(a, b) MVDB_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVDB_CHECK_NE(a, b) MVDB_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVDB_CHECK_LT(a, b) MVDB_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVDB_CHECK_LE(a, b) MVDB_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVDB_CHECK_GT(a, b) MVDB_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVDB_CHECK_GE(a, b) MVDB_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Debug-only check: compiled out in release except the condition evaluation
+/// is skipped entirely.
+#ifndef NDEBUG
+#define MVDB_DCHECK(cond) MVDB_CHECK(cond)
+#else
+#define MVDB_DCHECK(cond) \
+  while (false) MVDB_CHECK(cond)
+#endif
+
+#endif  // MVDB_UTIL_LOGGING_H_

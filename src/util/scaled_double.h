@@ -1,0 +1,129 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Extended-range floating point: a double mantissa with an explicit 64-bit
+// binary exponent.
+//
+// Why this exists: Eq. 5 evaluates P0(Q ^ NOT W) / P0(NOT W), and P0(NOT W)
+// is a product of one factor per MarkoView block — thousands of factors at
+// DBLP scale. With the translation's negative probabilities the factors are
+// not even bounded by 1, so the product routinely leaves double range in
+// both directions (the ratio itself is a perfectly ordinary probability:
+// the huge common factor cancels). Every OBDD/MV-index probability
+// computation therefore runs in ScaledDouble and converts to double only
+// after the final division.
+//
+// The representation keeps the mantissa normalized to [0.5, 1) in magnitude
+// (or exactly 0), so precision is that of a double while the exponent range
+// is effectively unbounded. Signs are carried by the mantissa, which keeps
+// the negative-probability arithmetic of Section 3.3 untouched.
+
+#ifndef MVDB_UTIL_SCALED_DOUBLE_H_
+#define MVDB_UTIL_SCALED_DOUBLE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace mvdb {
+
+class ScaledDouble {
+ public:
+  constexpr ScaledDouble() = default;
+  ScaledDouble(double v) {  // NOLINT(runtime/explicit): numeric literal use
+    int exp = 0;
+    mantissa_ = std::frexp(v, &exp);
+    exponent_ = exp;
+  }
+
+  static ScaledDouble Zero() { return ScaledDouble(); }
+  static ScaledDouble One() { return ScaledDouble(1.0); }
+
+  bool IsZero() const { return mantissa_ == 0.0; }
+  bool IsNegative() const { return mantissa_ < 0.0; }
+
+  /// Conversion to double; silently under/overflows outside double range
+  /// (callers convert only final, in-range results).
+  double ToDouble() const {
+    if (mantissa_ == 0.0) return 0.0;
+    if (exponent_ > 2000) return mantissa_ > 0 ? HUGE_VAL : -HUGE_VAL;
+    if (exponent_ < -2000) return 0.0;
+    return std::ldexp(mantissa_, static_cast<int>(exponent_));
+  }
+
+  /// Natural logarithm of the magnitude; -inf for zero.
+  double LogMagnitude() const {
+    if (mantissa_ == 0.0) return -HUGE_VAL;
+    return std::log(std::fabs(mantissa_)) +
+           static_cast<double>(exponent_) * 0.6931471805599453;
+  }
+
+  ScaledDouble operator*(const ScaledDouble& o) const {
+    ScaledDouble r;
+    r.mantissa_ = mantissa_ * o.mantissa_;
+    r.exponent_ = exponent_ + o.exponent_;
+    r.Normalize();
+    return r;
+  }
+
+  ScaledDouble operator/(const ScaledDouble& o) const {
+    ScaledDouble r;
+    r.mantissa_ = mantissa_ / o.mantissa_;  // division by zero -> inf/nan,
+    r.exponent_ = exponent_ - o.exponent_;  // surfaced to the caller
+    r.Normalize();
+    return r;
+  }
+
+  ScaledDouble operator+(const ScaledDouble& o) const {
+    if (IsZero()) return o;
+    if (o.IsZero()) return *this;
+    const ScaledDouble* big = this;
+    const ScaledDouble* small = &o;
+    if (big->exponent_ < small->exponent_) std::swap(big, small);
+    const int64_t diff = big->exponent_ - small->exponent_;
+    if (diff > 100) return *big;  // beyond double precision: negligible
+    ScaledDouble r;
+    r.mantissa_ =
+        big->mantissa_ + std::ldexp(small->mantissa_, -static_cast<int>(diff));
+    r.exponent_ = big->exponent_;
+    r.Normalize();
+    return r;
+  }
+
+  ScaledDouble operator-(const ScaledDouble& o) const { return *this + o.Negated(); }
+
+  ScaledDouble Negated() const {
+    ScaledDouble r = *this;
+    r.mantissa_ = -r.mantissa_;
+    return r;
+  }
+
+  ScaledDouble& operator+=(const ScaledDouble& o) { return *this = *this + o; }
+  ScaledDouble& operator*=(const ScaledDouble& o) { return *this = *this * o; }
+
+  /// Exact equality (normalized representation is canonical).
+  bool operator==(const ScaledDouble& o) const {
+    return mantissa_ == o.mantissa_ && (exponent_ == o.exponent_ || IsZero());
+  }
+
+  std::string ToString() const {
+    return std::to_string(mantissa_) + "*2^" + std::to_string(exponent_);
+  }
+
+ private:
+  void Normalize() {
+    if (mantissa_ == 0.0 || !std::isfinite(mantissa_)) {
+      if (mantissa_ == 0.0) exponent_ = 0;
+      return;
+    }
+    int exp = 0;
+    mantissa_ = std::frexp(mantissa_, &exp);
+    exponent_ += exp;
+  }
+
+  double mantissa_ = 0.0;   // 0 or magnitude in [0.5, 1)
+  int64_t exponent_ = 0;    // binary exponent
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_UTIL_SCALED_DOUBLE_H_

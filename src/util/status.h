@@ -1,0 +1,118 @@
+// Copyright 2026 The MarkoView Authors.
+// Licensed under the Apache License, Version 2.0.
+//
+// Arrow/RocksDB-style Status and StatusOr error handling. The library avoids
+// exceptions on hot paths; fallible public operations return Status or
+// StatusOr<T>, and internal invariants use the CHECK macros in logging.h.
+
+#ifndef MVDB_UTIL_STATUS_H_
+#define MVDB_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mvdb {
+
+/// Coarse error taxonomy, modeled after arrow::StatusCode.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsafeQuery,    ///< Lifted inference failed: the query is provably unsafe.
+  kParseError,     ///< Datalog parser rejected the input.
+  kInternal,
+};
+
+/// Lightweight status object: OK is cheap (no allocation); errors carry a
+/// code and a message.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status UnsafeQuery(std::string msg) {
+    return Status(StatusCode::kUnsafeQuery, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad arity".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Minimal analogue of arrow::Result.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mvdb
+
+/// Propagate a non-OK Status from an expression (Arrow's ARROW_RETURN_NOT_OK).
+#define MVDB_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::mvdb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assign the value of a StatusOr expression or propagate its error.
+#define MVDB_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto MVDB_CONCAT_(_so_, __LINE__) = (expr);    \
+  if (!MVDB_CONCAT_(_so_, __LINE__).ok())        \
+    return MVDB_CONCAT_(_so_, __LINE__).status();\
+  lhs = std::move(MVDB_CONCAT_(_so_, __LINE__)).value()
+
+#define MVDB_CONCAT_INNER_(a, b) a##b
+#define MVDB_CONCAT_(a, b) MVDB_CONCAT_INNER_(a, b)
+
+#endif  // MVDB_UTIL_STATUS_H_

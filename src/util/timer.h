@@ -1,0 +1,37 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Wall-clock stopwatch used by the benchmark harness to report per-phase
+// timings (construction time, sampling time, query time) in the same units
+// the paper plots (seconds, log scale).
+
+#ifndef MVDB_UTIL_TIMER_H_
+#define MVDB_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mvdb {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_UTIL_TIMER_H_

@@ -1,0 +1,118 @@
+// Tests for unifiability, homomorphism mapping, and CQ minimization — the
+// analysis pieces the lifted evaluator's inclusion–exclusion depends on.
+
+#include <gtest/gtest.h>
+
+#include "query/analysis.h"
+#include "query/parser.h"
+
+namespace mvdb {
+namespace {
+
+Ucq Parse(const std::string& s) {
+  Interner dict;
+  auto q = ParseUcq(s, &dict);
+  MVDB_CHECK(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(UnifiableTest, VariablePatternsUnify) {
+  Ucq q = Parse("Q :- R(x,y), R(u,v).");
+  EXPECT_TRUE(Unifiable(q.disjuncts[0].atoms[0], q.disjuncts[0].atoms[1]));
+}
+
+TEST(UnifiableTest, MatchingConstantsUnify) {
+  Ucq q = Parse("Q :- R(x,5), R(u,5).");
+  EXPECT_TRUE(Unifiable(q.disjuncts[0].atoms[0], q.disjuncts[0].atoms[1]));
+}
+
+TEST(UnifiableTest, ClashingConstantsDoNot) {
+  Ucq q = Parse("Q :- R(x,5), R(u,6).");
+  EXPECT_FALSE(Unifiable(q.disjuncts[0].atoms[0], q.disjuncts[0].atoms[1]));
+}
+
+TEST(UnifiableTest, DifferentRelationsDoNot) {
+  Ucq q = Parse("Q :- R(x), S(x).");
+  EXPECT_FALSE(Unifiable(q.disjuncts[0].atoms[0], q.disjuncts[0].atoms[1]));
+}
+
+TEST(UnifiableTest, VariableAgainstConstantUnifies) {
+  Ucq q = Parse("Q :- R(x,5), R(u,w).");
+  EXPECT_TRUE(Unifiable(q.disjuncts[0].atoms[0], q.disjuncts[0].atoms[1]));
+}
+
+TEST(MapsIntoTest, GeneralIntoSpecific) {
+  Ucq gen = Parse("Q :- R(x).");
+  Ucq spec = Parse("Q :- R(1), S(1).");
+  EXPECT_TRUE(MapsInto(gen.disjuncts[0], spec.disjuncts[0]));
+  EXPECT_FALSE(MapsInto(spec.disjuncts[0], gen.disjuncts[0]));
+}
+
+TEST(MapsIntoTest, JoinStructurePreserved) {
+  // R(x),S(x,y) maps into R(1),S(1,2); it does NOT map into R(1),S(3,2)
+  // because x must go to both 1 (via R) and 3 (via S).
+  Ucq gen = Parse("Q :- R(x), S(x,y).");
+  Ucq good = Parse("Q :- R(1), S(1,2).");
+  Ucq bad = Parse("Q :- R(1), S(3,2).");
+  EXPECT_TRUE(MapsInto(gen.disjuncts[0], good.disjuncts[0]));
+  EXPECT_FALSE(MapsInto(gen.disjuncts[0], bad.disjuncts[0]));
+}
+
+TEST(MapsIntoTest, ComparisonsBlockConservatively) {
+  Ucq gen = Parse("Q :- R(x), x > 5.");
+  Ucq spec = Parse("Q :- R(7).");
+  EXPECT_FALSE(MapsInto(gen.disjuncts[0], spec.disjuncts[0]));
+}
+
+TEST(MinimizeCqTest, RemovesSubsumedAtom) {
+  // (R(x) ^ S(x)) ^ R(x'): R(x') is subsumed (x' exclusive, maps to x).
+  Ucq q = Parse("Q :- R(x), S(x), R(y).");
+  const ConjunctiveQuery min = MinimizeCq(q.disjuncts[0]);
+  EXPECT_EQ(min.atoms.size(), 2u);
+}
+
+TEST(MinimizeCqTest, KeepsDistinctJoins) {
+  // S(x,y1), S(x,y2) with y1 != y2: y1/y2 occur in comparisons, so neither
+  // atom is removable.
+  Ucq q = Parse("Q :- S(x,y1), S(x,y2), y1 != y2.");
+  const ConjunctiveQuery min = MinimizeCq(q.disjuncts[0]);
+  EXPECT_EQ(min.atoms.size(), 2u);
+}
+
+TEST(MinimizeCqTest, RemovesDuplicateAtomOnce) {
+  Ucq q = Parse("Q :- R(x,y), R(x,y).");
+  const ConjunctiveQuery min = MinimizeCq(q.disjuncts[0]);
+  EXPECT_EQ(min.atoms.size(), 1u);
+}
+
+TEST(MinimizeCqTest, SharedVariablesBlockRemoval) {
+  // R(x,y), R(x,z), T(z): y is exclusive to the first atom but z is shared
+  // with T, so R(x,z) must stay; R(x,y) is subsumed by R(x,z) via y -> z.
+  Ucq q = Parse("Q :- R(x,y), R(x,z), T(z).");
+  const ConjunctiveQuery min = MinimizeCq(q.disjuncts[0]);
+  EXPECT_EQ(min.atoms.size(), 2u);
+}
+
+TEST(MinimizeCqTest, ConstantPositionsMustMatch) {
+  Ucq q = Parse("Q :- R(x,5), R(y,6).");
+  const ConjunctiveQuery min = MinimizeCq(q.disjuncts[0]);
+  EXPECT_EQ(min.atoms.size(), 2u);  // different constants: both stay
+}
+
+TEST(MinimizeCqTest, ChainOfSubsumptions) {
+  // R(x,y) subsumed by R(1,y') subsumed by nothing; x,y exclusive.
+  Ucq q = Parse("Q :- R(x,y), R(1,z), S(z).");
+  const ConjunctiveQuery min = MinimizeCq(q.disjuncts[0]);
+  EXPECT_EQ(min.atoms.size(), 2u);
+}
+
+TEST(MinimizeCqTest, PreservesComparisons) {
+  Ucq q = Parse("Q :- R(x), R(y), x > 5.");
+  const ConjunctiveQuery min = MinimizeCq(q.disjuncts[0]);
+  // x occurs in a comparison: R(x) not removable; R(y) maps onto R(x).
+  EXPECT_EQ(min.atoms.size(), 1u);
+  EXPECT_EQ(min.comparisons.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -1,0 +1,99 @@
+// Unit tests for src/prob/brute_force: exact model counting, including
+// probabilities outside [0,1] (Section 3.3).
+
+#include <gtest/gtest.h>
+
+#include "prob/brute_force.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+TEST(BruteForceTest, Constants) {
+  Lineage f;  // false
+  Lineage t;
+  t.AddClause({});
+  std::vector<double> probs;
+  EXPECT_DOUBLE_EQ(BruteForceProb(f, probs), 0.0);
+  EXPECT_DOUBLE_EQ(BruteForceProb(t, probs), 1.0);
+}
+
+TEST(BruteForceTest, SingleVar) {
+  Lineage l;
+  l.AddClause({0});
+  EXPECT_NEAR(BruteForceProb(l, {0.3}), 0.3, 1e-12);
+}
+
+TEST(BruteForceTest, IndependentOr) {
+  // P(x0 v x1) = 1 - (1-p0)(1-p1)
+  Lineage l;
+  l.AddClause({0});
+  l.AddClause({1});
+  EXPECT_NEAR(BruteForceProb(l, {0.3, 0.4}), 1 - 0.7 * 0.6, 1e-12);
+}
+
+TEST(BruteForceTest, Conjunction) {
+  Lineage l;
+  l.AddClause({0, 1});
+  EXPECT_NEAR(BruteForceProb(l, {0.3, 0.4}), 0.12, 1e-12);
+}
+
+TEST(BruteForceTest, SharedVariableCorrelation) {
+  // P(x0x1 v x0x2) = p0 (1 - (1-p1)(1-p2))
+  Lineage l;
+  l.AddClause({0, 1});
+  l.AddClause({0, 2});
+  const double expected = 0.5 * (1 - 0.6 * 0.7);
+  EXPECT_NEAR(BruteForceProb(l, {0.5, 0.4, 0.3}), expected, 1e-12);
+}
+
+TEST(BruteForceTest, NegativeProbabilityIsMultilinearExtension) {
+  // With p outside [0,1] the enumeration is still the multilinear extension:
+  // P(x0 v x1) = p0 + p1 - p0 p1 must hold identically.
+  const std::vector<double> probs = {-1.5, 0.4};
+  Lineage l;
+  l.AddClause({0});
+  l.AddClause({1});
+  EXPECT_NEAR(BruteForceProb(l, probs), -1.5 + 0.4 - (-1.5 * 0.4), 1e-12);
+}
+
+TEST(BruteForceTest, AndNot) {
+  // P(x0 ^ !x1) = p0 (1 - p1)
+  Lineage a, b;
+  a.AddClause({0});
+  b.AddClause({1});
+  EXPECT_NEAR(BruteForceProbAndNot(a, b, {0.3, 0.4}), 0.3 * 0.6, 1e-12);
+}
+
+TEST(BruteForceTest, AndNotSharedVars) {
+  // P(x0 ^ !(x0 x1)) = p0 (1 - p1)
+  Lineage a, b;
+  a.AddClause({0});
+  b.AddClause({0, 1});
+  EXPECT_NEAR(BruteForceProbAndNot(a, b, {0.3, 0.4}), 0.3 * 0.6, 1e-12);
+}
+
+TEST(BruteForceTest, AndNotConstants) {
+  Lineage t;
+  t.AddClause({});
+  Lineage f;
+  EXPECT_DOUBLE_EQ(BruteForceProbAndNot(t, f, {}), 1.0);
+  EXPECT_DOUBLE_EQ(BruteForceProbAndNot(t, t, {}), 0.0);
+  EXPECT_DOUBLE_EQ(BruteForceProbAndNot(f, f, {}), 0.0);
+}
+
+TEST(BruteForceTest, ComplementSumsToOne) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Lineage l = testing_util::RandomLineage(&rng, 6, 4, 3);
+    const auto probs = testing_util::RandomProbs(&rng, 6);
+    Lineage t;
+    t.AddClause({});
+    const double p = BruteForceProb(l, probs);
+    const double not_p = BruteForceProbAndNot(t, l, probs);
+    EXPECT_NEAR(p + not_p, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -1,0 +1,187 @@
+// Tests for the synthetic DBLP workload generator and the paper's three
+// MarkoViews over it (Fig. 1).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "query/analysis.h"
+
+#include <cmath>
+#include <set>
+
+namespace mvdb {
+namespace {
+
+dblp::DblpConfig SmallConfig() {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = 60;
+  cfg.num_prolific_pairs = 2;
+  return cfg;
+}
+
+TEST(DblpTest, GeneratesAllTables) {
+  dblp::DblpStats stats;
+  auto mvdb = dblp::BuildDblpMvdb(SmallConfig(), &stats);
+  ASSERT_TRUE(mvdb.ok()) << mvdb.status().ToString();
+  EXPECT_EQ(stats.authors, 60u);
+  EXPECT_EQ(stats.first_pub, 60u);
+  EXPECT_GT(stats.pubs, 0u);
+  EXPECT_GT(stats.wrote, stats.pubs);  // multi-author papers exist
+  // Student table: 7 possible years per author.
+  EXPECT_EQ(stats.student, 60u * 7u);
+  EXPECT_GT(stats.advisor, 0u);
+  for (const char* name :
+       {"Author", "Wrote", "Pub", "HomePage", "FirstPub", "DBLPAffiliation",
+        "Student", "Advisor", "Affiliation"}) {
+    EXPECT_NE((*mvdb)->db().Find(name), nullptr) << name;
+  }
+  EXPECT_EQ((*mvdb)->views().size(), 3u);
+}
+
+TEST(DblpTest, Deterministic) {
+  dblp::DblpStats s1, s2;
+  auto a = dblp::BuildDblpMvdb(SmallConfig(), &s1);
+  auto b = dblp::BuildDblpMvdb(SmallConfig(), &s2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(s1.pubs, s2.pubs);
+  EXPECT_EQ(s1.advisor, s2.advisor);
+  EXPECT_EQ(s1.affiliation, s2.affiliation);
+}
+
+TEST(DblpTest, ScalesWithAuthors) {
+  dblp::DblpConfig small = SmallConfig();
+  dblp::DblpConfig large = SmallConfig();
+  large.num_authors = 180;
+  dblp::DblpStats s1, s2;
+  ASSERT_TRUE(dblp::BuildDblpMvdb(small, &s1).ok());
+  ASSERT_TRUE(dblp::BuildDblpMvdb(large, &s2).ok());
+  EXPECT_GT(s2.student, 2u * s1.student);
+  EXPECT_GT(s2.pubs, 2u * s1.pubs);
+}
+
+TEST(DblpTest, TranslationProducesViews) {
+  dblp::DblpStats stats;
+  auto mvdb = dblp::BuildDblpMvdb(SmallConfig(), &stats);
+  ASSERT_TRUE(mvdb.ok());
+  ASSERT_TRUE((*mvdb)->Translate().ok());
+  dblp::CollectViewStats(**mvdb, &stats);
+  EXPECT_GT(stats.v1, 0u);  // advisor/student pairs co-publish
+  EXPECT_GT(stats.v2, 0u);  // some students have two advisor candidates
+  EXPECT_GT(stats.v3, 0u);  // planted prolific pairs
+  // V1 weights are count/2 > 0; V2 weights all 0 (denial).
+  const auto& views = (*mvdb)->view_tuples();
+  for (const auto& t : views[1]) EXPECT_EQ(t.weight, 0.0);
+  for (const auto& t : views[0]) EXPECT_GT(t.weight, 0.0);
+}
+
+TEST(DblpTest, AdvisorTuplesSatisfyFig1WeightExpression) {
+  // Recompute the Fig. 1 Advisor definition independently from the base
+  // tables: every Advisor(a1,a2) tuple must have count(pid) > 2 qualifying
+  // co-publications (a1 in the student window, a2 not) and weight
+  // exp(.25 * count).
+  dblp::DblpStats stats;
+  auto mvdb = dblp::BuildDblpMvdb(SmallConfig(), &stats);
+  ASSERT_TRUE(mvdb.ok());
+  const Database& db = (*mvdb)->db();
+  const Table* advisor = db.Find("Advisor");
+  const Table* wrote = db.Find("Wrote");
+  const Table* pub = db.Find("Pub");
+  const Table* first_pub = db.Find("FirstPub");
+  auto fp = [&](Value aid) {
+    return first_pub->At(first_pub->Probe(0, aid)[0], 1);
+  };
+  auto in_window = [&](Value aid, Value year) {
+    return year >= fp(aid) - 1 && year <= fp(aid) + 5;
+  };
+  ASSERT_GT(advisor->size(), 0u);
+  for (size_t r = 0; r < advisor->size(); ++r) {
+    const Value a1 = advisor->At(static_cast<RowId>(r), 0);
+    const Value a2 = advisor->At(static_cast<RowId>(r), 1);
+    // Count joint publications with a1 a student and a2 not.
+    std::set<Value> pids;
+    for (RowId w1 : wrote->Probe(0, a1)) {
+      const Value pid = wrote->At(w1, 1);
+      bool also_a2 = false;
+      for (RowId w2 : wrote->Probe(1, pid)) {
+        if (wrote->At(w2, 0) == a2) also_a2 = true;
+      }
+      if (!also_a2) continue;
+      const Value year = pub->At(pub->Probe(0, pid)[0], 2);
+      if (in_window(a1, year) && !in_window(a2, year)) pids.insert(pid);
+    }
+    EXPECT_GT(pids.size(), 2u) << "Advisor(" << a1 << "," << a2 << ")";
+    EXPECT_NEAR(db.var_weight(advisor->var(static_cast<RowId>(r))),
+                std::exp(0.25 * static_cast<double>(pids.size())), 1e-9);
+  }
+}
+
+TEST(DblpTest, EndToEndQueryStudentsOfAdvisor) {
+  dblp::DblpConfig cfg = SmallConfig();
+  cfg.include_affiliation = false;  // keep compile time small
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+
+  // Find an advisor with at least one student.
+  const Table* advisor = (*mvdb)->db().Find("Advisor");
+  ASSERT_GT(advisor->size(), 0u);
+  const Value senior = advisor->At(0, 1);
+  Ucq q = dblp::StudentsOfAdvisorQuery(
+      mvdb->get(), dblp::AuthorName(static_cast<int>(senior)));
+  auto answers = engine.Query(q, Backend::kMvIndexCC);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_GT(answers->size(), 0u);
+  for (const auto& a : *answers) {
+    EXPECT_GE(a.prob, 0.0);
+    EXPECT_LE(a.prob, 1.0);
+  }
+  // Backends agree on the DBLP workload.
+  auto reuse = engine.Query(q, Backend::kObddReuse);
+  auto topdown = engine.Query(q, Backend::kMvIndex);
+  ASSERT_TRUE(reuse.ok());
+  ASSERT_TRUE(topdown.ok());
+  ASSERT_EQ(answers->size(), reuse->size());
+  for (size_t i = 0; i < answers->size(); ++i) {
+    EXPECT_NEAR((*answers)[i].prob, (*reuse)[i].prob, 1e-9);
+    EXPECT_NEAR((*answers)[i].prob, (*topdown)[i].prob, 1e-9);
+  }
+}
+
+TEST(DblpTest, EndToEndAffiliationQuery) {
+  auto mvdb = dblp::BuildDblpMvdb(SmallConfig(), nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+  const Table* aff = (*mvdb)->db().Find("Affiliation");
+  ASSERT_GT(aff->size(), 0u);
+  const Value aid = aff->At(0, 0);
+  Ucq q = dblp::AffiliationOfAuthorQuery(mvdb->get(),
+                                         dblp::AuthorName(static_cast<int>(aid)));
+  auto answers = engine.Query(q, Backend::kMvIndexCC);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_GT(answers->size(), 0u);
+  for (const auto& a : *answers) {
+    EXPECT_GE(a.prob, 0.0);
+    EXPECT_LE(a.prob, 1.0);
+  }
+}
+
+TEST(DblpTest, WSeparatorExists) {
+  // The paper: "The MarkoViews have a separator" — aid1 works across V1,
+  // V2 and V3 because every probabilistic atom carries it first.
+  auto mvdb = dblp::BuildDblpMvdb(SmallConfig(), nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  ASSERT_TRUE((*mvdb)->Translate().ok());
+  const Database& db = (*mvdb)->db();
+  auto is_prob = [&db](const std::string& rel) {
+    const Table* t = db.Find(rel);
+    return t != nullptr && t->probabilistic();
+  };
+  EXPECT_TRUE(FindSeparator((*mvdb)->W(), is_prob).has_value());
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -1,0 +1,131 @@
+// Scale-regression tests for the query engine: at DBLP scale the Eq. 5
+// denominator P0(NOT W) is a product of thousands of block factors and
+// leaves IEEE double range entirely. These tests pin the extended-range
+// behaviour: answers stay exact (closed form) even when the intermediate
+// quantities under/overflow double.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::MustParse;
+
+/// n independent copies of Example 1's view V(x)[w] :- R(x): the blocks are
+/// single-variable, so the closed form per tuple is
+///   P(R(a)) = w * w1 / (1 + w * w1),
+/// independent of n, while P0(NOT W) = prod over tuples of a factor < 1 (or
+/// > 1 for w > 1), i.e. exponentially small/large in n.
+std::unique_ptr<Mvdb> ManyBlockMvdb(int n, double tuple_weight, double view_weight) {
+  auto mvdb = std::make_unique<Mvdb>();
+  Database& db = mvdb->db();
+  MVDB_CHECK(db.CreateTable("R", {"x"}, true).ok());
+  for (int x = 1; x <= n; ++x) {
+    db.InsertProbabilistic("R", {x}, tuple_weight);
+  }
+  Ucq def = MustParse("V(x) :- R(x).", &db.dict());
+  MVDB_CHECK(mvdb->AddView(
+                 MarkoView::Constant("V", std::move(def), view_weight)).ok());
+  return mvdb;
+}
+
+class EngineScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineScaleTest, DenominatorUnderflowStaysExact) {
+  const int n = GetParam();
+  const double w1 = 1.0, w = 0.5;
+  auto mvdb = ManyBlockMvdb(n, w1, w);
+  QueryEngine engine(mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  // Per-block factor: Phi-normalized P(not (NV ^ R)) = 1 - p0*pR = 0.75,
+  // so P0(NOT W) = 0.75^n — underflows double beyond ~2500 blocks. The
+  // per-tuple answer must remain the closed form w*w1/(1+w*w1) = 1/3.
+  const double expected = w * w1 / (1.0 + w * w1);
+  Ucq q = MustParse("Q :- R(1).", &mvdb->db().dict());
+  for (Backend b : {Backend::kObddReuse, Backend::kMvIndex, Backend::kMvIndexCC}) {
+    auto p = engine.QueryBoolean(q, b);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    EXPECT_NEAR(*p, expected, 1e-9)
+        << "n=" << n << " backend=" << static_cast<int>(b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCounts, EngineScaleTest,
+                         ::testing::Values(10, 500, 3000, 6000));
+
+TEST(EngineScaleTest, DenominatorOverflowStaysExact) {
+  // Positive correlations (w > 1): per-block factor 1 + (w-1) p exceeds 1
+  // and the product overflows double. Closed form per tuple as before.
+  const int n = 6000;
+  const double w1 = 1.0, w = 3.0;
+  auto mvdb = ManyBlockMvdb(n, w1, w);
+  QueryEngine engine(mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  EXPECT_TRUE(std::isinf(engine.ProbNotW()) || engine.ProbNotW() > 1.0);
+  const double expected = w * w1 / (1.0 + w * w1);
+  Ucq q = MustParse("Q :- R(2).", &mvdb->db().dict());
+  auto p = engine.QueryBoolean(q, Backend::kMvIndexCC);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, expected, 1e-9);
+}
+
+TEST(EngineScaleTest, MixedSignBlocksStayInRange) {
+  // Alternate denial views (factor < 1) and strong positive views
+  // (factor > 1): the running product swings through both extremes.
+  auto mvdb = std::make_unique<Mvdb>();
+  Database& db = mvdb->db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  ASSERT_TRUE(db.CreateTable("S", {"x"}, true).ok());
+  const int n = 2000;
+  for (int x = 1; x <= n; ++x) {
+    db.InsertProbabilistic("R", {x}, 1.0);
+    db.InsertProbabilistic("S", {x}, 1.0);
+  }
+  Ucq v1 = MustParse("V1(x) :- R(x), S(x).", &db.dict());
+  ASSERT_TRUE(mvdb->AddView(MarkoView::Constant("V1", std::move(v1), 9.0)).ok());
+  QueryEngine engine(mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  // Closed form per x (Example 1): P(R ^ S) = w w1 w2 / (1+w1+w2+w w1 w2).
+  const double expected = 9.0 / (1 + 1 + 1 + 9.0);
+  Ucq q = MustParse("Q :- R(77), S(77).", &db.dict());
+  auto p = engine.QueryBoolean(q, Backend::kMvIndexCC);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, expected, 1e-9);
+}
+
+TEST(EngineScaleTest, FullDblpPipelineModerateScale) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = 2000;
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+  const Table* advisor = (*mvdb)->db().Find("Advisor");
+  ASSERT_GT(advisor->size(), 0u);
+  int checked = 0;
+  for (size_t r = 0; r < advisor->size() && checked < 5; r += 37, ++checked) {
+    const Value senior = advisor->At(static_cast<RowId>(r), 1);
+    Ucq q = dblp::StudentsOfAdvisorQuery(
+        mvdb->get(), dblp::AuthorName(static_cast<int>(senior)));
+    auto cc = engine.Query(q, Backend::kMvIndexCC);
+    auto reuse = engine.Query(q, Backend::kObddReuse);
+    ASSERT_TRUE(cc.ok());
+    ASSERT_TRUE(reuse.ok());
+    ASSERT_EQ(cc->size(), reuse->size());
+    for (size_t i = 0; i < cc->size(); ++i) {
+      EXPECT_NEAR((*cc)[i].prob, (*reuse)[i].prob, 1e-9);
+      EXPECT_GE((*cc)[i].prob, 0.0);
+      EXPECT_LE((*cc)[i].prob, 1.0);
+      EXPECT_FALSE(std::isnan((*cc)[i].prob));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -1,0 +1,130 @@
+// Cross-module integration tests: the full pipeline on hand-written MVDBs,
+// backend agreement at a scale beyond brute force, and MC-SAT vs the exact
+// engine on a real (small) MVDB — the Figures 5-6 comparison in miniature.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "mln/mln.h"
+#include "query/eval.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(IntegrationTest, BackendsAgreeBeyondBruteForceScale) {
+  // 40 authors is far beyond 2^n enumeration; backends must still agree
+  // with each other (brute force excluded).
+  dblp::DblpConfig cfg;
+  cfg.num_authors = 120;
+  cfg.include_affiliation = true;
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+
+  const Table* advisor = (*mvdb)->db().Find("Advisor");
+  ASSERT_GT(advisor->size(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    const Value senior = advisor->At(static_cast<RowId>(r), 1);
+    Ucq q = dblp::StudentsOfAdvisorQuery(
+        mvdb->get(), dblp::AuthorName(static_cast<int>(senior)));
+    auto cc = engine.Query(q, Backend::kMvIndexCC);
+    auto td = engine.Query(q, Backend::kMvIndex);
+    auto reuse = engine.Query(q, Backend::kObddReuse);
+    ASSERT_TRUE(cc.ok());
+    ASSERT_TRUE(td.ok());
+    ASSERT_TRUE(reuse.ok());
+    ASSERT_EQ(cc->size(), td->size());
+    ASSERT_EQ(cc->size(), reuse->size());
+    for (size_t i = 0; i < cc->size(); ++i) {
+      EXPECT_NEAR((*cc)[i].prob, (*td)[i].prob, 1e-9);
+      EXPECT_NEAR((*cc)[i].prob, (*reuse)[i].prob, 1e-9);
+    }
+  }
+}
+
+TEST(IntegrationTest, McSatAgreesWithExactEngine) {
+  // The Alchemy-vs-MarkoViews comparison in miniature: MC-SAT sampling over
+  // the MLN of Definition 4 approximates the exact Eq. 5 answer.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  ASSERT_TRUE(db.CreateTable("S", {"x", "y"}, true).ok());
+  Rng rng(55);
+  for (int x = 1; x <= 3; ++x) {
+    db.InsertProbabilistic("R", {x}, 0.5 + rng.Uniform());
+    for (int y = 1; y <= 2; ++y) {
+      db.InsertProbabilistic("S", {x, y}, 0.5 + rng.Uniform());
+    }
+  }
+  Ucq v1 = MustParse("V1(x) :- R(x), S(x,y).", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V1", std::move(v1), 3.0)).ok());
+  Ucq v2 = MustParse("V2(x,y,z) :- S(x,y), S(x,z), y != z.", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V2", std::move(v2), 0.0)).ok());
+
+  QueryEngine engine(&mvdb);
+  ASSERT_TRUE(engine.Compile().ok());
+  auto mln = mvdb.ToGroundMln();
+  ASSERT_TRUE(mln.ok());
+  SamplerOptions opts;
+  opts.num_samples = 20000;
+  opts.burn_in = 1000;
+  McSat sampler(*mln, opts);
+
+  for (const char* qs : {"Q :- R(1), S(1,y).", "Q :- S(2,1)."}) {
+    Ucq q = MustParse(qs, &mvdb.db().dict());
+    auto exact = engine.QueryBoolean(q);
+    ASSERT_TRUE(exact.ok());
+    const Lineage lin = *EvalBoolean(mvdb.db(), q);
+    auto approx = sampler.EstimateQueryProb(lin);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_NEAR(*approx, *exact, 0.05) << qs;
+  }
+}
+
+TEST(IntegrationTest, WLineageSizeGrowsWithData) {
+  // Fig. 4's quantity: lineage size of W grows with the aid domain.
+  size_t prev = 0;
+  for (int n : {40, 80, 160}) {
+    dblp::DblpConfig cfg;
+    cfg.num_authors = n;
+    cfg.include_affiliation = false;
+    auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+    ASSERT_TRUE(mvdb.ok());
+    QueryEngine engine(mvdb->get());
+    ASSERT_TRUE(engine.Compile().ok());
+    auto w_lin = engine.WLineage();
+    ASSERT_TRUE(w_lin.ok());
+    const size_t size = (*w_lin)->NumDistinctVars();
+    EXPECT_GT(size, prev);
+    prev = size;
+  }
+}
+
+TEST(IntegrationTest, CompileIsIdempotent) {
+  auto mvdb = dblp::BuildDblpMvdb(dblp::DblpConfig{.num_authors = 40}, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+  const size_t size = engine.index().size();
+  ASSERT_TRUE(engine.Compile().ok());
+  EXPECT_EQ(engine.index().size(), size);
+}
+
+TEST(IntegrationTest, QueryWithNoAnswersIsEmpty) {
+  auto mvdb = dblp::BuildDblpMvdb(dblp::DblpConfig{.num_authors = 40}, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+  Ucq q = dblp::StudentsOfAdvisorQuery(mvdb->get(), "no such author");
+  auto answers = engine.Query(q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+}  // namespace
+}  // namespace mvdb

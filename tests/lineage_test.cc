@@ -1,0 +1,102 @@
+// Unit tests for src/prob/lineage: DNF normalization, evaluation, stats.
+
+#include <gtest/gtest.h>
+
+#include "prob/lineage.h"
+
+namespace mvdb {
+namespace {
+
+TEST(LineageTest, EmptyIsFalse) {
+  Lineage l;
+  EXPECT_TRUE(l.IsFalse());
+  EXPECT_FALSE(l.IsTrue());
+  EXPECT_EQ(l.size(), 0u);
+}
+
+TEST(LineageTest, EmptyClauseIsTrue) {
+  Lineage l;
+  l.AddClause({});
+  EXPECT_TRUE(l.IsTrue());
+  EXPECT_FALSE(l.IsFalse());
+}
+
+TEST(LineageTest, ClauseSortedAndDeduped) {
+  Lineage l;
+  l.AddClause({3, 1, 3, 2});
+  EXPECT_EQ(l.clauses()[0], (Clause{1, 2, 3}));
+}
+
+TEST(LineageTest, NormalizeRemovesDuplicateClauses) {
+  Lineage l;
+  l.AddClause({1, 2});
+  l.AddClause({2, 1});
+  l.Normalize();
+  EXPECT_EQ(l.size(), 1u);
+}
+
+TEST(LineageTest, NormalizeAbsorption) {
+  Lineage l;
+  l.AddClause({1});
+  l.AddClause({1, 2});  // absorbed by {1}
+  l.AddClause({3, 4});
+  l.Normalize();
+  EXPECT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.clauses()[0], (Clause{1}));
+  EXPECT_EQ(l.clauses()[1], (Clause{3, 4}));
+}
+
+TEST(LineageTest, UnionIsClauseUnion) {
+  Lineage a, b;
+  a.AddClause({1});
+  b.AddClause({2});
+  a.Union(b);
+  a.Normalize();
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(LineageTest, Vars) {
+  Lineage l;
+  l.AddClause({5, 1});
+  l.AddClause({3, 5});
+  EXPECT_EQ(l.Vars(), (std::vector<VarId>{1, 3, 5}));
+  EXPECT_EQ(l.NumDistinctVars(), 3u);
+  EXPECT_EQ(l.NumLiterals(), 4u);
+}
+
+TEST(LineageTest, Eval) {
+  Lineage l;  // x0 x1 | x2
+  l.AddClause({0, 1});
+  l.AddClause({2});
+  EXPECT_TRUE(l.Eval({true, true, false}));
+  EXPECT_TRUE(l.Eval({false, false, true}));
+  EXPECT_FALSE(l.Eval({true, false, false}));
+  EXPECT_FALSE(l.Eval({false, true, false}));
+}
+
+TEST(LineageTest, ToString) {
+  Lineage l;
+  EXPECT_EQ(l.ToString(), "false");
+  l.AddClause({1, 2});
+  EXPECT_EQ(l.ToString(), "x1 x2");
+  l.AddClause({3});
+  EXPECT_EQ(l.ToString(), "x1 x2 | x3");
+}
+
+TEST(LineageTest, Fig3Lineage) {
+  // Phi_Q = X1Y1 v X1Y2 v X2Y3 v X2Y4 with vars 0..5 =
+  // X1,X2,Y1,Y2,Y3,Y4.
+  Lineage l;
+  l.AddClause({0, 2});
+  l.AddClause({0, 3});
+  l.AddClause({1, 4});
+  l.AddClause({1, 5});
+  l.Normalize();
+  EXPECT_EQ(l.size(), 4u);
+  EXPECT_EQ(l.NumDistinctVars(), 6u);
+  EXPECT_TRUE(l.Eval({true, false, false, true, false, false}));
+  EXPECT_FALSE(l.Eval({true, true, false, false, false, false}));
+}
+
+}  // namespace
+}  // namespace mvdb

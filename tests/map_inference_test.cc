@@ -1,0 +1,133 @@
+// Tests for MAP inference: exact enumeration semantics and MaxWalkSAT
+// convergence, including hard constraints from denial views.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mvdb.h"
+#include "mln/map_inference.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::MustParse;
+
+Lineage Conj(std::initializer_list<VarId> vars) {
+  Lineage l;
+  l.AddClause(Clause(vars));
+  return l;
+}
+
+TEST(LogWorldWeightTest, MatchesWorldWeight) {
+  GroundMln mln(3, {2.0, 0.5, 1.0});
+  mln.AddFeature(Conj({0, 1}), 3.0);
+  const std::vector<bool> world = {true, true, false};
+  EXPECT_NEAR(LogWorldWeight(mln, world), std::log(mln.WorldWeight(world)),
+              1e-12);
+}
+
+TEST(LogWorldWeightTest, HardViolationIsMinusInfinity) {
+  GroundMln mln(2, {1.0, 1.0});
+  mln.AddFeature(Conj({0, 1}), 0.0);
+  EXPECT_EQ(LogWorldWeight(mln, {true, true}), -HUGE_VAL);
+  EXPECT_GT(LogWorldWeight(mln, {true, false}), -HUGE_VAL);
+}
+
+TEST(ExactMapTest, PicksHeaviestWorld) {
+  // Weights 3 and 0.2: the most likely world has tuple 0 in, tuple 1 out.
+  GroundMln mln(2, {3.0, 0.2});
+  auto map = ExactMap(mln);
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE(map->world[0]);
+  EXPECT_FALSE(map->world[1]);
+  EXPECT_NEAR(map->log_weight, std::log(3.0), 1e-12);
+}
+
+TEST(ExactMapTest, FeatureTipsTheBalance) {
+  // Individually both tuples prefer absence (w = 0.8 < 1), but a strong
+  // joint feature (w = 10) makes the joint world the MAP.
+  GroundMln mln(2, {0.8, 0.8});
+  mln.AddFeature(Conj({0, 1}), 10.0);
+  auto map = ExactMap(mln);
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE(map->world[0]);
+  EXPECT_TRUE(map->world[1]);
+}
+
+TEST(ExactMapTest, DenialFeatureExcludesJointWorld) {
+  GroundMln mln(2, {5.0, 5.0});
+  mln.AddFeature(Conj({0, 1}), 0.0);
+  auto map = ExactMap(mln);
+  ASSERT_TRUE(map.ok());
+  // Best world has exactly one of the two (weight 5), not both (weight 0).
+  EXPECT_NE(map->world[0], map->world[1]);
+}
+
+TEST(ExactMapTest, ContradictionDetected) {
+  GroundMln mln(1, {kCertainWeight});
+  mln.AddFeature(Conj({0}), 0.0);
+  EXPECT_EQ(ExactMap(mln).status().code(), StatusCode::kInternal);
+}
+
+TEST(MaxWalkSatTest, MatchesExactOnRandomNetworks) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 8;
+    std::vector<double> tw(n);
+    for (double& w : tw) w = 0.25 + rng.Uniform() * 4.0;
+    GroundMln mln(n, std::move(tw));
+    for (int f = 0; f < 5; ++f) {
+      Clause c;
+      c.push_back(static_cast<VarId>(rng.Below(n)));
+      c.push_back(static_cast<VarId>(rng.Below(n)));
+      Lineage lin;
+      lin.AddClause(c);
+      mln.AddFeature(std::move(lin), 0.3 + rng.Uniform() * 5.0);
+    }
+    auto exact = ExactMap(mln);
+    ASSERT_TRUE(exact.ok());
+    MaxWalkSatOptions opts;
+    opts.seed = 100 + static_cast<uint64_t>(trial);
+    auto approx = MaxWalkSat(mln, opts);
+    ASSERT_TRUE(approx.ok());
+    // MaxWalkSAT must find a world at least as heavy as... exactly the MAP
+    // weight (it cannot exceed it).
+    EXPECT_NEAR(approx->log_weight, exact->log_weight, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(MaxWalkSatTest, RespectsHardConstraints) {
+  GroundMln mln(2, {5.0, 5.0});
+  mln.AddFeature(Conj({0, 1}), 0.0);
+  auto map = MaxWalkSat(mln, MaxWalkSatOptions{});
+  ASSERT_TRUE(map.ok());
+  EXPECT_FALSE(map->world[0] && map->world[1]);
+}
+
+TEST(MaxWalkSatTest, MapOfAnMvdb) {
+  // End to end: the MAP world of a translated MVDB's MLN respects the
+  // denial view and prefers the strongly-correlated pair.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("A", {"x", "y"}, true).ok());
+  db.InsertProbabilistic("A", {1, 2}, 2.0);
+  db.InsertProbabilistic("A", {1, 3}, 1.5);
+  db.InsertProbabilistic("A", {2, 3}, 2.0);
+  Ucq def = MustParse("V(x,y,z) :- A(x,y), A(x,z), y != z.", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V", std::move(def), 0.0)).ok());
+  ASSERT_TRUE(mvdb.Translate().ok());
+  auto mln = mvdb.ToGroundMln();
+  ASSERT_TRUE(mln.ok());
+  auto exact = ExactMap(*mln);
+  auto approx = MaxWalkSat(*mln, MaxWalkSatOptions{});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx->log_weight, exact->log_weight, 1e-9);
+  // The denial view: A(1,2) and A(1,3) cannot both be in the MAP world.
+  EXPECT_FALSE(exact->world[0] && exact->world[1]);
+}
+
+}  // namespace
+}  // namespace mvdb

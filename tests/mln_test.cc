@@ -1,0 +1,175 @@
+// Tests for the ground-MLN engine: exact semantics (Definitions 1/4),
+// MC-SAT and Gibbs convergence on small networks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mln/mln.h"
+
+namespace mvdb {
+namespace {
+
+Lineage Single(VarId v) {
+  Lineage l;
+  l.AddClause({v});
+  return l;
+}
+
+Lineage Conj(std::initializer_list<VarId> vars) {
+  Lineage l;
+  l.AddClause(Clause(vars));
+  return l;
+}
+
+TEST(GroundMlnTest, TupleIndependentSpecialCase) {
+  // Section 2.3's "Tuple-Independent Databases Revisited": two tuples with
+  // weights w1, w2 and no features yield Z = (1+w1)(1+w2) and marginal
+  // probabilities w/(1+w).
+  GroundMln mln(2, {2.0, 0.5});
+  EXPECT_NEAR(mln.ExactPartition(), 3.0 * 1.5, 1e-12);
+  auto p0 = mln.ExactQueryProb(Single(0));
+  ASSERT_TRUE(p0.ok());
+  EXPECT_NEAR(*p0, 2.0 / 3.0, 1e-12);
+  auto p1 = mln.ExactQueryProb(Single(1));
+  EXPECT_NEAR(*p1, 0.5 / 1.5, 1e-12);
+}
+
+TEST(GroundMlnTest, Example1Worlds) {
+  // Example 1: R(a), S(a) with weights w1, w2 and feature (R ^ S, w).
+  // Worlds have weights 1, w1, w2, w w1 w2.
+  const double w1 = 2.0, w2 = 3.0, w = 0.25;
+  GroundMln mln(2, {w1, w2});
+  mln.AddFeature(Conj({0, 1}), w);
+  EXPECT_NEAR(mln.ExactPartition(), 1 + w1 + w2 + w * w1 * w2, 1e-12);
+  auto p = mln.ExactQueryProb(Conj({0, 1}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, w * w1 * w2 / (1 + w1 + w2 + w * w1 * w2), 1e-12);
+}
+
+TEST(GroundMlnTest, WeightOneFeatureIsIndependence) {
+  GroundMln with(2, {2.0, 3.0});
+  with.AddFeature(Conj({0, 1}), 1.0);
+  GroundMln without(2, {2.0, 3.0});
+  auto a = with.ExactQueryProb(Single(0));
+  auto b = without.ExactQueryProb(Single(0));
+  EXPECT_NEAR(*a, *b, 1e-12);
+}
+
+TEST(GroundMlnTest, ZeroWeightFeatureIsExclusion) {
+  // w = 0 makes R(a) ^ S(a) impossible: exclusive events.
+  GroundMln mln(2, {1.0, 1.0});
+  mln.AddFeature(Conj({0, 1}), 0.0);
+  auto p = mln.ExactQueryProb(Conj({0, 1}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 0.0);
+  // Marginals renormalize: P(R) = w1(1+0... worlds: {},{R},{S}: weights
+  // 1,1,1 -> P(R) = 1/3.
+  auto pr = mln.ExactQueryProb(Single(0));
+  EXPECT_NEAR(*pr, 1.0 / 3.0, 1e-12);
+}
+
+TEST(GroundMlnTest, HardTupleWeights) {
+  GroundMln mln(2, {kCertainWeight, 0.0});
+  auto p0 = mln.ExactQueryProb(Single(0));
+  EXPECT_DOUBLE_EQ(*p0, 1.0);
+  auto p1 = mln.ExactQueryProb(Single(1));
+  EXPECT_DOUBLE_EQ(*p1, 0.0);
+}
+
+TEST(GroundMlnTest, InfiniteFeatureForcesSatisfaction) {
+  // Hard feature (R ^ S) with weight infinity: only worlds containing both
+  // survive.
+  GroundMln mln(2, {1.0, 1.0});
+  mln.AddFeature(Conj({0, 1}), kCertainWeight);
+  auto p = mln.ExactQueryProb(Single(0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 1.0);
+}
+
+TEST(GroundMlnTest, ContradictoryHardConstraints) {
+  GroundMln mln(1, {kCertainWeight});
+  mln.AddFeature(Single(0), 0.0);  // var must be 1 and formula must not hold
+  EXPECT_EQ(mln.ExactQueryProb(Single(0)).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(McSatTest, MatchesExactOnSoftNetwork) {
+  GroundMln mln(3, {2.0, 0.5, 1.0});
+  mln.AddFeature(Conj({0, 1}), 3.0);
+  mln.AddFeature(Conj({1, 2}), 0.3);
+  SamplerOptions opts;
+  opts.num_samples = 20000;
+  opts.burn_in = 500;
+  McSat sampler(mln, opts);
+  for (VarId v = 0; v < 3; ++v) {
+    auto exact = mln.ExactQueryProb(Single(v));
+    auto est = sampler.EstimateQueryProb(Single(v));
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(*est, *exact, 0.05) << "var " << v;
+  }
+}
+
+TEST(McSatTest, RespectsHardDenial) {
+  GroundMln mln(2, {2.0, 2.0});
+  mln.AddFeature(Conj({0, 1}), 0.0);
+  SamplerOptions opts;
+  opts.num_samples = 8000;
+  McSat sampler(mln, opts);
+  auto joint = sampler.EstimateQueryProb(Conj({0, 1}));
+  ASSERT_TRUE(joint.ok());
+  EXPECT_DOUBLE_EQ(*joint, 0.0);
+  auto exact = mln.ExactQueryProb(Single(0));
+  auto est = sampler.EstimateQueryProb(Single(0));
+  EXPECT_NEAR(*est, *exact, 0.05);
+}
+
+TEST(McSatTest, RespectsHardRequirement) {
+  GroundMln mln(2, {1.0, 1.0});
+  mln.AddFeature(Conj({0, 1}), kCertainWeight);
+  SamplerOptions opts;
+  opts.num_samples = 2000;
+  McSat sampler(mln, opts);
+  auto est = sampler.EstimateQueryProb(Conj({0, 1}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(*est, 1.0);
+}
+
+TEST(McSatTest, MarginalsVector) {
+  GroundMln mln(2, {3.0, 1.0 / 3.0});
+  SamplerOptions opts;
+  opts.num_samples = 20000;
+  McSat sampler(mln, opts);
+  auto marginals = sampler.EstimateMarginals();
+  ASSERT_TRUE(marginals.ok());
+  EXPECT_NEAR((*marginals)[0], 0.75, 0.05);
+  EXPECT_NEAR((*marginals)[1], 0.25, 0.05);
+}
+
+TEST(GibbsTest, MatchesExactOnSoftNetwork) {
+  GroundMln mln(3, {2.0, 0.5, 1.5});
+  mln.AddFeature(Conj({0, 1}), 2.0);
+  mln.AddFeature(Conj({0, 2}), 0.5);
+  SamplerOptions opts;
+  opts.num_samples = 20000;
+  opts.burn_in = 1000;
+  GibbsSampler sampler(mln, opts);
+  for (VarId v = 0; v < 3; ++v) {
+    auto exact = mln.ExactQueryProb(Single(v));
+    auto est = sampler.EstimateQueryProb(Single(v));
+    ASSERT_TRUE(est.ok());
+    EXPECT_NEAR(*est, *exact, 0.05) << "var " << v;
+  }
+}
+
+TEST(GibbsTest, RejectsHardConstraints) {
+  GroundMln mln(2, {1.0, 1.0});
+  mln.AddFeature(Conj({0, 1}), 0.0);
+  SamplerOptions opts;
+  GibbsSampler sampler(mln, opts);
+  EXPECT_EQ(sampler.EstimateQueryProb(Single(0)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -1,0 +1,233 @@
+// Tests for the core MVDB model: view materialization, the Definition 5
+// translation (NV tables, w0 = (1-w)/w), denial-view simplification, and
+// the worked examples of Sections 2.5 and 3.1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.h"
+#include "core/mvdb.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::MustParse;
+
+/// Example 1 / Section 3.1: Tup = {R(a), S(a)} with weights w1, w2, one
+/// MarkoView V(x)[w] :- R(x), S(x). Closed forms:
+///   Z = 1 + w1 + w2 + w w1 w2;  P(R v S) = (w1 + w2 + w w1 w2) / Z.
+struct Example1 {
+  std::unique_ptr<Mvdb> mvdb;
+  double w1, w2, w;
+
+  explicit Example1(double w1_in, double w2_in, double w_in)
+      : w1(w1_in), w2(w2_in), w(w_in) {
+    mvdb = std::make_unique<Mvdb>();
+    Database& db = mvdb->db();
+    MVDB_CHECK(db.CreateTable("R", {"x"}, true).ok());
+    MVDB_CHECK(db.CreateTable("S", {"x"}, true).ok());
+    db.InsertProbabilistic("R", {1}, w1);
+    db.InsertProbabilistic("S", {1}, w2);
+    Ucq def = MustParse("V(x) :- R(x), S(x).", &db.dict());
+    MVDB_CHECK(mvdb->AddView(MarkoView::Constant("V", std::move(def), w)).ok());
+  }
+
+  double Z() const { return 1 + w1 + w2 + w * w1 * w2; }
+};
+
+TEST(MvdbTest, Example1Translation) {
+  Example1 ex(2.0, 3.0, 0.25);
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  // NV_V table exists, with w0 = (1-w)/w = 3.
+  const Table* nv = ex.mvdb->db().Find("NV_V");
+  ASSERT_NE(nv, nullptr);
+  EXPECT_TRUE(nv->probabilistic());
+  ASSERT_EQ(nv->size(), 1u);
+  const auto& tuples = ex.mvdb->view_tuples()[0];
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_DOUBLE_EQ(tuples[0].weight, 0.25);
+  EXPECT_NE(tuples[0].nv_var, kNoVar);
+  EXPECT_NEAR(ex.mvdb->db().var_weight(tuples[0].nv_var), 3.0, 1e-12);
+}
+
+TEST(MvdbTest, Example1NegativeTranslatedWeight) {
+  Example1 ex(2.0, 3.0, 2.5);  // w > 1 -> w0 = -0.6, p0 = -1.5
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  const auto& tuples = ex.mvdb->view_tuples()[0];
+  EXPECT_NEAR(ex.mvdb->db().var_weight(tuples[0].nv_var), -0.6, 1e-12);
+  EXPECT_NEAR(ex.mvdb->db().var_prob(tuples[0].nv_var), -1.5, 1e-9);
+}
+
+TEST(MvdbTest, Example1ClosedFormAllBackends) {
+  for (double w : {0.0, 0.25, 1.0, 2.5, 7.0}) {
+    Example1 ex(2.0, 3.0, w);
+    QueryEngine engine(ex.mvdb.get());
+    ASSERT_TRUE(engine.Compile().ok());
+    Ucq q = MustParse("Q :- R(x). Q :- S(x).", &ex.mvdb->db().dict());
+    const double expected = (ex.w1 + ex.w2 + w * ex.w1 * ex.w2) / ex.Z();
+    for (Backend b : {Backend::kBruteForce, Backend::kObddReuse,
+                      Backend::kMvIndex, Backend::kMvIndexCC,
+                      Backend::kSafePlan}) {
+      auto p = engine.QueryBoolean(q, b);
+      ASSERT_TRUE(p.ok()) << "w=" << w << ": " << p.status().ToString();
+      EXPECT_NEAR(*p, expected, 1e-9)
+          << "w=" << w << " backend=" << static_cast<int>(b);
+    }
+  }
+}
+
+TEST(MvdbTest, Example1ExclusiveAtZero) {
+  // w = 0: R(a) and S(a) are exclusive events.
+  Example1 ex(1.0, 1.0, 0.0);
+  QueryEngine engine(ex.mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  Ucq q = MustParse("Q :- R(x), S(x).", &ex.mvdb->db().dict());
+  auto p = engine.QueryBoolean(q);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.0, 1e-12);
+}
+
+TEST(MvdbTest, Example1IndependentAtOne) {
+  // w = 1: tuples behave independently; weight-1 view tuples are skipped
+  // entirely (no NV tuple, empty or absent NV table).
+  Example1 ex(2.0, 3.0, 1.0);
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  const auto& tuples = ex.mvdb->view_tuples()[0];
+  EXPECT_EQ(tuples[0].nv_var, kNoVar);
+  QueryEngine engine(ex.mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  Ucq q = MustParse("Q :- R(x), S(x).", &ex.mvdb->db().dict());
+  auto p = engine.QueryBoolean(q);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, (2.0 / 3.0) * (3.0 / 4.0), 1e-12);
+}
+
+TEST(MvdbTest, DenialViewSimplification) {
+  // A pure denial view creates no NV table; W is the raw view body.
+  Example1 ex(1.0, 1.0, 0.0);
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  EXPECT_EQ(ex.mvdb->db().Find("NV_V"), nullptr);
+  ASSERT_EQ(ex.mvdb->W().disjuncts.size(), 1u);
+  EXPECT_EQ(ex.mvdb->W().disjuncts[0].atoms.size(), 2u);  // R, S only
+}
+
+TEST(MvdbTest, NonDenialViewKeepsNvAtom) {
+  Example1 ex(1.0, 1.0, 0.5);
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  ASSERT_EQ(ex.mvdb->W().disjuncts.size(), 1u);
+  EXPECT_EQ(ex.mvdb->W().disjuncts[0].atoms[0].relation, "NV_V");
+}
+
+TEST(MvdbTest, TranslateIsIdempotentGuard) {
+  Example1 ex(1.0, 1.0, 0.5);
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  EXPECT_EQ(ex.mvdb->Translate().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MvdbTest, AddViewAfterTranslateRejected) {
+  Example1 ex(1.0, 1.0, 0.5);
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  Ucq def = MustParse("V9(x) :- R(x).", &ex.mvdb->db().dict());
+  EXPECT_EQ(ex.mvdb->AddView(MarkoView::Constant("V9", std::move(def), 2.0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MvdbTest, InfiniteViewWeightRejected) {
+  Example1 ex(1.0, 1.0, 0.5);
+  // Replace the view with one returning infinity.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 1.0);
+  Ucq def = MustParse("V(x) :- R(x).", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView("V", std::move(def), -1,
+                                     [](std::span<const Value>, int64_t) {
+                                       return kCertainWeight;
+                                     }))
+                  .ok());
+  EXPECT_EQ(mvdb.Translate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MvdbTest, Example2ProjectionFeature) {
+  // Example 2: V(x)[w] :- R(x), S(x,y) — the feature of V(a) is
+  // exists y. R(a) ^ S(a,y), correlating all tuples in the lineage.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  ASSERT_TRUE(db.CreateTable("S", {"x", "y"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 1.0);
+  db.InsertProbabilistic("S", {1, 1}, 1.0);
+  db.InsertProbabilistic("S", {1, 2}, 1.0);
+  Ucq def = MustParse("V(x) :- R(x), S(x,y).", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V", std::move(def), 4.0)).ok());
+  ASSERT_TRUE(mvdb.Translate().ok());
+  const auto& tuples = mvdb.view_tuples()[0];
+  ASSERT_EQ(tuples.size(), 1u);  // V(1) only
+  EXPECT_EQ(tuples[0].feature.size(), 2u);  // R(1)S(1,1) v R(1)S(1,2)
+}
+
+TEST(MvdbTest, CountVarWeights) {
+  // Weight = count of distinct y per x, like V1's count(pid)/2.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  ASSERT_TRUE(db.CreateTable("S", {"x", "y"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 1.0);
+  db.InsertProbabilistic("S", {1, 1}, 1.0);
+  db.InsertProbabilistic("S", {1, 2}, 1.0);
+  db.InsertProbabilistic("S", {1, 3}, 1.0);
+  Ucq def = MustParse("V(x) :- R(x), S(x,y).", &db.dict());
+  int y_var = -1;
+  for (int i = 0; i < def.num_vars(); ++i) {
+    if (def.var_names[static_cast<size_t>(i)] == "y") y_var = i;
+  }
+  ASSERT_TRUE(mvdb.AddView(MarkoView(
+                      "V", std::move(def), y_var,
+                      [](std::span<const Value>, int64_t count) {
+                        return static_cast<double>(count) / 2.0;
+                      }))
+                  .ok());
+  ASSERT_TRUE(mvdb.Translate().ok());
+  EXPECT_DOUBLE_EQ(mvdb.view_tuples()[0][0].weight, 1.5);
+}
+
+TEST(MvdbTest, ToGroundMlnMatchesDefinition4) {
+  Example1 ex(2.0, 3.0, 0.25);
+  ASSERT_TRUE(ex.mvdb->Translate().ok());
+  auto mln = ex.mvdb->ToGroundMln();
+  ASSERT_TRUE(mln.ok());
+  EXPECT_EQ(mln->num_vars(), 2u);
+  ASSERT_EQ(mln->features().size(), 1u);
+  EXPECT_DOUBLE_EQ(mln->features()[0].weight, 0.25);
+  EXPECT_NEAR(mln->ExactPartition(), ex.Z(), 1e-12);
+}
+
+TEST(MvdbTest, UnsatisfiableHardConstraintsDetected) {
+  // A denial view over a *certain* derivation: W is certainly true, so the
+  // MVDB has no possible world; the engine must report it rather than
+  // divide by zero.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("D", {"x"}, false).ok());
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  db.InsertDeterministic("D", {1});
+  db.InsertProbabilistic("R", {1}, 1.0);
+  Ucq def = MustParse("V(x) :- D(x).", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V", std::move(def), 0.0)).ok());
+  QueryEngine engine(&mvdb);
+  EXPECT_FALSE(engine.Compile().ok());
+}
+
+TEST(MvdbTest, BooleanHeadViewRejected) {
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  Ucq def = MustParse("V :- R(x).", &db.dict());
+  EXPECT_EQ(mvdb.AddView(MarkoView::Constant("V", std::move(def), 2.0)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mvdb

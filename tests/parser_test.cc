@@ -1,0 +1,142 @@
+// Unit tests for the datalog-style UCQ parser.
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace mvdb {
+namespace {
+
+TEST(ParserTest, SimpleCq) {
+  Interner dict;
+  auto q = ParseUcq("Q(x) :- R(x,y), S(y).", &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->name, "Q");
+  ASSERT_EQ(q->head_vars.size(), 1u);
+  ASSERT_EQ(q->disjuncts.size(), 1u);
+  const auto& cq = q->disjuncts[0];
+  ASSERT_EQ(cq.atoms.size(), 2u);
+  EXPECT_EQ(cq.atoms[0].relation, "R");
+  EXPECT_EQ(cq.atoms[1].relation, "S");
+  // x is shared between head and R's first arg.
+  EXPECT_EQ(cq.atoms[0].args[0].var, q->head_vars[0]);
+  // y is shared between R and S.
+  EXPECT_EQ(cq.atoms[0].args[1].var, cq.atoms[1].args[0].var);
+}
+
+TEST(ParserTest, BooleanQuery) {
+  Interner dict;
+  auto q = ParseUcq("W :- R(x), S(x,y).", &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->IsBoolean());
+}
+
+TEST(ParserTest, UnionSharesHeadVars) {
+  Interner dict;
+  auto q = ParseUcq("Q(x) :- R(x). Q(x) :- T(x,z).", &dict);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->disjuncts.size(), 2u);
+  EXPECT_EQ(q->disjuncts[0].atoms[0].args[0].var, q->head_vars[0]);
+  EXPECT_EQ(q->disjuncts[1].atoms[0].args[0].var, q->head_vars[0]);
+}
+
+TEST(ParserTest, NumericAndStringConstants) {
+  Interner dict;
+  auto q = ParseUcq("Q(x) :- Pub(x, t, 2004), Author(x, \"Sam Madden\").", &dict);
+  ASSERT_TRUE(q.ok());
+  const auto& cq = q->disjuncts[0];
+  EXPECT_FALSE(cq.atoms[0].args[2].is_var());
+  EXPECT_EQ(cq.atoms[0].args[2].constant, 2004);
+  EXPECT_FALSE(cq.atoms[1].args[1].is_var());
+  EXPECT_EQ(cq.atoms[1].args[1].constant, dict.Find("Sam Madden"));
+}
+
+TEST(ParserTest, Comparisons) {
+  Interner dict;
+  auto q = ParseUcq(
+      "Q(x) :- R(x,y,z), y != z, x > 2004, y <= 7, z < 9, x >= 1, y = 3.",
+      &dict);
+  ASSERT_TRUE(q.ok());
+  const auto& cmps = q->disjuncts[0].comparisons;
+  ASSERT_EQ(cmps.size(), 6u);
+  EXPECT_EQ(cmps[0].op, CmpOp::kNe);
+  EXPECT_EQ(cmps[1].op, CmpOp::kGt);
+  EXPECT_EQ(cmps[2].op, CmpOp::kLe);
+  EXPECT_EQ(cmps[3].op, CmpOp::kLt);
+  EXPECT_EQ(cmps[4].op, CmpOp::kGe);
+  EXPECT_EQ(cmps[5].op, CmpOp::kEq);
+}
+
+TEST(ParserTest, DiamondNotEquals) {
+  Interner dict;
+  auto q = ParseUcq("Q(x) :- R(x,y), x <> y.", &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->disjuncts[0].comparisons[0].op, CmpOp::kNe);
+}
+
+TEST(ParserTest, WeightAnnotation) {
+  Interner dict;
+  auto q = ParseUcq("V(x,y)[0.5] :- R(x), S(x,y).", &dict);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->weight.has_value());
+  EXPECT_DOUBLE_EQ(*q->weight, 0.5);
+}
+
+TEST(ParserTest, ZeroWeightDenial) {
+  Interner dict;
+  auto q = ParseUcq("V2(a,b,c)[0] :- Advisor(a,b), Advisor(a,c), b != c.", &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(*q->weight, 0.0);
+}
+
+TEST(ParserTest, Comments) {
+  Interner dict;
+  auto q = ParseUcq("% the paper's Fig. 2 query\nQ(x) :- R(x). % trailing", &dict);
+  ASSERT_TRUE(q.ok());
+}
+
+TEST(ParserTest, ProgramGroupsByHead) {
+  Interner dict;
+  auto p = ParseProgram("A(x) :- R(x). B(x) :- S(x,y). A(x) :- T(x,y).", &dict);
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->size(), 2u);
+  EXPECT_EQ((*p)[0].name, "A");
+  EXPECT_EQ((*p)[0].disjuncts.size(), 2u);
+  EXPECT_EQ((*p)[1].name, "B");
+}
+
+TEST(ParserTest, Errors) {
+  Interner dict;
+  EXPECT_EQ(ParseUcq("", &dict).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseUcq("Q(x) :- ", &dict).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseUcq("Q(x) R(x).", &dict).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseUcq("Q(x) :- R(x", &dict).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseUcq("Q(x) :- \"unterminated", &dict).status().code(),
+            StatusCode::kParseError);
+  // Head arity mismatch between rules of the same UCQ.
+  EXPECT_EQ(ParseUcq("Q(x) :- R(x). Q(x,y) :- S(x,y).", &dict).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, VariablesAreRuleLocal) {
+  Interner dict;
+  auto q = ParseUcq("Q(x) :- R(x,y). Q(x) :- S(x,y).", &dict);
+  ASSERT_TRUE(q.ok());
+  // The two `y`s are distinct variables (renamed apart across disjuncts).
+  EXPECT_NE(q->disjuncts[0].atoms[0].args[1].var,
+            q->disjuncts[1].atoms[0].args[1].var);
+}
+
+TEST(ParserTest, RoundTripToString) {
+  Interner dict;
+  auto q = ParseUcq("Q(x) :- R(x,y), S(y), x != y.", &dict);
+  ASSERT_TRUE(q.ok());
+  const std::string s = ToString(*q);
+  EXPECT_NE(s.find("R(x,y)"), std::string::npos);
+  EXPECT_NE(s.find("x != y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -1,0 +1,111 @@
+// Unit tests for src/relational: tables, indexes, the variable registry.
+
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+
+namespace mvdb {
+namespace {
+
+TEST(TableTest, AppendAndRead) {
+  Table t("R", {"a", "b"}, false);
+  EXPECT_EQ(t.arity(), 2u);
+  const RowId r0 = t.AppendRow(std::vector<Value>{1, 2}, kCertainWeight, kNoVar);
+  const RowId r1 = t.AppendRow(std::vector<Value>{3, 4}, kCertainWeight, kNoVar);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.At(r0, 0), 1);
+  EXPECT_EQ(t.At(r0, 1), 2);
+  EXPECT_EQ(t.At(r1, 0), 3);
+  auto row = t.Row(r1);
+  EXPECT_EQ(row[1], 4);
+}
+
+TEST(TableTest, ProbeIndex) {
+  Table t("R", {"a", "b"}, false);
+  t.AppendRow(std::vector<Value>{1, 10}, kCertainWeight, kNoVar);
+  t.AppendRow(std::vector<Value>{1, 11}, kCertainWeight, kNoVar);
+  t.AppendRow(std::vector<Value>{2, 12}, kCertainWeight, kNoVar);
+  EXPECT_EQ(t.Probe(0, 1).size(), 2u);
+  EXPECT_EQ(t.Probe(0, 2).size(), 1u);
+  EXPECT_TRUE(t.Probe(0, 99).empty());
+  EXPECT_EQ(t.Probe(1, 11).size(), 1u);
+}
+
+TEST(TableTest, IndexInvalidatedByAppend) {
+  Table t("R", {"a"}, false);
+  t.AppendRow(std::vector<Value>{1}, kCertainWeight, kNoVar);
+  EXPECT_EQ(t.Probe(0, 1).size(), 1u);
+  t.AppendRow(std::vector<Value>{1}, kCertainWeight, kNoVar);
+  EXPECT_EQ(t.Probe(0, 1).size(), 2u);
+}
+
+TEST(TableTest, DistinctValues) {
+  Table t("R", {"a"}, false);
+  for (Value v : {5, 3, 5, 1, 3}) {
+    t.AppendRow(std::vector<Value>{v}, kCertainWeight, kNoVar);
+  }
+  EXPECT_EQ(t.DistinctValues(0), (std::vector<Value>{1, 3, 5}));
+}
+
+TEST(TableTest, FindRow) {
+  Table t("R", {"a", "b"}, false);
+  t.AppendRow(std::vector<Value>{1, 2}, kCertainWeight, kNoVar);
+  RowId r;
+  EXPECT_TRUE(t.FindRow(std::vector<Value>{1, 2}, &r));
+  EXPECT_EQ(r, 0u);
+  EXPECT_FALSE(t.FindRow(std::vector<Value>{1, 3}, &r));
+  EXPECT_FALSE(t.FindRow(std::vector<Value>{9, 2}, &r));
+}
+
+TEST(DatabaseTest, CreateAndFind) {
+  Database db;
+  auto r = db.CreateTable("R", {"a"}, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(db.Find("R"), nullptr);
+  EXPECT_EQ(db.Find("nope"), nullptr);
+  EXPECT_EQ(db.CreateTable("R", {"a"}, false).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, VariableRegistry) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("R", {"a"}, true).ok());
+  const VarId v0 = db.InsertProbabilistic("R", {1}, 2.0);
+  const VarId v1 = db.InsertProbabilistic("R", {2}, 0.5);
+  EXPECT_EQ(v0, 0);
+  EXPECT_EQ(v1, 1);
+  EXPECT_EQ(db.num_vars(), 2u);
+  EXPECT_DOUBLE_EQ(db.var_weight(v0), 2.0);
+  EXPECT_NEAR(db.var_prob(v0), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(db.var_tuple(v1).row, 1u);
+  EXPECT_EQ(db.var_tuple(v1).table->name(), "R");
+}
+
+TEST(DatabaseTest, VarProbsVector) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("R", {"a"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 1.0);   // p = 0.5
+  db.InsertProbabilistic("R", {2}, -0.6);  // negative weight: p = -1.5
+  const auto probs = db.VarProbs();
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[1], -1.5, 1e-9);
+}
+
+TEST(DatabaseTest, SetVarWeight) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("R", {"a"}, true).ok());
+  const VarId v = db.InsertProbabilistic("R", {1}, 1.0);
+  db.set_var_weight(v, 3.0);
+  EXPECT_DOUBLE_EQ(db.var_weight(v), 3.0);
+}
+
+TEST(DatabaseTest, StringInterning) {
+  Database db;
+  const Value a = db.Str("hello");
+  EXPECT_EQ(db.Str("hello"), a);
+  EXPECT_EQ(db.dict().Lookup(a), "hello");
+}
+
+}  // namespace
+}  // namespace mvdb

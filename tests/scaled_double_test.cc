@@ -1,0 +1,109 @@
+// Tests for extended-range arithmetic (util/scaled_double.h): the substrate
+// that keeps Eq. 5 finite when P0(NOT W) is a product of thousands of
+// (unbounded, possibly negative) block factors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/scaled_double.h"
+
+namespace mvdb {
+namespace {
+
+TEST(ScaledDoubleTest, ZeroAndOne) {
+  EXPECT_TRUE(ScaledDouble::Zero().IsZero());
+  EXPECT_DOUBLE_EQ(ScaledDouble::Zero().ToDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(ScaledDouble::One().ToDouble(), 1.0);
+  EXPECT_FALSE(ScaledDouble::One().IsZero());
+}
+
+TEST(ScaledDoubleTest, RoundTripInRange) {
+  for (double v : {0.5, -0.25, 1234.5678, -1e-300, 1e300, 3.0}) {
+    EXPECT_DOUBLE_EQ(ScaledDouble(v).ToDouble(), v) << v;
+  }
+}
+
+TEST(ScaledDoubleTest, ArithmeticMatchesDouble) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double a = (rng.Uniform() - 0.5) * 100;
+    const double b = (rng.Uniform() - 0.5) * 100;
+    EXPECT_NEAR((ScaledDouble(a) * ScaledDouble(b)).ToDouble(), a * b, 1e-9);
+    EXPECT_NEAR((ScaledDouble(a) + ScaledDouble(b)).ToDouble(), a + b, 1e-9);
+    EXPECT_NEAR((ScaledDouble(a) - ScaledDouble(b)).ToDouble(), a - b, 1e-9);
+    if (b != 0) {
+      EXPECT_NEAR((ScaledDouble(a) / ScaledDouble(b)).ToDouble(), a / b, 1e-9);
+    }
+  }
+}
+
+TEST(ScaledDoubleTest, ProductBeyondDoubleRange) {
+  // 10000 factors of 1e-50 underflow double immediately; the scaled product
+  // holds the exact exponent and the ratio of two such products is exact.
+  ScaledDouble p = ScaledDouble::One();
+  ScaledDouble q = ScaledDouble::One();
+  for (int i = 0; i < 10000; ++i) {
+    p *= ScaledDouble(1e-50);
+    q *= ScaledDouble(2e-50);
+  }
+  EXPECT_DOUBLE_EQ(p.ToDouble(), 0.0);  // double underflows, by design
+  // The ratio (1/2)^10000 is itself outside double range; its log is exact.
+  const ScaledDouble ratio = p / q;
+  EXPECT_NEAR(ratio.LogMagnitude() / std::log(2.0), -10000.0, 1e-6);
+  // A ratio of *equal* products is exactly 1.
+  EXPECT_DOUBLE_EQ((p / p).ToDouble(), 1.0);
+}
+
+TEST(ScaledDoubleTest, OverflowDirection) {
+  ScaledDouble big = ScaledDouble::One();
+  for (int i = 0; i < 1000; ++i) big *= ScaledDouble(-1e10);
+  EXPECT_TRUE(std::isinf(big.ToDouble()));
+  EXPECT_FALSE(big.IsZero());
+  // Sign tracked through the mantissa: (-)^1000 = +.
+  EXPECT_FALSE(big.IsNegative());
+  big *= ScaledDouble(-1.0);
+  EXPECT_TRUE(big.IsNegative());
+}
+
+TEST(ScaledDoubleTest, AdditionAcrossMagnitudes) {
+  // Adding a negligible term leaves the big one unchanged; adding
+  // comparable terms is exact.
+  ScaledDouble big(1e200);
+  big *= ScaledDouble(1e200);  // 1e400, out of double range
+  const ScaledDouble sum = big + ScaledDouble(1.0);
+  EXPECT_NEAR((sum / big).ToDouble(), 1.0, 1e-12);
+
+  EXPECT_DOUBLE_EQ((ScaledDouble(3.0) + ScaledDouble(4.0)).ToDouble(), 7.0);
+}
+
+TEST(ScaledDoubleTest, CancellationToZero) {
+  const ScaledDouble a(0.375);
+  EXPECT_TRUE((a - a).IsZero());
+}
+
+TEST(ScaledDoubleTest, NegativeProbabilityShapes) {
+  // The translated NV probabilities: p0 = 1 - w for w in the MarkoView.
+  // Shannon expansion terms (1-p0) = w stay exact.
+  const double w = 2.5;
+  const ScaledDouble p0(1.0 - w);
+  const ScaledDouble one_minus = ScaledDouble::One() - p0;
+  EXPECT_NEAR(one_minus.ToDouble(), w, 1e-12);
+}
+
+TEST(ScaledDoubleTest, LogMagnitude) {
+  ScaledDouble p = ScaledDouble::One();
+  for (int i = 0; i < 100; ++i) p *= ScaledDouble(0.5);
+  EXPECT_NEAR(p.LogMagnitude(), 100.0 * std::log(0.5), 1e-9);
+  EXPECT_EQ(ScaledDouble::Zero().LogMagnitude(), -HUGE_VAL);
+}
+
+TEST(ScaledDoubleTest, Equality) {
+  EXPECT_TRUE(ScaledDouble(2.0) == ScaledDouble(2.0));
+  EXPECT_FALSE(ScaledDouble(2.0) == ScaledDouble(3.0));
+  EXPECT_TRUE(ScaledDouble(0.0) == ScaledDouble::Zero());
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -1,0 +1,115 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Shared helpers for the test suite: tiny databases, random lineages, and
+// random MVDB instances for the property tests.
+
+#ifndef MVDB_TESTS_TEST_UTIL_H_
+#define MVDB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/mvdb.h"
+#include "prob/lineage.h"
+#include "query/parser.h"
+#include "relational/database.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mvdb {
+namespace testing_util {
+
+/// Parses a UCQ or CHECK-fails (tests only).
+inline Ucq MustParse(const std::string& text, Interner* dict) {
+  auto result = ParseUcq(text, dict);
+  MVDB_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// The running-example database of Fig. 3: R = {a1, a2} and
+/// S = {(a1,b1), (a1,b2), (a2,b3), (a2,b4)}, all probabilistic.
+/// Domain encoding: a1=1, a2=2, b1=11, b2=12, b3=13, b4=14.
+inline std::unique_ptr<Database> Fig3Database(double weight = 1.0) {
+  auto db = std::make_unique<Database>();
+  MVDB_CHECK(db->CreateTable("R", {"a"}, true).ok());
+  MVDB_CHECK(db->CreateTable("S", {"a", "b"}, true).ok());
+  db->InsertProbabilistic("R", {1}, weight);
+  db->InsertProbabilistic("R", {2}, weight);
+  db->InsertProbabilistic("S", {1, 11}, weight);
+  db->InsertProbabilistic("S", {1, 12}, weight);
+  db->InsertProbabilistic("S", {2, 13}, weight);
+  db->InsertProbabilistic("S", {2, 14}, weight);
+  return db;
+}
+
+/// Random positive DNF over `num_vars` variables.
+inline Lineage RandomLineage(Rng* rng, int num_vars, int num_clauses,
+                             int max_clause_len) {
+  Lineage lineage;
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    const int len = 1 + static_cast<int>(rng->Below(
+                            static_cast<uint64_t>(max_clause_len)));
+    for (int i = 0; i < len; ++i) {
+      clause.push_back(static_cast<VarId>(rng->Below(
+          static_cast<uint64_t>(num_vars))));
+    }
+    lineage.AddClause(clause);
+  }
+  lineage.Normalize();
+  return lineage;
+}
+
+/// Random marginal probabilities; with `allow_negative`, a fraction lie
+/// outside [0,1] to exercise Section 3.3.
+inline std::vector<double> RandomProbs(Rng* rng, int num_vars,
+                                       bool allow_negative = false) {
+  std::vector<double> probs(static_cast<size_t>(num_vars));
+  for (double& p : probs) {
+    p = rng->Uniform();
+    if (allow_negative && rng->Chance(0.3)) p = -rng->Uniform() * 2.0;
+  }
+  return probs;
+}
+
+/// A small random MVDB for the Theorem 1 property test: two probabilistic
+/// relations R(x), S(x,y) over a tiny domain plus 1-2 MarkoViews with
+/// weights drawn from {0, 0.4, 1, 2.5, 7}.
+struct RandomMvdbSpec {
+  int domain = 3;
+  double denial_chance = 0.25;
+  bool with_binary_view = true;
+};
+
+inline std::unique_ptr<Mvdb> RandomMvdb(Rng* rng, const RandomMvdbSpec& spec) {
+  auto mvdb = std::make_unique<Mvdb>();
+  Database& db = mvdb->db();
+  MVDB_CHECK(db.CreateTable("R", {"x"}, true).ok());
+  MVDB_CHECK(db.CreateTable("S", {"x", "y"}, true).ok());
+  auto rand_weight = [&]() { return 0.2 + rng->Uniform() * 3.0; };
+  for (int x = 1; x <= spec.domain; ++x) {
+    if (rng->Chance(0.8)) db.InsertProbabilistic("R", {x}, rand_weight());
+    for (int y = 1; y <= spec.domain; ++y) {
+      if (rng->Chance(0.5)) db.InsertProbabilistic("S", {x, y}, rand_weight());
+    }
+  }
+  auto view_weight = [&]() -> double {
+    const double choices[] = {0.0, 0.4, 1.0, 2.5, 7.0};
+    if (rng->Chance(spec.denial_chance)) return 0.0;
+    return choices[1 + rng->Below(4)];
+  };
+  Ucq v1 = MustParse("V1(x) :- R(x), S(x,y).", &db.dict());
+  MVDB_CHECK(mvdb->AddView(MarkoView::Constant("V1", std::move(v1),
+                                               view_weight())).ok());
+  if (spec.with_binary_view) {
+    Ucq v2 = MustParse("V2(x,y) :- S(x,y), R(y).", &db.dict());
+    MVDB_CHECK(mvdb->AddView(MarkoView::Constant("V2", std::move(v2),
+                                                 view_weight())).ok());
+  }
+  return mvdb;
+}
+
+}  // namespace testing_util
+}  // namespace mvdb
+
+#endif  // MVDB_TESTS_TEST_UTIL_H_

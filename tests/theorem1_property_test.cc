@@ -1,0 +1,194 @@
+// The central property test of this repository: Theorem 1.
+//
+// For random small MVDBs (random relations, random weights including w < 1,
+// w > 1, w = 0 denial views and w = 1 independence) and random Boolean UCQs
+// Q, the probability computed by the ground MLN semantics (Definition 4,
+// exact world enumeration) must equal
+//
+//     (P0(Q v W) - P0(W)) / (1 - P0(W))  =  P0(Q ^ NOT W) / P0(NOT W)
+//
+// on the translated tuple-independent database (Definition 5) — evaluated
+// through every backend: brute force, reused W OBDD, MV-index (both
+// intersection algorithms), and lifted safe plans.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "query/eval.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::MustParse;
+using testing_util::RandomMvdb;
+using testing_util::RandomMvdbSpec;
+
+class Theorem1Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem1Test, MlnSemanticsEqualsTranslation) {
+  Rng rng(1000 + static_cast<uint64_t>(GetParam()));
+  RandomMvdbSpec spec;
+  spec.domain = 2 + static_cast<int>(rng.Below(2));  // keep MLN enumerable
+  spec.with_binary_view = rng.Chance(0.7);
+  auto mvdb = RandomMvdb(&rng, spec);
+  if (mvdb->db().num_vars() == 0) GTEST_SKIP() << "empty random instance";
+
+  QueryEngine engine(mvdb.get());
+  auto st = engine.Compile();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  auto mln = mvdb->ToGroundMln();
+  ASSERT_TRUE(mln.ok());
+
+  const char* queries[] = {
+      "Q :- R(x).",
+      "Q :- S(x,y).",
+      "Q :- R(x), S(x,y).",
+      "Q :- R(1).",
+      "Q :- S(2,y).",
+      "Q :- R(x), S(x,y). Q :- R(2).",
+      "Q :- S(x,y), R(y).",
+  };
+  for (const char* qs : queries) {
+    Ucq q = MustParse(qs, &mvdb->db().dict());
+    const Lineage q_lineage = *EvalBoolean(mvdb->db(), q);
+    auto exact = mln->ExactQueryProb(q_lineage);
+    if (!exact.ok()) continue;  // no possible world (over-constrained)
+
+    for (Backend b : {Backend::kBruteForce, Backend::kObddReuse,
+                      Backend::kMvIndex, Backend::kMvIndexCC}) {
+      auto p = engine.QueryBoolean(q, b);
+      ASSERT_TRUE(p.ok()) << qs << ": " << p.status().ToString();
+      EXPECT_NEAR(*p, *exact, 1e-9)
+          << "query " << qs << " backend " << static_cast<int>(b)
+          << " seed " << GetParam();
+    }
+    // The safe-plan backend applies only when Q v W and W are safe.
+    auto sp = engine.QueryBoolean(q, Backend::kSafePlan);
+    if (sp.ok()) {
+      EXPECT_NEAR(*sp, *exact, 1e-9) << "safeplan " << qs;
+    } else {
+      EXPECT_EQ(sp.status().code(), StatusCode::kUnsafeQuery) << qs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Theorem1Test,
+                         ::testing::Range(0, 25));
+
+TEST(Theorem1EdgeCases, AnswerTupleProbabilities) {
+  // Non-Boolean queries: per-answer probabilities match per-answer MLN
+  // queries.
+  Rng rng(77);
+  RandomMvdbSpec spec;
+  spec.domain = 3;
+  auto mvdb = RandomMvdb(&rng, spec);
+  QueryEngine engine(mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  auto mln = mvdb->ToGroundMln();
+  ASSERT_TRUE(mln.ok());
+
+  Ucq q = MustParse("Q(x) :- R(x), S(x,y).", &mvdb->db().dict());
+  auto answers = engine.Query(q, Backend::kMvIndexCC);
+  ASSERT_TRUE(answers.ok());
+  for (const auto& [head, prob] : *answers) {
+    Ucq grounded = GroundHead(q, head);
+    const Lineage lin = *EvalBoolean(mvdb->db(), grounded);
+    auto exact = mln->ExactQueryProb(lin);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(prob, *exact, 1e-9) << "head " << head[0];
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0);
+  }
+}
+
+TEST(Theorem1EdgeCases, ResultAlwaysInUnitInterval) {
+  // Even with strongly positive correlations (very negative NV
+  // probabilities), final answers are valid probabilities.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  ASSERT_TRUE(db.CreateTable("S", {"x"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 0.5);
+  db.InsertProbabilistic("S", {1}, 0.5);
+  Ucq def = MustParse("V(x) :- R(x), S(x).", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V", std::move(def), 50.0)).ok());
+  QueryEngine engine(&mvdb);
+  ASSERT_TRUE(engine.Compile().ok());
+  auto mln = mvdb.ToGroundMln();
+  Ucq q = MustParse("Q :- R(x).", &mvdb.db().dict());
+  auto p = engine.QueryBoolean(q);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(*p, 0.0);
+  EXPECT_LE(*p, 1.0);
+  const Lineage lin = *EvalBoolean(mvdb.db(), q);
+  EXPECT_NEAR(*p, *mln->ExactQueryProb(lin), 1e-9);
+}
+
+TEST(Theorem1EdgeCases, DenialViewMatchesHardConstraintSemantics) {
+  // V2-style denial: one advisor per person.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("A", {"x", "y"}, true).ok());
+  db.InsertProbabilistic("A", {1, 2}, 1.0);
+  db.InsertProbabilistic("A", {1, 3}, 2.0);
+  db.InsertProbabilistic("A", {2, 3}, 1.0);
+  Ucq def = MustParse("V(x,y,z) :- A(x,y), A(x,z), y != z.", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V", std::move(def), 0.0)).ok());
+  QueryEngine engine(&mvdb);
+  ASSERT_TRUE(engine.Compile().ok());
+  auto mln = mvdb.ToGroundMln();
+  ASSERT_TRUE(mln.ok());
+  for (const char* qs :
+       {"Q :- A(1,2).", "Q :- A(1,3).", "Q :- A(x,y).", "Q :- A(1,y)."}) {
+    Ucq q = MustParse(qs, &mvdb.db().dict());
+    const Lineage lin = *EvalBoolean(mvdb.db(), q);
+    auto exact = mln->ExactQueryProb(lin);
+    ASSERT_TRUE(exact.ok());
+    for (Backend b : {Backend::kBruteForce, Backend::kObddReuse,
+                      Backend::kMvIndex, Backend::kMvIndexCC}) {
+      auto p = engine.QueryBoolean(q, b);
+      ASSERT_TRUE(p.ok()) << qs;
+      EXPECT_NEAR(*p, *exact, 1e-9) << qs;
+    }
+  }
+  // Joint violation is impossible.
+  Ucq viol = MustParse("Q :- A(1,2), A(1,3).", &mvdb.db().dict());
+  auto p = engine.QueryBoolean(viol);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.0, 1e-12);
+}
+
+TEST(Theorem1EdgeCases, MultipleViewsOnSharedRelations) {
+  // Two views over the same relations (like V1 and V2 sharing Advisor).
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  ASSERT_TRUE(db.CreateTable("S", {"x", "y"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 1.5);
+  db.InsertProbabilistic("R", {2}, 0.5);
+  db.InsertProbabilistic("S", {1, 1}, 1.0);
+  db.InsertProbabilistic("S", {1, 2}, 2.0);
+  db.InsertProbabilistic("S", {2, 1}, 1.0);
+  Ucq v1 = MustParse("V1(x) :- R(x), S(x,y).", &db.dict());
+  Ucq v2 = MustParse("V2(x,y,z) :- S(x,y), S(x,z), y != z.", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V1", std::move(v1), 3.0)).ok());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V2", std::move(v2), 0.0)).ok());
+  QueryEngine engine(&mvdb);
+  ASSERT_TRUE(engine.Compile().ok());
+  auto mln = mvdb.ToGroundMln();
+  ASSERT_TRUE(mln.ok());
+  for (const char* qs : {"Q :- R(x), S(x,y).", "Q :- S(1,1).", "Q :- S(x,2)."}) {
+    Ucq q = MustParse(qs, &mvdb.db().dict());
+    const Lineage lin = *EvalBoolean(mvdb.db(), q);
+    auto exact = mln->ExactQueryProb(lin);
+    ASSERT_TRUE(exact.ok());
+    auto p = engine.QueryBoolean(q, Backend::kMvIndexCC);
+    ASSERT_TRUE(p.ok()) << qs;
+    EXPECT_NEAR(*p, *exact, 1e-9) << qs;
+  }
+}
+
+}  // namespace
+}  // namespace mvdb

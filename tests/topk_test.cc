@@ -1,0 +1,94 @@
+// Tests for top-k query answering on the engine.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(TopKTest, OrdersByProbabilityDescending) {
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 0.25);  // p = 0.2
+  db.InsertProbabilistic("R", {2}, 4.0);   // p = 0.8
+  db.InsertProbabilistic("R", {3}, 1.0);   // p = 0.5
+  QueryEngine engine(&mvdb);
+  ASSERT_TRUE(engine.Compile().ok());
+  Ucq q = MustParse("Q(x) :- R(x).", &db.dict());
+  auto top = engine.QueryTopK(q, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].head[0], 2);
+  EXPECT_NEAR((*top)[0].prob, 0.8, 1e-12);
+  EXPECT_EQ((*top)[1].head[0], 3);
+  EXPECT_NEAR((*top)[1].prob, 0.5, 1e-12);
+}
+
+TEST(TopKTest, KLargerThanAnswersReturnsAll) {
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("R", {"x"}, true).ok());
+  db.InsertProbabilistic("R", {1}, 1.0);
+  QueryEngine engine(&mvdb);
+  ASSERT_TRUE(engine.Compile().ok());
+  Ucq q = MustParse("Q(x) :- R(x).", &db.dict());
+  auto top = engine.QueryTopK(q, 100);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 1u);
+}
+
+TEST(TopKTest, RespectsMarkoViewCorrelations) {
+  // Two candidate advisors for the same student under a denial view: the
+  // one with higher prior must rank first, and both probabilities must be
+  // deflated relative to their independent priors.
+  Mvdb mvdb;
+  Database& db = mvdb.db();
+  ASSERT_TRUE(db.CreateTable("A", {"x", "y"}, true).ok());
+  db.InsertProbabilistic("A", {1, 2}, 3.0);
+  db.InsertProbabilistic("A", {1, 3}, 1.0);
+  Ucq def = MustParse("V(x,y,z) :- A(x,y), A(x,z), y != z.", &db.dict());
+  ASSERT_TRUE(mvdb.AddView(MarkoView::Constant("V", std::move(def), 0.0)).ok());
+  QueryEngine engine(&mvdb);
+  ASSERT_TRUE(engine.Compile().ok());
+  Ucq q = MustParse("Q(y) :- A(1,y).", &db.dict());
+  auto top = engine.QueryTopK(q, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].head[0], 2);
+  EXPECT_GT((*top)[0].prob, (*top)[1].prob);
+  // Deflated vs independent prior p = 3/4 and 1/2 (the denial removes the
+  // both-advisors worlds).
+  EXPECT_LT((*top)[0].prob, 0.75);
+  EXPECT_LT((*top)[1].prob, 0.5);
+  // And they agree with brute force.
+  auto brute = engine.QueryTopK(q, 2, Backend::kBruteForce);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_NEAR((*top)[0].prob, (*brute)[0].prob, 1e-9);
+  EXPECT_NEAR((*top)[1].prob, (*brute)[1].prob, 1e-9);
+}
+
+TEST(TopKTest, DblpTopAdvisees) {
+  auto mvdb = dblp::BuildDblpMvdb(dblp::DblpConfig{.num_authors = 80}, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+  const Table* advisor = (*mvdb)->db().Find("Advisor");
+  ASSERT_GT(advisor->size(), 0u);
+  const Value senior = advisor->At(0, 1);
+  Ucq q = dblp::StudentsOfAdvisorQuery(
+      mvdb->get(), dblp::AuthorName(static_cast<int>(senior)));
+  auto top = engine.QueryTopK(q, 3);
+  ASSERT_TRUE(top.ok());
+  for (size_t i = 1; i < top->size(); ++i) {
+    EXPECT_GE((*top)[i - 1].prob, (*top)[i].prob);
+  }
+}
+
+}  // namespace
+}  // namespace mvdb

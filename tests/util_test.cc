@@ -1,0 +1,163 @@
+// Unit tests for src/util: Status/StatusOr, Rng, Interner, weight math.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "relational/types.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace mvdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad arity");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, DistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::UnsafeQuery("x").code(), StatusCode::kUnsafeQuery);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(42);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(so.value(), 42);
+  EXPECT_EQ(*so, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::NotFound("missing"));
+  ASSERT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  MVDB_ASSIGN_OR_RETURN(int half, Half(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status st = UseAssignOrReturn(7, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) differing += (a.Next() != b.Next());
+  EXPECT_GT(differing, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(InternerTest, RoundTrip) {
+  Interner dict;
+  const int64_t a = dict.Intern("alpha");
+  const int64_t b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.Lookup(a), "alpha");
+  EXPECT_EQ(dict.Lookup(b), "beta");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(InternerTest, FindWithoutInsert) {
+  Interner dict;
+  EXPECT_EQ(dict.Find("nope"), -1);
+  dict.Intern("yes");
+  EXPECT_EQ(dict.Find("yes"), 0);
+}
+
+TEST(WeightMathTest, WeightToProb) {
+  EXPECT_DOUBLE_EQ(WeightToProb(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(WeightToProb(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(WeightToProb(kCertainWeight), 1.0);
+  EXPECT_NEAR(WeightToProb(3.0), 0.75, 1e-12);
+}
+
+TEST(WeightMathTest, NegativeTranslatedWeights) {
+  // A MarkoView weight w = 2.5 translates to w0 = (1-w)/w = -0.6 and a
+  // probability p0 = w0/(1+w0) = -1.5 (Section 3.3).
+  const double w0 = (1.0 - 2.5) / 2.5;
+  EXPECT_NEAR(w0, -0.6, 1e-12);
+  EXPECT_NEAR(WeightToProb(w0), -1.5, 1e-9);
+}
+
+TEST(WeightMathTest, RoundTrip) {
+  for (double p : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(WeightToProb(ProbToWeight(p)), p, 1e-12);
+  }
+  EXPECT_EQ(ProbToWeight(1.0), kCertainWeight);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds());  // ms numerically >= s for same span
+}
+
+}  // namespace
+}  // namespace mvdb

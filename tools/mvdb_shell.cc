@@ -1,0 +1,236 @@
+// mvdb_shell — an interactive shell over the MarkoView engine.
+//
+// A small REPL for exploring MVDBs: generate the synthetic DBLP workload or
+// define tables/views in datalog, compile, and query interactively.
+//
+//   $ ./build/tools/mvdb_shell
+//   mvdb> load dblp 1000
+//   mvdb> compile
+//   mvdb> query Q(aid) :- Student(aid,y), Advisor(aid,a), Author(a,n), n = "author292".
+//   mvdb> topk 3 Q(aid) :- Student(aid,y), Advisor(aid,a1), Author(a1,n), n = "author292".
+//   mvdb> stats
+//   mvdb> help
+//
+// Also usable non-interactively:  echo "..." | mvdb_shell  or
+// mvdb_shell script.mv
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "query/parser.h"
+#include "util/timer.h"
+
+namespace mvdb {
+namespace {
+
+class Shell {
+ public:
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    if (interactive) std::printf("mvdb shell — 'help' for commands\n");
+    while (true) {
+      if (interactive) {
+        std::printf("mvdb> ");
+        std::fflush(stdout);
+      }
+      if (!std::getline(in, line)) break;
+      if (!Dispatch(line) ) break;
+    }
+    return 0;
+  }
+
+ private:
+  /// Returns false to quit.
+  bool Dispatch(const std::string& line) {
+    std::istringstream is(line);
+    std::string cmd;
+    is >> cmd;
+    if (cmd.empty() || cmd[0] == '%') return true;
+    std::string rest;
+    std::getline(is, rest);
+    while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") return Help();
+    if (cmd == "load") return Load(rest);
+    if (cmd == "compile") return CompileCmd();
+    if (cmd == "tables") return Tables();
+    if (cmd == "stats") return Stats();
+    if (cmd == "backend") return SetBackend(rest);
+    if (cmd == "query") return QueryCmd(rest, 0);
+    if (cmd == "topk") return TopK(rest);
+    std::printf("unknown command '%s'; try 'help'\n", cmd.c_str());
+    return true;
+  }
+
+  bool Help() {
+    std::printf(
+        "  load dblp <n>      generate the synthetic DBLP MVDB (n authors)\n"
+        "  compile            translate views and build the MV-index\n"
+        "  tables             list tables with cardinalities\n"
+        "  stats              MV-index statistics\n"
+        "  backend <b>        cc | topdown | reuse | brute | safeplan\n"
+        "  query <rule.>      evaluate a UCQ, e.g. query Q(x) :- R(x), S(x,y).\n"
+        "  topk <k> <rule.>   top-k most probable answers\n"
+        "  quit               leave\n");
+    return true;
+  }
+
+  bool Load(const std::string& args) {
+    std::istringstream is(args);
+    std::string what;
+    int n = 1000;
+    is >> what >> n;
+    if (what != "dblp") {
+      std::printf("only 'load dblp <n>' is supported\n");
+      return true;
+    }
+    dblp::DblpConfig cfg;
+    cfg.num_authors = n > 0 ? n : 1000;
+    Timer t;
+    dblp::DblpStats stats;
+    auto mvdb = dblp::BuildDblpMvdb(cfg, &stats);
+    if (!mvdb.ok()) {
+      std::printf("error: %s\n", mvdb.status().ToString().c_str());
+      return true;
+    }
+    mvdb_ = std::move(mvdb).value();
+    engine_ = std::make_unique<QueryEngine>(mvdb_.get());
+    std::printf("loaded DBLP(%d): %zu pubs, %zu Student^p, %zu Advisor^p, "
+                "%zu Affiliation^p tuples in %.2f s\n",
+                cfg.num_authors, stats.pubs, stats.student, stats.advisor,
+                stats.affiliation, t.Seconds());
+    return true;
+  }
+
+  bool CompileCmd() {
+    if (!Ready(false)) return true;
+    Timer t;
+    const Status st = engine_->Compile();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return true;
+    }
+    std::printf("compiled in %.2f s: MV-index %zu nodes, %zu blocks, "
+                "P0(not W) log-magnitude %.2f\n",
+                t.Seconds(), engine_->index().size(),
+                engine_->index().blocks().size(),
+                engine_->index().ProbNotWScaled().LogMagnitude());
+    return true;
+  }
+
+  bool Tables() {
+    if (!Ready(false)) return true;
+    const Database& db = mvdb_->db();
+    for (const std::string& name : db.table_names()) {
+      const Table* t = db.Find(name);
+      std::printf("  %-20s %8zu tuples  %s\n", name.c_str(), t->size(),
+                  t->probabilistic() ? "probabilistic" : "deterministic");
+    }
+    return true;
+  }
+
+  bool Stats() {
+    if (!Ready(true)) return true;
+    std::printf("  MV-index: %zu nodes, %zu blocks, width %zu\n",
+                engine_->index().size(), engine_->index().blocks().size(),
+                engine_->index().flat().Width());
+    std::printf("  W inversion-free: %s\n",
+                engine_->w_inversion_free() ? "yes" : "no");
+    std::printf("  W: %s\n", ToString(mvdb_->W()).c_str());
+    return true;
+  }
+
+  bool SetBackend(const std::string& name) {
+    if (name == "cc") backend_ = Backend::kMvIndexCC;
+    else if (name == "topdown") backend_ = Backend::kMvIndex;
+    else if (name == "reuse") backend_ = Backend::kObddReuse;
+    else if (name == "brute") backend_ = Backend::kBruteForce;
+    else if (name == "safeplan") backend_ = Backend::kSafePlan;
+    else {
+      std::printf("backends: cc | topdown | reuse | brute | safeplan\n");
+      return true;
+    }
+    std::printf("backend set to %s\n", name.c_str());
+    return true;
+  }
+
+  bool QueryCmd(const std::string& text, size_t k) {
+    if (!Ready(true)) return true;
+    auto q = ParseUcq(text, &mvdb_->db().dict());
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      return true;
+    }
+    Timer t;
+    auto answers = (k == 0) ? engine_->Query(*q, backend_)
+                            : engine_->QueryTopK(*q, k, backend_);
+    const double ms = t.Millis();
+    if (!answers.ok()) {
+      std::printf("error: %s\n", answers.status().ToString().c_str());
+      return true;
+    }
+    for (const auto& a : *answers) {
+      std::string head;
+      for (size_t i = 0; i < a.head.size(); ++i) {
+        if (i) head += ", ";
+        // Values are untyped int64s (dictionary ids and plain integers share
+        // one namespace), so print the raw value; use the Author table to
+        // resolve names in your queries instead.
+        head += std::to_string(a.head[i]);
+      }
+      std::printf("  (%s)  P = %.6f\n", head.c_str(), a.prob);
+    }
+    std::printf("%zu answer(s) in %.3f ms\n", answers->size(), ms);
+    return true;
+  }
+
+  bool TopK(const std::string& args) {
+    std::istringstream is(args);
+    size_t k = 0;
+    is >> k;
+    std::string rest;
+    std::getline(is, rest);
+    if (k == 0) {
+      std::printf("usage: topk <k> <rule.>\n");
+      return true;
+    }
+    return QueryCmd(rest, k);
+  }
+
+  bool Ready(bool needs_compile) {
+    if (mvdb_ == nullptr) {
+      std::printf("no database loaded; try 'load dblp 1000'\n");
+      return false;
+    }
+    if (needs_compile && !engine_->compiled()) {
+      CompileCmd();
+    }
+    return true;
+  }
+
+  std::unique_ptr<Mvdb> mvdb_;
+  std::unique_ptr<QueryEngine> engine_;
+  Backend backend_ = Backend::kMvIndexCC;
+};
+
+}  // namespace
+}  // namespace mvdb
+
+int main(int argc, char** argv) {
+  mvdb::Shell shell;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    return shell.Run(file, /*interactive=*/false);
+  }
+  return shell.Run(std::cin, /*interactive=*/true);
+}
