@@ -1,6 +1,6 @@
 // Ablation: the attribute-permutation choice pi (Section 4.2's heuristic).
 //
-// DESIGN.md calls out the variable order as the decisive design choice for
+// DESIGN.md ("Variable order") calls out the order as the decisive choice for
 // OBDD size: separator-bearing attributes must come first in pi so that the
 // per-separator-value blocks are contiguous in Pi and concatenation
 // applies. This ablation builds the V1 constraint's OBDD under

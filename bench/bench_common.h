@@ -5,7 +5,7 @@
 // same rows/series the paper plots, then runs google-benchmark
 // micro-kernels for the figure's hot operation. Absolute numbers differ
 // from the paper's 2008-era testbed; the *shape* (who wins, growth rates,
-// where the crossover falls) is what EXPERIMENTS.md tracks.
+// where the crossover falls) is what bench/BENCHMARKS.md tracks.
 
 #ifndef MVDB_BENCH_BENCH_COMMON_H_
 #define MVDB_BENCH_BENCH_COMMON_H_

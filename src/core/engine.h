@@ -75,7 +75,7 @@ class QueryEngine {
   /// broken by head tuple order). Evaluates every answer's numerator — the
   /// MV-index makes per-answer evaluation cheap enough that the multi-
   /// simulation pruning of Re et al. [28] is unnecessary here; see
-  /// DESIGN.md.
+  /// DESIGN.md, "Top-k without multisimulation".
   StatusOr<std::vector<AnswerProb>> QueryTopK(const Ucq& q, size_t k,
                                               Backend backend = Backend::kMvIndexCC);
 

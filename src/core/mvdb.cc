@@ -65,7 +65,9 @@ Status Mvdb::Translate() {
   if (translated_) return Status::AlreadyExists("Translate() already ran");
   base_num_vars_ = db_.num_vars();
   w_ = Ucq{};
-  w_.name = "W";
+  // Not `= "W"`: the char* assignment trips GCC 12's -Wrestrict false
+  // positive on short literals (GCC PR105651) under -O2 -Werror.
+  w_.name = std::string("W");
 
   view_tuples_.resize(views_.size());
   for (size_t i = 0; i < views_.size(); ++i) {

@@ -2,7 +2,8 @@
 //
 // Synthetic DBLP workload (Fig. 1). The paper runs on a DBLP snapshot we do
 // not have; this generator reproduces the *statistical shape* the
-// experiments depend on instead (see DESIGN.md, substitution table):
+// experiments depend on instead (see DESIGN.md, "DBLP substitution
+// table"):
 //
 //   * base tables Author(aid,name), Wrote(aid,pid), Pub(pid,title,year),
 //     HomePage(aid,url) with planted advisor/student co-authorship clusters;

@@ -154,7 +154,7 @@ TEST(WeightMathTest, RoundTrip) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.Seconds(), 0.0);
   EXPECT_GE(t.Millis(), t.Seconds());  // ms numerically >= s for same span
 }
