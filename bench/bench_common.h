@@ -11,6 +11,8 @@
 #define MVDB_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,13 +66,67 @@ struct Workload {
   std::unique_ptr<QueryEngine> engine;
 };
 
-inline Workload MakeWorkload(const dblp::DblpConfig& cfg) {
+inline Workload MakeWorkload(const dblp::DblpConfig& cfg,
+                             const CompileOptions& copts = {}) {
   Workload w;
   w.mvdb = Unwrap(dblp::BuildDblpMvdb(cfg, nullptr));
   w.engine = std::make_unique<QueryEngine>(w.mvdb.get());
-  Die(w.engine->Compile());
+  Die(w.engine->Compile(copts));
   return w;
 }
+
+/// Strips a `--threads=N` (or `--threads N`) flag from argv before
+/// google-benchmark sees it (it rejects unknown flags) and returns N.
+/// Missing or malformed values fall back to 1 — the serial offline
+/// pipeline — never to the "one per hardware thread" meaning of 0.
+inline int ParseThreadsFlag(int* argc, char** argv) {
+  int threads = 1;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      // Consume the value only if the next token isn't another flag.
+      if (i + 1 < *argc && argv[i + 1][0] != '-') threads = std::atoi(argv[++i]);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return threads >= 1 ? threads : 1;
+}
+
+/// One-line machine-readable result record: prints
+/// `BENCH_JSON {"bench":"...",...}` so a driver can scrape stdout into
+/// BENCH_*.json files and track the perf trajectory across PRs.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) {
+    body_ = "{\"bench\":\"" + bench + "\"";
+  }
+  JsonLine& Field(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return Raw(key, buf);
+  }
+  JsonLine& Field(const std::string& key, size_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonLine& Field(const std::string& key, int v) {
+    return Raw(key, std::to_string(v));
+  }
+  JsonLine& Field(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + v + "\"");
+  }
+  void Emit() { std::printf("BENCH_JSON %s}\n", body_.c_str()); }
+
+ private:
+  JsonLine& Raw(const std::string& key, const std::string& value) {
+    body_ += ",\"" + key + "\":" + value;
+    return *this;
+  }
+  std::string body_;
+};
 
 /// A (student, advisor) pair present in the Advisor table, for the
 /// Figures 5/6/10 queries.

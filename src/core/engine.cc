@@ -19,7 +19,7 @@ double ClampProb(double p) {
 
 }  // namespace
 
-Status QueryEngine::Compile() {
+Status QueryEngine::Compile(const CompileOptions& options) {
   if (compiled()) return Status::OK();
   if (!mvdb_->translated()) {
     MVDB_RETURN_NOT_OK(mvdb_->Translate());
@@ -74,7 +74,8 @@ Status QueryEngine::Compile() {
   mgr_ = std::make_unique<BddManager>(
       BuildVariableOrder(db, order_spec_));
   var_probs_ = db.VarProbs();
-  MVDB_ASSIGN_OR_RETURN(index_, MvIndex::Build(db, w, mgr_.get(), var_probs_));
+  MVDB_ASSIGN_OR_RETURN(
+      index_, MvIndex::Build(db, w, mgr_.get(), var_probs_, options));
   w_bdd_ = mgr_->Not(index_->not_w_manager_root());
   return Status::OK();
 }

@@ -52,13 +52,23 @@ struct AnswerProb {
   double prob;
 };
 
+/// Offline compilation options (Section 4's index build). The MV-index
+/// blocks are variable-disjoint, so block compilation shards across
+/// threads; the output is bit-identical for every thread count (same block
+/// keys, same flat layout, same probabilities) — parallelism is purely a
+/// wall-clock knob. See MvIndexBuildOptions for the field semantics
+/// (num_threads, reserve_hint).
+using CompileOptions = MvIndexBuildOptions;
+
 class QueryEngine {
  public:
   /// The engine borrows the Mvdb, which must outlive it.
   explicit QueryEngine(Mvdb* mvdb) : mvdb_(mvdb) {}
 
-  /// Runs the offline pipeline. Idempotent.
-  Status Compile();
+  /// Runs the offline pipeline. Idempotent: once compiled, later calls (any
+  /// options) are no-ops.
+  Status Compile() { return Compile(CompileOptions{}); }
+  Status Compile(const CompileOptions& options);
 
   bool compiled() const { return index_ != nullptr; }
 

@@ -1,20 +1,17 @@
 #include "mvindex/flat_obdd.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/logging.h"
 
 namespace mvdb {
 
-FlatObdd::FlatObdd(const BddManager& mgr, NodeId root,
-                   const std::vector<double>& var_probs) {
-  level_probs_.resize(mgr.num_levels());
-  for (size_t l = 0; l < mgr.num_levels(); ++l) {
-    level_probs_[l] = var_probs[static_cast<size_t>(mgr.var_at_level(static_cast<int32_t>(l)))];
-  }
+FlatObdd::Block FlatObdd::FlattenBlock(const BddManager& mgr, NodeId root) {
+  Block out;
   if (mgr.IsSink(root)) {
-    root_ = (root == BddManager::kTrue) ? kFlatTrue : kFlatFalse;
-    return;
+    out.root = (root == BddManager::kTrue) ? kFlatTrue : kFlatFalse;
+    return out;
   }
 
   // Collect reachable internal nodes, then sort by (level, discovery order).
@@ -42,61 +39,173 @@ FlatObdd::FlatObdd(const BddManager& mgr, NodeId root,
                      return discovery[a] < discovery[b];
                    });
 
-  nodes_.reserve(reachable.size());
-  index_of_.reserve(reachable.size());
+  // Reuse the discovery map to hold flat positions (the discovery values are
+  // dead after the sort).
   for (size_t i = 0; i < reachable.size(); ++i) {
-    index_of_.emplace(reachable[i], static_cast<FlatId>(i));
+    discovery[reachable[i]] = i;
   }
   auto flat_of = [&](NodeId id) -> FlatId {
     if (id == BddManager::kFalse) return kFlatFalse;
     if (id == BddManager::kTrue) return kFlatTrue;
-    return index_of_.at(id);
+    return static_cast<FlatId>(discovery.at(id));
   };
+  out.levels.reserve(reachable.size());
+  out.edges.reserve(reachable.size());
   for (NodeId id : reachable) {
     const BddNode& n = mgr.node(id);
-    nodes_.push_back(FlatNode{n.level, flat_of(n.lo), flat_of(n.hi)});
+    out.levels.push_back(n.level);
+    out.edges.push_back(FlatEdges{flat_of(n.lo), flat_of(n.hi)});
   }
-  root_ = flat_of(root);
+  out.root = flat_of(root);
+  return out;
+}
 
+namespace {
+
+/// Bottom-up rebuild of a level-sorted flat array inside `mgr`: children sit
+/// at larger indexes, so one reverse pass suffices. Shared by ImportBlock
+/// (local block arrays) and ImportInto (the stitched chain).
+NodeId ImportNodes(BddManager* mgr, const std::vector<int32_t>& levels,
+                   const std::vector<FlatEdges>& edges, FlatId root) {
+  if (root == kFlatTrue) return BddManager::kTrue;
+  if (root == kFlatFalse) return BddManager::kFalse;
+  std::vector<NodeId> ids(levels.size());
+  auto node_of = [&](FlatId u) -> NodeId {
+    if (u == kFlatFalse) return BddManager::kFalse;
+    if (u == kFlatTrue) return BddManager::kTrue;
+    return ids[static_cast<size_t>(u)];
+  };
+  for (size_t i = levels.size(); i-- > 0;) {
+    ids[i] = mgr->Mk(levels[i], node_of(edges[i].lo), node_of(edges[i].hi));
+  }
+  return ids[static_cast<size_t>(root)];
+}
+
+}  // namespace
+
+NodeId FlatObdd::ImportBlock(BddManager* mgr, const Block& block) {
+  return ImportNodes(mgr, block.levels, block.edges, block.root);
+}
+
+NodeId FlatObdd::ImportInto(BddManager* mgr) const {
+  mgr->ReserveNodes(mgr->num_created() + size());
+  return ImportNodes(mgr, levels_, edges_, root_);
+}
+
+FlatObdd::FlatObdd(const BddManager& mgr, NodeId root,
+                   const std::vector<double>& var_probs) {
+  level_probs_.resize(mgr.num_levels());
+  for (size_t l = 0; l < mgr.num_levels(); ++l) {
+    level_probs_[l] = var_probs[static_cast<size_t>(mgr.var_at_level(static_cast<int32_t>(l)))];
+  }
+  Block block = FlattenBlock(mgr, root);
+  levels_ = std::move(block.levels);
+  edges_ = std::move(block.edges);
+  root_ = block.root;
+  ComputeAnnotations();
+}
+
+std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
+    const std::vector<Block>& blocks, std::vector<double> level_probs,
+    std::vector<FlatId>* chain_roots) {
+  std::unique_ptr<FlatObdd> flat(new FlatObdd());
+  flat->level_probs_ = std::move(level_probs);
+
+  size_t total = 0;
+  bool chain_false = false;
+  for (const Block& b : blocks) {
+    total += b.size();
+    chain_false |= (b.root == kFlatFalse);
+  }
+  if (chain_false) {
+    // One block is constant false, so the AND chain is false and every
+    // prefix collapses with it (sink redirection plus reduction) — exactly
+    // what concatenating in a manager produces.
+    flat->root_ = kFlatFalse;
+    if (chain_roots != nullptr) chain_roots->assign(blocks.size(), kFlatFalse);
+    flat->ComputeAnnotations();
+    return flat;
+  }
+  if (chain_roots != nullptr) {
+    chain_roots->assign(blocks.size(), kFlatTrue);
+  }
+
+  // Emit back to front so each block knows its successor's stitched root.
+  // Positions are final (offsets are fixed by the block sizes), so emission
+  // order is an implementation detail; we fill the arrays directly.
+  flat->levels_.resize(total);
+  flat->edges_.resize(total);
+  FlatId next_root = kFlatTrue;  // chain suffix after the last block
+  size_t offset = total;
+  for (size_t i = blocks.size(); i-- > 0;) {
+    const Block& b = blocks[i];
+    if (b.root == kFlatTrue) {
+      // Constant-true block: the AND-chain identity. Nothing to emit; its
+      // chain entry is wherever the suffix already starts.
+      if (chain_roots != nullptr) (*chain_roots)[i] = next_root;
+      continue;
+    }
+    offset -= b.size();
+    const FlatId base = static_cast<FlatId>(offset);
+    for (size_t k = 0; k < b.size(); ++k) {
+      auto remap = [&](FlatId u) -> FlatId {
+        if (u == kFlatTrue) return next_root;  // AND-concatenation redirect
+        if (u == kFlatFalse) return kFlatFalse;
+        return base + u;
+      };
+      flat->levels_[offset + k] = b.levels[k];
+      flat->edges_[offset + k] =
+          FlatEdges{remap(b.edges[k].lo), remap(b.edges[k].hi)};
+    }
+    next_root = base + b.root;
+    if (chain_roots != nullptr) (*chain_roots)[i] = next_root;
+  }
+  flat->root_ = blocks.empty() ? kFlatTrue : next_root;
+  flat->ComputeAnnotations();
+  return flat;
+}
+
+void FlatObdd::ComputeAnnotations() {
   // probUnder: children always sit at larger indexes (levels strictly grow
   // along edges), so a single reverse pass suffices.
-  prob_under_.resize(nodes_.size());
-  for (size_t i = nodes_.size(); i-- > 0;) {
-    const FlatNode& n = nodes_[i];
-    const double p = level_probs_[static_cast<size_t>(n.level)];
-    prob_under_[i] = ScaledDouble(1.0 - p) * prob_under_scaled(n.lo) +
-                     ScaledDouble(p) * prob_under_scaled(n.hi);
+  prob_under_.resize(levels_.size());
+  for (size_t i = levels_.size(); i-- > 0;) {
+    const double p = level_probs_[static_cast<size_t>(levels_[i])];
+    prob_under_[i] = ScaledDouble(1.0 - p) * prob_under_scaled(edges_[i].lo) +
+                     ScaledDouble(p) * prob_under_scaled(edges_[i].hi);
   }
 
   // reachability: forward pass from the root.
-  reach_.assign(nodes_.size(), ScaledDouble::Zero());
+  reach_.assign(levels_.size(), ScaledDouble::Zero());
+  if (root_ < 0) return;
   reach_[static_cast<size_t>(root_)] = ScaledDouble::One();
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    const FlatNode& n = nodes_[i];
-    const double p = level_probs_[static_cast<size_t>(n.level)];
-    if (n.lo >= 0) {
-      reach_[static_cast<size_t>(n.lo)] += reach_[i] * ScaledDouble(1.0 - p);
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const FlatEdges& e = edges_[i];
+    const double p = level_probs_[static_cast<size_t>(levels_[i])];
+    if (e.lo >= 0) {
+      reach_[static_cast<size_t>(e.lo)] += reach_[i] * ScaledDouble(1.0 - p);
     }
-    if (n.hi >= 0) {
-      reach_[static_cast<size_t>(n.hi)] += reach_[i] * ScaledDouble(p);
+    if (e.hi >= 0) {
+      reach_[static_cast<size_t>(e.hi)] += reach_[i] * ScaledDouble(p);
     }
   }
 }
 
-FlatId FlatObdd::IndexOf(NodeId manager_node) const {
-  if (manager_node == BddManager::kFalse) return kFlatFalse;
-  if (manager_node == BddManager::kTrue) return kFlatTrue;
-  auto it = index_of_.find(manager_node);
-  MVDB_CHECK(it != index_of_.end()) << "node not in flattened OBDD";
-  return it->second;
+size_t FlatObdd::MemoryBytes() const {
+  // Per-node arrays only: level_probs_ scales with the variable count, not
+  // the layout, and would skew the bytes/node trajectory metric.
+  return levels_.capacity() * sizeof(int32_t) +
+         edges_.capacity() * sizeof(FlatEdges) +
+         prob_under_.capacity() * sizeof(ScaledDouble) +
+         reach_.capacity() * sizeof(ScaledDouble);
 }
 
 size_t FlatObdd::Width() const {
   size_t width = 0;
   size_t i = 0;
-  while (i < nodes_.size()) {
+  while (i < levels_.size()) {
     size_t j = i;
-    while (j < nodes_.size() && nodes_[j].level == nodes_[i].level) ++j;
+    while (j < levels_.size() && levels_[j] == levels_[i]) ++j;
     width = std::max(width, j - i);
     i = j;
   }
@@ -104,14 +213,10 @@ size_t FlatObdd::Width() const {
 }
 
 std::pair<FlatId, FlatId> FlatObdd::NodesAtLevel(int32_t level) const {
-  auto lower = std::lower_bound(
-      nodes_.begin(), nodes_.end(), level,
-      [](const FlatNode& n, int32_t l) { return n.level < l; });
-  auto upper = std::upper_bound(
-      nodes_.begin(), nodes_.end(), level,
-      [](int32_t l, const FlatNode& n) { return l < n.level; });
-  return {static_cast<FlatId>(lower - nodes_.begin()),
-          static_cast<FlatId>(upper - nodes_.begin())};
+  auto lower = std::lower_bound(levels_.begin(), levels_.end(), level);
+  auto upper = std::upper_bound(levels_.begin(), levels_.end(), level);
+  return {static_cast<FlatId>(lower - levels_.begin()),
+          static_cast<FlatId>(upper - levels_.begin())};
 }
 
 }  // namespace mvdb

@@ -1,22 +1,34 @@
 // Copyright 2026 The MarkoView Authors.
 //
 // FlatObdd: the cache-conscious OBDD layout of Section 4.3. Nodes are
-// stored in one contiguous vector sorted by variable level (edges only point
+// stored in contiguous arrays sorted by variable level (edges only point
 // forward), so traversals are sequential array walks instead of pointer
-// chases — the CC-MVIntersect optimization. Each node is augmented with the
+// chases — the CC-MVIntersect optimization. The layout is
+// structure-of-arrays: an 8-byte {lo, hi} topology record per node, a
+// separate level array, and separate annotation arrays, so the forward
+// sweep streams only the bytes it touches. Each node is augmented with the
 // two quantities of Section 4.1:
 //
 //   probUnder(u)    — probability of the sub-OBDD rooted at u;
 //   reachability(u) — total probability of all root-to-u paths.
 //
-// Both are computed once at build time in two linear passes and remain valid
-// for probabilities outside [0,1].
+// Both are computed once at build time in two linear passes over the
+// stitched chain and remain valid for probabilities outside [0,1].
+//
+// Construction comes in two flavours: flattening one manager sub-DAG (the
+// classic path, used by tests and ablations), and stitching per-block
+// flattened pieces emitted by the sharded MV-index build — each
+// variable-disjoint block is flattened standalone (possibly on a different
+// thread, in a different manager) and appended with its true sink redirected
+// to the next block's root. Because blocks occupy disjoint, ascending level
+// ranges, the stitched array is level-sorted and bit-identical to flattening
+// the concatenated chain in one piece.
 
 #ifndef MVDB_MVINDEX_FLAT_OBDD_H_
 #define MVDB_MVINDEX_FLAT_OBDD_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "obdd/manager.h"
@@ -29,26 +41,63 @@ using FlatId = int32_t;
 inline constexpr FlatId kFlatFalse = -1;
 inline constexpr FlatId kFlatTrue = -2;
 
-struct FlatNode {
-  int32_t level;
+/// 8-byte topology record: the 0/1 successors of one flat node.
+struct FlatEdges {
   FlatId lo;
   FlatId hi;
 };
 
 class FlatObdd {
  public:
+  /// One variable-disjoint block flattened over local flat ids (level-sorted,
+  /// edges forward-only; sinks are the kFlatFalse/kFlatTrue sentinels).
+  /// Produced per block by the sharded build, consumed by StitchChain.
+  struct Block {
+    std::vector<int32_t> levels;
+    std::vector<FlatEdges> edges;
+    FlatId root = kFlatFalse;
+    size_t size() const { return levels.size(); }
+  };
+
   /// Flattens the sub-DAG of `mgr` rooted at `root`. `var_probs` is indexed
   /// by VarId and is snapshotted per level for the annotation passes.
   FlatObdd(const BddManager& mgr, NodeId root, const std::vector<double>& var_probs);
 
+  /// Flattens the sub-DAG rooted at `root` as a standalone block: nodes
+  /// sorted by (level, DFS discovery order) — the same order the classic
+  /// constructor produces — with local ids and sink sentinels.
+  static Block FlattenBlock(const BddManager& mgr, NodeId root);
+
+  /// Rebuilds a flattened block inside `mgr` bottom-up, returning its root.
+  /// The inverse of FlattenBlock up to hash-consing: importing into a fresh
+  /// manager reproduces the identical reduced OBDD.
+  static NodeId ImportBlock(BddManager* mgr, const Block& block);
+
+  /// Builds the stitched NOT W chain by direct per-block emission: block i's
+  /// nodes are appended with local ids offset, its false sink kept, and its
+  /// true sink redirected to block i+1's root (the last block keeps
+  /// kFlatTrue) — the flat image of AND-concatenation. Blocks must arrive in
+  /// ascending, non-overlapping level order. `level_probs` is indexed by
+  /// level. If `chain_roots` is non-null it receives each block's entry
+  /// point in the chain. The annotation passes run once over the stitched
+  /// arrays.
+  static std::unique_ptr<FlatObdd> StitchChain(const std::vector<Block>& blocks,
+                                               std::vector<double> level_probs,
+                                               std::vector<FlatId>* chain_roots);
+
+  /// Rebuilds the whole flat chain inside `mgr` bottom-up and returns its
+  /// root (kTrue/kFalse for sink roots). Lets the online manager hold the
+  /// compiled NOT W without retaining any offline build state.
+  NodeId ImportInto(BddManager* mgr) const;
+
   /// Root as a flat id (may be a sink sentinel for constant functions).
   FlatId root() const { return root_; }
-  size_t size() const { return nodes_.size(); }
+  size_t size() const { return levels_.size(); }
   bool IsSinkId(FlatId id) const { return id < 0; }
 
-  int32_t level(FlatId id) const { return nodes_[static_cast<size_t>(id)].level; }
-  FlatId lo(FlatId id) const { return nodes_[static_cast<size_t>(id)].lo; }
-  FlatId hi(FlatId id) const { return nodes_[static_cast<size_t>(id)].hi; }
+  int32_t level(FlatId id) const { return levels_[static_cast<size_t>(id)]; }
+  FlatId lo(FlatId id) const { return edges_[static_cast<size_t>(id)].lo; }
+  FlatId hi(FlatId id) const { return edges_[static_cast<size_t>(id)].hi; }
 
   /// Marginal probability of the variable branched on at `level`.
   double prob_at_level(int32_t level) const {
@@ -77,9 +126,11 @@ class FlatObdd {
   ScaledDouble prob_root_scaled() const { return prob_under_scaled(root_); }
   double prob_root() const { return prob_root_scaled().ToDouble(); }
 
-  /// Flat index of a manager node; kFlatFalse/kFlatTrue for sinks,
-  /// CHECK-fails for nodes outside the flattened sub-DAG.
-  FlatId IndexOf(NodeId manager_node) const;
+  /// Resident bytes of the per-node flat arrays (topology + levels +
+  /// annotations; the per-level probability table is excluded since it
+  /// scales with the variable count, not the node count). The bytes/node
+  /// figure bench_build_scale reports is MemoryBytes()/size().
+  size_t MemoryBytes() const;
 
   /// Maximum number of nodes on one level (the OBDD width of Section 4.1).
   size_t Width() const;
@@ -89,11 +140,17 @@ class FlatObdd {
   std::pair<FlatId, FlatId> NodesAtLevel(int32_t level) const;
 
  private:
-  std::vector<FlatNode> nodes_;
+  FlatObdd() = default;
+
+  /// The two linear annotation passes (probUnder reverse, reachability
+  /// forward) over the already-populated topology arrays.
+  void ComputeAnnotations();
+
+  std::vector<int32_t> levels_;
+  std::vector<FlatEdges> edges_;
   std::vector<ScaledDouble> prob_under_;
   std::vector<ScaledDouble> reach_;
   std::vector<double> level_probs_;
-  std::unordered_map<NodeId, FlatId> index_of_;
   FlatId root_ = kFlatFalse;
 };
 

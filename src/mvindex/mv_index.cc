@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string>
+#include <utility>
 
 #include "query/analysis.h"
 #include "query/eval.h"
 #include "util/logging.h"
+#include "util/parallel.h"
+#include "util/timer.h"
 
 namespace mvdb {
 namespace {
@@ -18,20 +22,133 @@ Ucq SubUcq(const Ucq& q, const std::vector<size_t>& disjuncts) {
   return out;
 }
 
-/// Pre-chain block: standalone NOT W_b OBDD plus metadata.
-struct RawBlock {
+/// One unit of offline work: a variable-disjoint sub-constraint of W (an
+/// independent view group, or one separator value of such a group).
+struct BlockTask {
   std::string key;
-  NodeId not_f;
-  int32_t first_level;
-  int32_t last_level;
+  Ucq query;
+};
+
+/// Compile-phase output for one task, flattened over local ids so it no
+/// longer references any manager. `present` is false when NOT W_b = true
+/// (the block is skipped, matching the serial build).
+struct CompiledBlock {
+  Status status = Status::OK();
+  bool present = false;
+  std::string key;
+  FlatObdd::Block flat;
+  int32_t first_level = 0;
+  int32_t last_level = 0;
   ScaledDouble prob;
 };
+
+/// Stage 1: decompose W into independently compilable block tasks, in the
+/// deterministic order the serial build has always used — groups ascending,
+/// separator values in domain order within a group.
+std::vector<BlockTask> PartitionBlocks(const Database& db, const Ucq& w,
+                                       const IsProbFn& is_prob) {
+  std::vector<BlockTask> tasks;
+  if (w.disjuncts.empty()) return tasks;
+  const auto groups = IndependentUnionComponents(w, is_prob);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Ucq sub = SubUcq(w, groups[g]);
+    const auto sep = FindSeparator(sub, is_prob);
+    bool decomposed = false;
+    if (sep.has_value()) {
+      bool any_var = false;
+      for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
+      if (any_var) {
+        // One task per separator value: the per-value subqueries are
+        // tuple-disjoint (Proposition 1), hence variable-disjoint blocks —
+        // the property that makes shard compilation sound.
+        std::set<Value> domain;
+        for (size_t d = 0; d < sub.disjuncts.size(); ++d) {
+          const int z = sep->var_of_disjunct[d];
+          if (z < 0) continue;
+          for (const Atom& a : sub.disjuncts[d].atoms) {
+            if (!is_prob(a.relation)) continue;
+            const Table* t = db.Find(a.relation);
+            const size_t pos = sep->position.at(a.relation);
+            const auto vals = t->DistinctValues(pos);
+            domain.insert(vals.begin(), vals.end());
+          }
+        }
+        for (Value a : domain) {
+          Ucq block_q = sub;
+          for (size_t d = 0; d < block_q.disjuncts.size(); ++d) {
+            const int z = sep->var_of_disjunct[d];
+            if (z >= 0) SubstituteInDisjunct(&block_q, d, z, a);
+          }
+          tasks.push_back(BlockTask{
+              "g" + std::to_string(g) + "/" + std::to_string(a),
+              std::move(block_q)});
+        }
+        decomposed = true;
+      }
+    }
+    if (!decomposed) {
+      tasks.push_back(BlockTask{"g" + std::to_string(g), std::move(sub)});
+    }
+  }
+  return tasks;
+}
+
+/// Stage 2 worker: compile one block inside the shard's private manager and
+/// flatten it standalone. The shard manager shares the immutable VarOrder,
+/// so the reduced OBDD (and hence the flattened block, the level range and
+/// the extended-range probability) is identical to what a single shared
+/// manager would produce.
+void CompileBlock(const Database& db, const BlockTask& task,
+                  const std::vector<double>& var_probs, BddManager* shard_mgr,
+                  CompiledBlock* out) {
+  out->key = task.key;
+  ConObddBuilder builder(db, shard_mgr);
+  auto f_or = builder.Build(task.query);
+  if (!f_or.ok()) {
+    out->status = f_or.status();
+    return;
+  }
+  const NodeId f = f_or.value();
+  if (f == BddManager::kFalse) return;  // NOT W_b = true: skip
+  if (f == BddManager::kTrue) {
+    out->status = Status::InvalidArgument(
+        "MarkoView constraint W is certainly true: the MVDB admits no "
+        "possible world (1 - P0(W) = 0), block " + task.key);
+    return;
+  }
+  const NodeId not_f = shard_mgr->Not(f);
+  const auto [lo, hi] = shard_mgr->LevelRange(not_f);
+  out->present = true;
+  out->first_level = lo;
+  out->last_level = hi;
+  out->prob = shard_mgr->ProbScaled(not_f, var_probs);
+  out->flat = FlatObdd::FlattenBlock(*shard_mgr, not_f);
+  // Per-block memo tables would otherwise accumulate for the shard's whole
+  // task list; the unique table stays (hash-consing is the point).
+  shard_mgr->ClearOpCaches();
+}
+
+/// Conjunction of two compiled blocks whose level ranges interleave (only
+/// non-inversion-free residues). Rebuilds both in a scratch manager over the
+/// shared order, ANDs them, and re-flattens — the canonical reduced result
+/// is the same OBDD the serial in-manager merge produced.
+void MergeInto(const std::shared_ptr<const VarOrder>& order,
+               const std::vector<double>& var_probs, CompiledBlock* m,
+               const CompiledBlock& b) {
+  BddManager scratch(order);
+  const NodeId conj = scratch.And(FlatObdd::ImportBlock(&scratch, m->flat),
+                                  FlatObdd::ImportBlock(&scratch, b.flat));
+  m->flat = FlatObdd::FlattenBlock(scratch, conj);
+  m->last_level = std::max(m->last_level, b.last_level);
+  m->key += "+" + b.key;
+  m->prob = scratch.ProbScaled(conj, var_probs);
+}
 
 }  // namespace
 
 StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
     const Database& db, const Ucq& w, BddManager* mgr,
-    const std::vector<double>& var_probs) {
+    const std::vector<double>& var_probs, const MvIndexBuildOptions& options) {
   auto is_prob = [&db](const std::string& rel) {
     const Table* t = db.Find(rel);
     return t != nullptr && t->probabilistic();
@@ -40,103 +157,97 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   std::unique_ptr<MvIndex> index(new MvIndex());
   index->mgr_ = mgr;
   index->var_probs_ = var_probs;
+  MvIndexBuildStats& stats = index->build_stats_;
 
-  ConObddBuilder builder(db, mgr);
-  std::vector<RawBlock> raw;
+  // Stage 1: partition W into variable-disjoint block tasks.
+  Timer timer;
+  const std::vector<BlockTask> tasks = PartitionBlocks(db, w, is_prob);
+  stats.block_tasks = tasks.size();
+  stats.partition_seconds = timer.Seconds();
 
-  auto add_block = [&](const std::string& key, NodeId f) -> Status {
-    if (f == BddManager::kFalse) return Status::OK();  // NOT W_b = true: skip
-    if (f == BddManager::kTrue) {
-      return Status::InvalidArgument(
-          "MarkoView constraint W is certainly true: the MVDB admits no "
-          "possible world (1 - P0(W) = 0), block " + key);
+  // Stage 2: compile blocks across shards. Results land in per-task slots,
+  // so the output order is deterministic regardless of scheduling; with one
+  // shard no threads are spawned (the serial fallback).
+  timer.Restart();
+  const int shards = EffectiveThreads(options.num_threads, tasks.size());
+  stats.shards = shards;
+  if (shards > 1) {
+    // Probe indexes are built lazily; warm them now so the workers' query
+    // evaluations only read shared state.
+    db.WarmIndexes();
+  }
+  std::vector<std::unique_ptr<BddManager>> shard_mgrs(
+      static_cast<size_t>(shards));
+  for (auto& m : shard_mgrs) {
+    m = std::make_unique<BddManager>(mgr->order());
+    if (options.reserve_hint > 0) {
+      const size_t per_shard =
+          options.reserve_hint / static_cast<size_t>(shards) + 1;
+      m->ReserveNodes(per_shard);
+      m->ReserveCaches(per_shard);
     }
-    const NodeId not_f = mgr->Not(f);
-    const auto [lo, hi] = mgr->LevelRange(not_f);
-    raw.push_back(RawBlock{key, not_f, lo, hi, mgr->ProbScaled(not_f, var_probs)});
-    return Status::OK();
-  };
+  }
+  std::vector<CompiledBlock> compiled(tasks.size());
+  ParallelFor(shards, tasks.size(), [&](int shard, size_t i) {
+    CompileBlock(db, tasks[i], var_probs, shard_mgrs[static_cast<size_t>(shard)].get(),
+                 &compiled[i]);
+  });
+  for (const auto& m : shard_mgrs) stats.peak_manager_nodes += m->num_created();
+  stats.compile_seconds = timer.Seconds();
+  shard_mgrs.clear();  // all compile state is flattened; free it
 
-  if (!w.disjuncts.empty()) {
-    const auto groups = IndependentUnionComponents(w, is_prob);
-    for (size_t g = 0; g < groups.size(); ++g) {
-      Ucq sub = SubUcq(w, groups[g]);
-      const auto sep = FindSeparator(sub, is_prob);
-      bool decomposed = false;
-      if (sep.has_value()) {
-        bool any_var = false;
-        for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
-        if (any_var) {
-          // One block per separator value: the per-value subqueries are
-          // tuple-disjoint (Proposition 1), hence variable-disjoint blocks.
-          std::set<Value> domain;
-          for (size_t d = 0; d < sub.disjuncts.size(); ++d) {
-            const int z = sep->var_of_disjunct[d];
-            if (z < 0) continue;
-            for (const Atom& a : sub.disjuncts[d].atoms) {
-              if (!is_prob(a.relation)) continue;
-              const Table* t = db.Find(a.relation);
-              const size_t pos = sep->position.at(a.relation);
-              const auto vals = t->DistinctValues(pos);
-              domain.insert(vals.begin(), vals.end());
-            }
-          }
-          for (Value a : domain) {
-            Ucq block_q = sub;
-            for (size_t d = 0; d < block_q.disjuncts.size(); ++d) {
-              const int z = sep->var_of_disjunct[d];
-              if (z >= 0) SubstituteInDisjunct(&block_q, d, z, a);
-            }
-            MVDB_ASSIGN_OR_RETURN(NodeId f, builder.Build(block_q));
-            MVDB_RETURN_NOT_OK(
-                add_block("g" + std::to_string(g) + "/" + std::to_string(a), f));
-          }
-          decomposed = true;
-        }
-      }
-      if (!decomposed) {
-        MVDB_ASSIGN_OR_RETURN(NodeId f, builder.Build(sub));
-        MVDB_RETURN_NOT_OK(add_block("g" + std::to_string(g), f));
-      }
-    }
+  for (const CompiledBlock& c : compiled) {
+    MVDB_RETURN_NOT_OK(c.status);  // first failure in task order
   }
 
   // Sort blocks by level and merge any with interleaving ranges so the
   // final chain is strictly level-ordered (merging only happens for
   // non-inversion-free residues).
-  std::sort(raw.begin(), raw.end(), [](const RawBlock& a, const RawBlock& b) {
-    return a.first_level < b.first_level;
-  });
-  std::vector<RawBlock> merged;
-  for (RawBlock& b : raw) {
+  timer.Restart();
+  std::vector<CompiledBlock> raw;
+  raw.reserve(compiled.size());
+  for (CompiledBlock& c : compiled) {
+    if (c.present) raw.push_back(std::move(c));
+  }
+  std::sort(raw.begin(), raw.end(),
+            [](const CompiledBlock& a, const CompiledBlock& b) {
+              return a.first_level < b.first_level;
+            });
+  std::vector<CompiledBlock> merged;
+  for (CompiledBlock& b : raw) {
     if (!merged.empty() && b.first_level <= merged.back().last_level) {
-      RawBlock& m = merged.back();
-      m.not_f = mgr->And(m.not_f, b.not_f);
-      m.last_level = std::max(m.last_level, b.last_level);
-      m.key += "+" + b.key;
-      m.prob = mgr->ProbScaled(m.not_f, var_probs);
+      MergeInto(mgr->order(), var_probs, &merged.back(), b);
+      ++stats.merged;
     } else {
       merged.push_back(std::move(b));
     }
   }
 
-  // Chain the blocks right-to-left with AND-concatenation, remembering each
-  // block's entry node in the chain.
-  std::vector<NodeId> chain_roots(merged.size());
-  NodeId chain = BddManager::kTrue;
-  for (size_t i = merged.size(); i-- > 0;) {
-    chain = mgr->ConcatAnd(merged[i].not_f, chain);
-    chain_roots[i] = chain;
+  // Stage 3: stitch the per-block pieces into the flat chain by direct
+  // emission (block i's true sink redirects to block i+1's root), run the
+  // annotation passes once over the stitched arrays, and register the chain
+  // in the online manager.
+  std::vector<double> level_probs(mgr->num_levels());
+  for (size_t l = 0; l < level_probs.size(); ++l) {
+    level_probs[l] =
+        var_probs[static_cast<size_t>(mgr->var_at_level(static_cast<int32_t>(l)))];
   }
-
-  index->not_w_root_ = chain;
-  index->flat_ = std::make_unique<FlatObdd>(*mgr, chain, var_probs);
+  std::vector<FlatObdd::Block> pieces;
+  pieces.reserve(merged.size());
+  for (CompiledBlock& b : merged) pieces.push_back(std::move(b.flat));
+  std::vector<FlatId> chain_roots;
+  index->flat_ =
+      FlatObdd::StitchChain(pieces, std::move(level_probs), &chain_roots);
+  index->not_w_root_ = index->flat_->ImportInto(mgr);
   for (size_t i = 0; i < merged.size(); ++i) {
-    index->blocks_.push_back(MvBlock{merged[i].key,
-                                     index->flat_->IndexOf(chain_roots[i]),
+    index->blocks_.push_back(MvBlock{std::move(merged[i].key), chain_roots[i],
                                      merged[i].first_level, merged[i].last_level,
                                      merged[i].prob});
   }
+  stats.stitch_seconds = timer.Seconds();
+  stats.blocks = index->blocks_.size();
+  stats.flat_nodes = index->flat_->size();
+  stats.flat_bytes = index->flat_->MemoryBytes();
   return index;
 }
 

@@ -44,15 +44,54 @@ struct MvBlock {
   ScaledDouble prob;      ///< standalone P(NOT W_b), extended range
 };
 
+/// Offline compilation knobs. The default is the serial path: no threads
+/// are spawned and the build output is bit-identical to any thread count
+/// (the property tests assert this) — parallelism only changes wall time.
+struct MvIndexBuildOptions {
+  /// Compilation shards. 1 = serial in the calling thread; <= 0 = one per
+  /// hardware thread; otherwise that many worker threads.
+  int num_threads = 1;
+  /// Expected total manager nodes of the compile phase; pre-sizes each
+  /// shard's node vector, unique table and apply caches so large builds
+  /// stop rehashing mid-compile. 0 = no reservation.
+  size_t reserve_hint = 0;
+};
+
+/// What the offline build did — the numbers bench_build_scale reports.
+struct MvIndexBuildStats {
+  size_t block_tasks = 0;         ///< partition output (pre skip/merge)
+  size_t blocks = 0;              ///< final chain blocks
+  size_t merged = 0;              ///< blocks absorbed by range merging
+  int shards = 1;                 ///< worker threads actually used
+  size_t peak_manager_nodes = 0;  ///< sum of shard-manager nodes at peak
+  size_t flat_nodes = 0;          ///< stitched chain size
+  size_t flat_bytes = 0;          ///< resident bytes of the flat arrays
+  double partition_seconds = 0.0;
+  double compile_seconds = 0.0;   ///< parallel region (wall clock)
+  /// Everything after the parallel join: block sort + range merging (the
+  /// MergeInto scratch rebuilds, when W has non-inversion-free residues) +
+  /// stitched emission + annotation passes + manager import.
+  double stitch_seconds = 0.0;
+};
+
 class MvIndex {
  public:
   /// Compiles W (the union of view constraint queries, Eq. 4) into an
   /// MV-index. The manager must already hold the global variable order and
   /// is also used later for query-side OBDDs. `var_probs` is indexed by
   /// VarId (NV variables may carry negative probabilities).
+  ///
+  /// The build is a three-stage pipeline: partition W into variable-disjoint
+  /// block tasks (independent view groups x separator values), compile each
+  /// block in one of `options.num_threads` shards — every shard owns a
+  /// private BddManager sharing the immutable VarOrder — and flatten each
+  /// block standalone, then stitch the per-block pieces into the flat chain
+  /// by direct emission (no global NodeId -> FlatId map). Only the finished
+  /// chain is imported into `mgr`; per-shard compile state is discarded.
   static StatusOr<std::unique_ptr<MvIndex>> Build(
       const Database& db, const Ucq& w, BddManager* mgr,
-      const std::vector<double>& var_probs);
+      const std::vector<double>& var_probs,
+      const MvIndexBuildOptions& options = {});
 
   /// P0(NOT W) — the denominator of Eq. 5 is 1 - P0(W) = P0(NOT W).
   /// Extended range: at DBLP scale this is a product of thousands of block
@@ -77,6 +116,7 @@ class MvIndex {
   const FlatObdd& flat() const { return *flat_; }
   const std::vector<MvBlock>& blocks() const { return blocks_; }
   const BddManager& manager() const { return *mgr_; }
+  const MvIndexBuildStats& build_stats() const { return build_stats_; }
 
   /// Total nodes in the compiled chain (the paper reports 1.38M for DBLP).
   size_t size() const { return flat_->size(); }
@@ -100,6 +140,7 @@ class MvIndex {
   std::vector<MvBlock> blocks_;
   std::vector<double> var_probs_;
   NodeId not_w_root_ = BddManager::kTrue;
+  MvIndexBuildStats build_stats_;
 
   // Reusable scratch for the CC sweep: one bucket per flat node, cleared
   // after each query (touched entries only), so queries allocate nothing

@@ -4,20 +4,28 @@
 
 namespace mvdb {
 
-BddManager::BddManager(std::vector<VarId> order) : order_(std::move(order)) {
-  level_of_.reserve(order_.size());
-  for (size_t l = 0; l < order_.size(); ++l) {
-    auto [it, inserted] = level_of_.emplace(order_[l], static_cast<int32_t>(l));
-    MVDB_CHECK(inserted) << "duplicate variable in order: " << order_[l];
-  }
+BddManager::BddManager(std::shared_ptr<const VarOrder> order)
+    : order_(std::move(order)) {
+  MVDB_CHECK(order_ != nullptr);
   nodes_.push_back(BddNode{kSinkLevel, kFalse, kFalse});  // 0 = false sink
   nodes_.push_back(BddNode{kSinkLevel, kTrue, kTrue});    // 1 = true sink
 }
 
-int32_t BddManager::level_of_var(VarId v) const {
-  auto it = level_of_.find(v);
-  MVDB_CHECK(it != level_of_.end()) << "variable " << v << " not in order";
-  return it->second;
+void BddManager::ReserveNodes(size_t n) {
+  nodes_.reserve(n + 2);
+  unique_.reserve(n);
+}
+
+void BddManager::ReserveCaches(size_t n) {
+  and_cache_.reserve(n);
+  or_cache_.reserve(n);
+  not_cache_.reserve(n);
+}
+
+void BddManager::ClearOpCaches() {
+  and_cache_.clear();
+  or_cache_.clear();
+  not_cache_.clear();
 }
 
 NodeId BddManager::Mk(int32_t level, NodeId lo, NodeId hi) {
@@ -65,14 +73,35 @@ NodeId BddManager::Apply(OpKind op, NodeId f, NodeId g) {
 }
 
 NodeId BddManager::Not(NodeId f) {
-  if (f == kFalse) return kTrue;
-  if (f == kTrue) return kFalse;
-  auto it = not_cache_.find(f);
-  if (it != not_cache_.end()) return it->second;
-  const BddNode n = nodes_[static_cast<size_t>(f)];
-  const NodeId r = Mk(n.level, Not(n.lo), Not(n.hi));
-  not_cache_.emplace(f, r);
-  return r;
+  // Iterative post-order: the NOT W chain is one long thin OBDD (size
+  // ~1.4M nodes at the paper's DBLP scale), so naive recursion would
+  // exhaust the stack long before the 1M-author target.
+  auto known = [this](NodeId g) -> NodeId {
+    if (g == kFalse) return kTrue;
+    if (g == kTrue) return kFalse;
+    auto it = not_cache_.find(g);
+    return it == not_cache_.end() ? NodeId{-1} : it->second;
+  };
+  if (const NodeId r = known(f); r >= 0) return r;
+  std::vector<NodeId> stack = {f};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    if (known(id) >= 0) {
+      stack.pop_back();
+      continue;
+    }
+    const BddNode n = nodes_[static_cast<size_t>(id)];  // copy: Mk reallocates
+    const NodeId not_lo = known(n.lo);
+    const NodeId not_hi = known(n.hi);
+    if (not_lo >= 0 && not_hi >= 0) {
+      not_cache_.emplace(id, Mk(n.level, not_lo, not_hi));
+      stack.pop_back();
+    } else {
+      if (not_lo < 0) stack.push_back(n.lo);
+      if (not_hi < 0) stack.push_back(n.hi);
+    }
+  }
+  return not_cache_.at(f);
 }
 
 NodeId BddManager::ConcatRec(NodeId f, NodeId g, NodeId sink_to_replace,
@@ -153,7 +182,7 @@ ScaledDouble BddManager::ProbScaled(NodeId f,
     const auto lo_it = memo.find(n.lo);
     const auto hi_it = memo.find(n.hi);
     if (lo_it != memo.end() && hi_it != memo.end()) {
-      const double p = var_probs[static_cast<size_t>(order_[static_cast<size_t>(n.level)])];
+      const double p = var_probs[static_cast<size_t>(order_->var_at_level(n.level))];
       memo.emplace(id, ScaledDouble(1.0 - p) * lo_it->second +
                            ScaledDouble(p) * hi_it->second);
       stack.pop_back();

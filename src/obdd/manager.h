@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "obdd/var_order.h"
 #include "prob/lineage.h"
 #include "util/scaled_double.h"
 #include "relational/types.h"
@@ -48,15 +50,19 @@ class BddManager {
 
   /// `order[l]` is the VarId branched on at level l. Every variable that any
   /// formula built in this manager mentions must appear in the order.
-  explicit BddManager(std::vector<VarId> order);
+  explicit BddManager(std::vector<VarId> order)
+      : BddManager(std::make_shared<const VarOrder>(std::move(order))) {}
 
-  size_t num_levels() const { return order_.size(); }
-  VarId var_at_level(int32_t level) const {
-    return order_[static_cast<size_t>(level)];
-  }
+  /// Shares an existing immutable order — the cheap constructor the sharded
+  /// MV-index build uses to create one manager per compilation shard.
+  explicit BddManager(std::shared_ptr<const VarOrder> order);
+
+  const std::shared_ptr<const VarOrder>& order() const { return order_; }
+  size_t num_levels() const { return order_->num_levels(); }
+  VarId var_at_level(int32_t level) const { return order_->var_at_level(level); }
   /// Level of a variable; CHECK-fails if the variable is not in the order.
-  int32_t level_of_var(VarId v) const;
-  bool has_var(VarId v) const { return level_of_.count(v) > 0; }
+  int32_t level_of_var(VarId v) const { return order_->level_of_var(v); }
+  bool has_var(VarId v) const { return order_->has_var(v); }
 
   const BddNode& node(NodeId id) const { return nodes_[static_cast<size_t>(id)]; }
   int32_t level(NodeId id) const { return nodes_[static_cast<size_t>(id)].level; }
@@ -117,6 +123,17 @@ class BddManager {
   size_t apply_steps() const { return apply_steps_; }
   void ResetCounters() { apply_steps_ = 0; }
 
+  /// Pre-sizes the node vector and unique table for a build expected to
+  /// create ~`n` nodes, so large compilations stop rehashing mid-build.
+  void ReserveNodes(size_t n);
+  /// Pre-sizes the binary-op caches for ~`n` memoized apply steps.
+  void ReserveCaches(size_t n);
+  /// Drops the apply/not memo tables (the unique table and nodes stay).
+  /// Purely a memory release: results are hash-consed, so re-deriving an
+  /// evicted entry returns the identical node. The sharded MV-index build
+  /// calls this between blocks so per-block caches don't accumulate.
+  void ClearOpCaches();
+
  private:
   enum class OpKind : uint8_t { kAnd, kOr };
 
@@ -147,8 +164,7 @@ class BddManager {
     }
   };
 
-  std::vector<VarId> order_;
-  std::unordered_map<VarId, int32_t> level_of_;
+  std::shared_ptr<const VarOrder> order_;
   std::vector<BddNode> nodes_;
   std::unordered_map<UniqueKey, NodeId, UniqueKeyHash> unique_;
   std::unordered_map<std::pair<NodeId, NodeId>, NodeId, PairHash> and_cache_;

@@ -1,0 +1,57 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// VarOrder: the immutable global variable order Pi shared by every
+// BddManager that compiles against the same MVDB. Factoring the order (and
+// its VarId -> level map) out of BddManager lets the sharded offline
+// pipeline create one lightweight manager per compilation shard without
+// duplicating the order — at DBLP scale the level map alone is millions of
+// entries, and the MV-index blocks are variable-disjoint by construction
+// (Section 4), so per-shard managers over the *same* order produce exactly
+// the OBDDs a single shared manager would.
+
+#ifndef MVDB_OBDD_VAR_ORDER_H_
+#define MVDB_OBDD_VAR_ORDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/types.h"
+#include "util/logging.h"
+
+namespace mvdb {
+
+/// Immutable total order over tuple variables: position = level. Shared
+/// (via shared_ptr<const VarOrder>) across managers; never mutated after
+/// construction, so concurrent readers need no synchronization.
+class VarOrder {
+ public:
+  explicit VarOrder(std::vector<VarId> order) : order_(std::move(order)) {
+    level_of_.reserve(order_.size());
+    for (size_t l = 0; l < order_.size(); ++l) {
+      auto [it, inserted] = level_of_.emplace(order_[l], static_cast<int32_t>(l));
+      MVDB_CHECK(inserted) << "duplicate variable in order: " << order_[l];
+    }
+  }
+
+  size_t num_levels() const { return order_.size(); }
+  VarId var_at_level(int32_t level) const {
+    return order_[static_cast<size_t>(level)];
+  }
+  /// Level of a variable; CHECK-fails if the variable is not in the order.
+  int32_t level_of_var(VarId v) const {
+    auto it = level_of_.find(v);
+    MVDB_CHECK(it != level_of_.end()) << "variable " << v << " not in order";
+    return it->second;
+  }
+  bool has_var(VarId v) const { return level_of_.count(v) > 0; }
+  const std::vector<VarId>& vars() const { return order_; }
+
+ private:
+  std::vector<VarId> order_;
+  std::unordered_map<VarId, int32_t> level_of_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_OBDD_VAR_ORDER_H_

@@ -53,6 +53,13 @@ void Database::set_var_weight(VarId v, double w) {
   var_weights_[static_cast<size_t>(v)] = w;
 }
 
+void Database::WarmIndexes() const {
+  for (const std::string& name : order_) {
+    const Table* t = Find(name);
+    if (t != nullptr) t->WarmIndexes();
+  }
+}
+
 std::vector<double> Database::VarProbs() const {
   std::vector<double> probs(var_weights_.size());
   for (size_t i = 0; i < probs.size(); ++i) {

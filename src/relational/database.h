@@ -93,6 +93,11 @@ class Database {
   /// All table names, in creation order.
   const std::vector<std::string>& table_names() const { return order_; }
 
+  /// Eagerly builds every table's per-column hash indexes so subsequent
+  /// Probe() calls are read-only (see Table::WarmIndexes) — required before
+  /// evaluating queries from multiple threads.
+  void WarmIndexes() const;
+
   /// String dictionary shared by all tables.
   Interner& dict() { return dict_; }
   const Interner& dict() const { return dict_; }

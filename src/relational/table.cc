@@ -6,8 +6,8 @@ namespace mvdb {
 
 const std::vector<RowId> Table::kEmptyRows;
 
-const std::vector<RowId>& Table::Probe(size_t col, Value v) const {
-  MVDB_CHECK_LT(col, arity());
+const std::unordered_map<Value, std::vector<RowId>>& Table::EnsureIndex(
+    size_t col) const {
   auto it = indexes_.find(col);
   if (it == indexes_.end()) {
     auto& idx = indexes_[col];
@@ -18,8 +18,20 @@ const std::vector<RowId>& Table::Probe(size_t col, Value v) const {
     }
     it = indexes_.find(col);
   }
-  auto hit = it->second.find(v);
-  return hit == it->second.end() ? kEmptyRows : hit->second;
+  return it->second;
+}
+
+const std::vector<RowId>& Table::Probe(size_t col, Value v) const {
+  MVDB_CHECK_LT(col, arity());
+  const auto& idx = EnsureIndex(col);
+  auto hit = idx.find(v);
+  return hit == idx.end() ? kEmptyRows : hit->second;
+}
+
+void Table::WarmIndexes() const {
+  // Every column gets an index entry — including on empty tables, whose
+  // first Probe would otherwise still mutate indexes_ concurrently.
+  for (size_t col = 0; col < arity(); ++col) EnsureIndex(col);
 }
 
 std::vector<Value> Table::DistinctValues(size_t col) const {

@@ -73,7 +73,14 @@ class Table {
   VarId var(RowId r) const { return probabilistic_ ? vars_[r] : kNoVar; }
 
   /// Rows whose column `col` equals `v`. Builds the hash index on first use.
+  /// NOT thread-safe on the building path — call WarmIndexes() before
+  /// probing from multiple threads.
   const std::vector<RowId>& Probe(size_t col, Value v) const;
+
+  /// Eagerly builds every per-column hash index. After this, Probe() is a
+  /// pure lookup and safe to call concurrently (until the next AppendRow).
+  /// The parallel MV-index build warms all tables before fanning out.
+  void WarmIndexes() const;
 
   /// Sorted distinct values of a column (the column's active domain).
   std::vector<Value> DistinctValues(size_t col) const;
@@ -82,6 +89,10 @@ class Table {
   bool FindRow(std::span<const Value> row, RowId* out) const;
 
  private:
+  /// Builds (if absent) and returns the per-column hash index.
+  const std::unordered_map<Value, std::vector<RowId>>& EnsureIndex(
+      size_t col) const;
+
   std::string name_;
   std::vector<std::string> attrs_;
   bool probabilistic_;

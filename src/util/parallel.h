@@ -1,0 +1,61 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Minimal fork/join parallelism for the offline pipeline. The MV-index
+// blocks are variable-disjoint (Section 4), so block compilation is
+// embarrassingly parallel: workers pull task indexes from a shared atomic
+// counter (dynamic load balancing — separator blocks vary in size) and
+// write results into per-task slots, which keeps the output order
+// deterministic regardless of scheduling.
+
+#ifndef MVDB_UTIL_PARALLEL_H_
+#define MVDB_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace mvdb {
+
+/// Number of workers to actually spawn for `num_tasks` tasks when the caller
+/// asked for `requested` threads. `requested <= 0` means one per hardware
+/// thread; the result is always in [1, num_tasks] (and 1 when there is
+/// nothing to parallelize), and absurd requests are capped well below the
+/// point where std::thread construction starts throwing.
+inline int EffectiveThreads(int requested, size_t num_tasks) {
+  if (num_tasks <= 1) return 1;
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  size_t n = requested > 0 ? static_cast<size_t>(requested) : hw;
+  n = std::min({n, num_tasks, std::max<size_t>(8 * hw, 64)});
+  return static_cast<int>(n);
+}
+
+/// Runs fn(worker_index, task_index) for every task in [0, num_tasks) on
+/// `num_threads` workers (the calling thread is worker 0). With
+/// num_threads <= 1 this degenerates to a plain serial loop — no threads are
+/// spawned and no atomics are touched, so the serial fallback is exactly the
+/// pre-parallel code path. `fn` must not throw.
+template <typename Fn>
+void ParallelFor(int num_threads, size_t num_tasks, Fn&& fn) {
+  if (num_threads <= 1 || num_tasks <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(0, i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&](int w) {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < num_tasks;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(w, i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads - 1));
+  for (int w = 1; w < num_threads; ++w) threads.emplace_back(worker, w);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace mvdb
+
+#endif  // MVDB_UTIL_PARALLEL_H_

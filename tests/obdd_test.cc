@@ -74,6 +74,22 @@ TEST(BddManagerTest, NotMatchesComplement) {
   }
 }
 
+TEST(BddManagerTest, NotSurvivesChainDeeperThanTheStack) {
+  // The NOT W chain is one long thin OBDD (~1.4M nodes at the paper's DBLP
+  // scale); Not() must not recurse node-per-node. 400K levels overflows an
+  // 8 MB stack with one frame per node — this is the regression test for
+  // the iterative rewrite.
+  const int n = 400000;
+  BddManager mgr(Identity(n));
+  Clause all;
+  all.reserve(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) all.push_back(static_cast<VarId>(v));
+  const NodeId chain = mgr.FromClause(all);   // conjunction chain, depth n
+  const NodeId not_chain = mgr.Not(chain);
+  EXPECT_EQ(mgr.CountNodes(not_chain), mgr.CountNodes(chain));
+  EXPECT_EQ(mgr.Not(not_chain), chain);  // involution through the cache
+}
+
 TEST(BddManagerTest, ConcatOrEqualsOrOnDisjointRanges) {
   Rng rng(7);
   for (int trial = 0; trial < 20; ++trial) {
