@@ -5,14 +5,22 @@
 //
 // For each (authors, threads) cell it reports wall-clock build time, the
 // per-phase split (partition / parallel compile / stitch+import), peak shard
-// manager nodes, stitched chain size, and bytes/node of the flat layout —
-// and checks that every threaded build is bit-identical to the serial one
-// (same block count, same node-by-node flat layout via an FNV digest, same
-// extended-range P0(NOT W)); any MISMATCH makes the process exit non-zero.
+// manager nodes, bytes/node of both the shard node stores (open-addressed
+// unique table + direct-mapped op caches) and the flat layout, the op-cache
+// bytes returned by the end-of-compile ClearOpCaches shrinks, and the process peak
+// RSS — and checks that every threaded build is bit-identical to the serial
+// one (same block count, same node-by-node flat layout via an FNV digest,
+// same extended-range P0(NOT W)). The dataset itself is generated with the
+// cell's thread count, so the parity gate covers generator and partition
+// parallelism too. Any MISMATCH makes the process exit non-zero.
 //
-// Usage: bench_build_scale [authors ...] [--threads=1,2,4]
+// Usage: bench_build_scale [authors ...] [--threads=1,2,4] [--scale-sweep]
 //   bench_build_scale                      # sweep {10000, 50000} x {1,2,4}
-//   bench_build_scale 200000 --threads=1,4 # the acceptance configuration
+//   bench_build_scale --scale-sweep        # {10000,50000,100000,200000,500000}
+//                                          # x {1,4}: the 1M-author trajectory
+//   bench_build_scale 500000 --threads=4   # one large cell
+
+#include <sys/resource.h>
 
 #include <cstring>
 #include <string>
@@ -50,10 +58,21 @@ uint64_t HashLayout(const FlatObdd& flat) {
 
 bool g_parity_failed = false;
 
+/// Peak resident set of this process so far, in MiB (Linux ru_maxrss is in
+/// KiB). Monotone across cells; meaningful for the largest cell of a sweep.
+double PeakRssMb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 BuildResult BuildOnce(int authors, int threads) {
   dblp::DblpConfig cfg;
   cfg.num_authors = authors;
   cfg.include_affiliation = true;
+  // Generate with the cell's thread count: the parity check then also
+  // covers the generator's per-entity RNG streams.
+  cfg.num_threads = threads;
   auto mvdb = Unwrap(dblp::BuildDblpMvdb(cfg, nullptr));
   QueryEngine engine(mvdb.get());
   CompileOptions copts;
@@ -93,10 +112,19 @@ void ReportCell(int authors, int threads, const BuildResult& r,
           ? 0.0
           : static_cast<double>(r.stats.flat_bytes) /
                 static_cast<double>(r.stats.flat_nodes);
-  std::printf("%-9d %-8d %9.2f %9.2f %9.2f %10zu %10zu %8.1f %8s\n", authors,
-              threads, r.total_s, r.stats.compile_seconds,
+  // Construction-side footprint: shard node stores (node vectors +
+  // open-addressed unique tables + op caches) per manager node at peak.
+  const double mgr_bytes_per_node =
+      r.stats.peak_manager_nodes == 0
+          ? 0.0
+          : static_cast<double>(r.stats.peak_manager_bytes) /
+                static_cast<double>(r.stats.peak_manager_nodes);
+  const double rss_mb = PeakRssMb();
+  std::printf("%-9d %-8d %9.2f %9.2f %9.2f %10zu %10zu %8.1f %8.1f %8.0f %8s\n",
+              authors, threads, r.total_s, r.stats.compile_seconds,
               r.stats.stitch_seconds, r.stats.peak_manager_nodes,
-              r.stats.flat_nodes, bytes_per_node, parity);
+              r.stats.flat_nodes, bytes_per_node, mgr_bytes_per_node, rss_mb,
+              parity);
   JsonLine json("build_scale");
   json.Field("authors", authors)
       .Field("threads", threads)
@@ -106,8 +134,12 @@ void ReportCell(int authors, int threads, const BuildResult& r,
       .Field("stitch_s", r.stats.stitch_seconds)
       .Field("blocks", r.blocks)
       .Field("peak_manager_nodes", r.stats.peak_manager_nodes)
+      .Field("peak_manager_bytes", r.stats.peak_manager_bytes)
+      .Field("manager_bytes_per_node", mgr_bytes_per_node)
+      .Field("op_cache_freed_bytes", r.stats.op_cache_freed_bytes)
       .Field("flat_nodes", r.stats.flat_nodes)
-      .Field("bytes_per_node", bytes_per_node);
+      .Field("bytes_per_node", bytes_per_node)
+      .Field("peak_rss_mb", rss_mb);
   if (!is_ref && serial_ref != nullptr) {
     json.Field("parity", std::strcmp(parity, "ok") == 0 ? 1 : 0);
   }
@@ -116,9 +148,9 @@ void ReportCell(int authors, int threads, const BuildResult& r,
 
 void RunSweep(const std::vector<int>& authors_sweep,
               const std::vector<int>& threads_sweep) {
-  std::printf("%-9s %-8s %9s %9s %9s %10s %10s %8s %8s\n", "authors",
+  std::printf("%-9s %-8s %9s %9s %9s %10s %10s %8s %8s %8s %8s\n", "authors",
               "threads", "build(s)", "compile", "stitch", "peak nodes",
-              "flat", "B/node", "parity");
+              "flat", "B/node", "mgrB/nd", "rss(MB)", "parity");
   for (int authors : authors_sweep) {
     const BuildResult* ref = nullptr;
     BuildResult serial;
@@ -151,21 +183,36 @@ int main(int argc, char** argv) {
       if (*p == ',') ++p;
     }
   };
+  bool scale_sweep = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       parse_thread_list(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc &&
                argv[i + 1][0] != '-') {
       parse_thread_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scale-sweep") == 0) {
+      scale_sweep = true;
     } else if (argv[i][0] != '-') {
       authors.push_back(std::atoi(argv[i]));
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: bench_build_scale [authors ...] "
-                   "[--threads=1,2,4]\n",
+                   "[--threads=1,2,4] [--scale-sweep]\n",
                    argv[i]);
       return 2;
     }
+  }
+  if (scale_sweep) {
+    // The 1M-author trajectory (ROADMAP): half-decade steps up to 500K.
+    // Explicitly listed author counts take precedence over the preset.
+    if (authors.empty()) {
+      authors = {10000, 50000, 100000, 200000, 500000};
+    } else {
+      std::fprintf(stderr,
+                   "note: explicit author counts given; ignoring the "
+                   "--scale-sweep preset scales\n");
+    }
+    if (threads.empty()) threads = {1, 4};
   }
   if (authors.empty()) authors = {10000, 50000};
   if (threads.empty()) threads = {1, 2, 4};

@@ -1,12 +1,16 @@
 #include "dblp/dblp.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "query/parser.h"
+#include "util/flat_hash.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace mvdb {
@@ -17,21 +21,49 @@ namespace {
 // domains never mix author ids with paper ids.
 constexpr Value kPidBase = 10'000'000;
 
-struct Generator {
-  const DblpConfig& cfg;
-  Rng rng;
-  Database* db;
+// Per-entity RNG streams. Every random decision is drawn from a generator
+// seeded by (config seed, stream tag, entity id) instead of one sequential
+// stream, so the planning loops below can shard entities over threads in
+// any order: the plans — and hence the emitted tables — are bit-identical
+// for every thread count (dblp_determinism_test pins this).
+enum class Stream : uint64_t {
+  kRole = 1,      // Author roles: advisor flag + first publication year
+  kCluster = 2,   // advisor/student co-publication clusters (Wrote/Pub)
+  kSolo = 3,      // random solo papers (Wrote/Pub)
+  kHomePage = 4,  // HomePage + DBLPAffiliation
+  kProlific = 5,  // planted V3 prolific pairs
+};
 
-  std::vector<int> first_pub;          // per aid (1-based; [0] unused)
-  std::vector<bool> is_advisor;
-  std::vector<int64_t> homepage_inst;  // interned inst id or -1
+Rng StreamRng(uint64_t seed, Stream stream, uint64_t id) {
+  return Rng(Mix64(seed ^ (static_cast<uint64_t>(stream) << 56)) ^
+             Mix64(id * 0x9e3779b97f4a7c15ULL + 1));
+}
+
+/// Planning chunk: coarse enough to amortize the work-queue atomic, fine
+/// enough to balance million-author plans across workers.
+constexpr size_t kPlanChunk = 1024;
+
+/// Everything one advisor's cluster contributes, planned ahead of emission.
+/// Year entries are offsets from the (later-assigned) student's first
+/// publication year, because which junior becomes the student is only known
+/// once all advisors' student counts are fixed.
+struct StudentPlan {
+  std::vector<uint8_t> year_offsets;       ///< one co-publication per entry
+  int adv2 = -1;                           ///< second advisor aid, or -1
+  std::vector<uint8_t> adv2_year_offsets;  ///< threshold+1 co-publications
+};
+struct ClusterPlan {
+  std::vector<StudentPlan> students;
+};
+
+/// Serial emission state: pid allocation and the co-authorship record the
+/// probabilistic tables are derived from. Emission order is fixed (clusters,
+/// solo papers, prolific pairs), which pins every pid.
+struct Emitter {
+  Database* db = nullptr;
   Value next_pid = kPidBase;
-
   // Co-authorship: unordered pair -> publication years (one entry per pid).
   std::map<std::pair<int, int>, std::vector<std::pair<Value, int>>> copubs;
-
-  explicit Generator(const DblpConfig& c, Database* d)
-      : cfg(c), rng(c.seed), db(d) {}
 
   Value AddPub(int year) {
     const Value pid = next_pid++;
@@ -49,11 +81,6 @@ struct Generator {
     AddWrote(b, pid);
     const auto key = std::minmax(a, b);
     copubs[{key.first, key.second}].push_back({pid, year});
-  }
-
-  bool InStudentWindow(int aid, int year) const {
-    const int fp = first_pub[static_cast<size_t>(aid)];
-    return year >= fp - 1 && year <= fp + 5;
   }
 };
 
@@ -79,109 +106,164 @@ StatusOr<std::unique_ptr<Mvdb>> BuildDblpMvdb(const DblpConfig& config,
   MVDB_RETURN_NOT_OK(
       db.CreateTable("Affiliation", {"aid", "inst"}, true).status());
 
-  Generator gen(config, &db);
   const int n = config.num_authors;
-  gen.first_pub.assign(static_cast<size_t>(n) + 1, 0);
-  gen.is_advisor.assign(static_cast<size_t>(n) + 1, false);
-  gen.homepage_inst.assign(static_cast<size_t>(n) + 1, -1);
+  const int threads = config.num_threads;
+  const size_t nn = static_cast<size_t>(n);
 
-  // --- Authors, roles, first-publication years -------------------------
+  // --- Plan: roles and first-publication years (Stream::kRole) ----------
   // Advisors publish early (window ends before 2000); students publish from
   // 2000 on, so advisor windows never overlap student windows.
+  std::vector<int> first_pub(nn + 1, 0);  // per aid (1-based; [0] unused)
+  std::vector<uint8_t> is_advisor(nn + 1, 0);
+  std::vector<std::string> names(nn + 1);
+  ParallelForChunked(threads, nn, kPlanChunk, [&](size_t i) {
+    const int aid = static_cast<int>(i) + 1;
+    Rng rng = StreamRng(config.seed, Stream::kRole, static_cast<uint64_t>(aid));
+    const bool advisor = rng.Uniform() < config.advisor_fraction;
+    is_advisor[i + 1] = advisor ? 1 : 0;
+    first_pub[i + 1] = static_cast<int>(advisor ? rng.Range(1985, 1992)
+                                                : rng.Range(2000, 2008));
+    names[i + 1] = AuthorName(aid);
+  });
+
   std::vector<int> advisors, juniors;
   for (int aid = 1; aid <= n; ++aid) {
-    db.InsertDeterministic("Author", {aid, db.Str(AuthorName(aid))});
-    const bool advisor = gen.rng.Uniform() < config.advisor_fraction;
-    gen.is_advisor[static_cast<size_t>(aid)] = advisor;
-    if (advisor) {
-      gen.first_pub[static_cast<size_t>(aid)] =
-          static_cast<int>(gen.rng.Range(1985, 1992));
-      advisors.push_back(aid);
-    } else {
-      gen.first_pub[static_cast<size_t>(aid)] =
-          static_cast<int>(gen.rng.Range(2000, 2008));
-      juniors.push_back(aid);
-    }
+    db.InsertDeterministic("Author",
+                           {aid, db.Str(names[static_cast<size_t>(aid)])});
+    (is_advisor[static_cast<size_t>(aid)] ? advisors : juniors).push_back(aid);
   }
+  names.clear();
+  names.shrink_to_fit();
 
-  // --- Advisor/student co-publication clusters -------------------------
-  size_t junior_cursor = 0;
-  for (int adv : advisors) {
+  // --- Plan: advisor/student clusters (Stream::kCluster) ----------------
+  // Plans are drawn per advisor; student identities are assigned at
+  // emission by walking the junior list in advisor order, exactly like the
+  // old sequential cursor. Plans for students the junior pool cannot supply
+  // are simply never emitted.
+  std::vector<ClusterPlan> cluster_plans(advisors.size());
+  ParallelForChunked(threads, advisors.size(), 64, [&](size_t ai) {
+    const int adv = advisors[ai];
+    Rng rng =
+        StreamRng(config.seed, Stream::kCluster, static_cast<uint64_t>(adv));
     const int num_students =
-        1 + static_cast<int>(gen.rng.Below(
+        1 + static_cast<int>(rng.Below(
                 static_cast<uint64_t>(config.max_students_per_advisor)));
-    for (int s = 0; s < num_students && junior_cursor < juniors.size(); ++s) {
-      const int student = juniors[junior_cursor++];
-      const int fp = gen.first_pub[static_cast<size_t>(student)];
+    cluster_plans[ai].students.resize(static_cast<size_t>(num_students));
+    for (StudentPlan& sp : cluster_plans[ai].students) {
       const int k = static_cast<int>(
-          gen.rng.Range(config.min_copubs, config.max_copubs));
-      for (int p = 0; p < k; ++p) {
-        gen.AddCopub(student, adv, fp + static_cast<int>(gen.rng.Below(5)));
-      }
+          rng.Range(config.min_copubs, config.max_copubs));
+      sp.year_offsets.resize(static_cast<size_t>(k));
+      for (uint8_t& o : sp.year_offsets) o = static_cast<uint8_t>(rng.Below(5));
       // Occasionally a second advisor, so the V2 denial view has work to do.
-      if (gen.rng.Uniform() < 0.15 && advisors.size() > 1) {
-        int adv2 = advisors[gen.rng.Below(advisors.size())];
+      if (rng.Uniform() < 0.15 && advisors.size() > 1) {
+        const int adv2 = advisors[rng.Below(advisors.size())];
         if (adv2 != adv) {
-          for (int p = 0; p <= config.advisor_copub_threshold; ++p) {
-            gen.AddCopub(student, adv2, fp + static_cast<int>(gen.rng.Below(5)));
+          sp.adv2 = adv2;
+          sp.adv2_year_offsets.resize(
+              static_cast<size_t>(config.advisor_copub_threshold) + 1);
+          for (uint8_t& o : sp.adv2_year_offsets) {
+            o = static_cast<uint8_t>(rng.Below(5));
           }
         }
       }
     }
-  }
+  });
 
-  // --- Random solo papers ----------------------------------------------
-  for (int aid = 1; aid <= n; ++aid) {
-    for (int p = 0; p < config.random_papers_per_author; ++p) {
-      const int year = gen.first_pub[static_cast<size_t>(aid)] +
-                       static_cast<int>(gen.rng.Below(8));
-      const Value pid = gen.AddPub(year);
-      gen.AddWrote(aid, pid);
+  // --- Plan: solo papers (Stream::kSolo) and home pages (kHomePage) -----
+  const size_t rpp = static_cast<size_t>(
+      std::max(0, config.random_papers_per_author));
+  std::vector<uint8_t> solo_offsets(nn * rpp);
+  std::vector<int> home_inst_no(nn + 1, -1);  // institute number or -1
+  ParallelForChunked(threads, nn, kPlanChunk, [&](size_t i) {
+    const uint64_t aid = i + 1;
+    Rng solo = StreamRng(config.seed, Stream::kSolo, aid);
+    for (size_t p = 0; p < rpp; ++p) {
+      solo_offsets[i * rpp + p] = static_cast<uint8_t>(solo.Below(8));
+    }
+    Rng home = StreamRng(config.seed, Stream::kHomePage, aid);
+    if (home.Uniform() < config.homepage_fraction) {
+      home_inst_no[i + 1] = static_cast<int>(
+          home.Below(static_cast<uint64_t>(config.num_institutes)));
+    }
+  });
+
+  // --- Emit: co-publication clusters ------------------------------------
+  Emitter em;
+  em.db = &db;
+  size_t junior_cursor = 0;
+  for (size_t ai = 0; ai < advisors.size(); ++ai) {
+    const int adv = advisors[ai];
+    for (const StudentPlan& sp : cluster_plans[ai].students) {
+      if (junior_cursor >= juniors.size()) break;
+      const int student = juniors[junior_cursor++];
+      const int fp = first_pub[static_cast<size_t>(student)];
+      for (uint8_t o : sp.year_offsets) em.AddCopub(student, adv, fp + o);
+      if (sp.adv2 >= 0) {
+        for (uint8_t o : sp.adv2_year_offsets) {
+          em.AddCopub(student, sp.adv2, fp + o);
+        }
+      }
     }
   }
+  cluster_plans.clear();
+  cluster_plans.shrink_to_fit();
 
-  // --- Home pages and declared affiliations ----------------------------
+  // --- Emit: random solo papers -----------------------------------------
   for (int aid = 1; aid <= n; ++aid) {
-    if (gen.rng.Uniform() >= config.homepage_fraction) continue;
-    const int inst_no = static_cast<int>(gen.rng.Below(
-        static_cast<uint64_t>(config.num_institutes)));
+    for (size_t p = 0; p < rpp; ++p) {
+      const int year = first_pub[static_cast<size_t>(aid)] +
+                       solo_offsets[(static_cast<size_t>(aid) - 1) * rpp + p];
+      const Value pid = em.AddPub(year);
+      em.AddWrote(aid, pid);
+    }
+  }
+  solo_offsets.clear();
+  solo_offsets.shrink_to_fit();
+
+  // --- Emit: home pages and declared affiliations -----------------------
+  std::vector<int64_t> homepage_inst(nn + 1, -1);  // interned inst id or -1
+  for (int aid = 1; aid <= n; ++aid) {
+    const int inst_no = home_inst_no[static_cast<size_t>(aid)];
+    if (inst_no < 0) continue;
     const Value inst = db.Str("www.inst" + std::to_string(inst_no) + ".edu");
     const Value url =
         db.Str("www.inst" + std::to_string(inst_no) + ".edu/~a" +
                std::to_string(aid));
-    gen.homepage_inst[static_cast<size_t>(aid)] = inst;
+    homepage_inst[static_cast<size_t>(aid)] = inst;
     db.InsertDeterministic("HomePage", {aid, url});
     db.InsertDeterministic("DBLPAffiliation", {aid, inst});
   }
 
-  // --- Prolific pairs feeding V3 ----------------------------------------
+  // --- Emit: prolific pairs feeding V3 (Stream::kProlific) --------------
   // Two authors without home pages who both co-publish recently with an
   // institute "hub" (giving them inferred affiliations) and prolifically
-  // with each other (pushing V3's count(pid) over the threshold).
+  // with each other (pushing V3's count(pid) over the threshold). Small and
+  // inherently sequential (candidates depend on earlier picks): one stream.
   if (config.include_affiliation && n >= 8) {
+    Rng rng = StreamRng(config.seed, Stream::kProlific, 0);
     for (int pair_no = 0; pair_no < config.num_prolific_pairs; ++pair_no) {
       // Deterministically pick distinct junior authors without home pages.
       int u = -1, v = -1, hub = -1;
       for (int tries = 0; tries < 200 && (u < 0 || v < 0 || hub < 0); ++tries) {
-        const int cand = static_cast<int>(gen.rng.Range(1, n));
-        if (hub < 0 && gen.homepage_inst[static_cast<size_t>(cand)] >= 0) {
+        const int cand = static_cast<int>(rng.Range(1, n));
+        if (hub < 0 && homepage_inst[static_cast<size_t>(cand)] >= 0) {
           hub = cand;
           continue;
         }
-        if (gen.homepage_inst[static_cast<size_t>(cand)] >= 0) continue;
-        if (gen.is_advisor[static_cast<size_t>(cand)]) continue;
+        if (homepage_inst[static_cast<size_t>(cand)] >= 0) continue;
+        if (is_advisor[static_cast<size_t>(cand)]) continue;
         if (u < 0 && cand != v) u = cand;
         else if (v < 0 && cand != u) v = cand;
       }
       if (u < 0 || v < 0 || hub < 0) break;
       // Recent hub co-publications (year > 2005) -> inferred affiliation.
       for (int p = 0; p < 3; ++p) {
-        gen.AddCopub(u, hub, 2006 + static_cast<int>(gen.rng.Below(4)));
-        gen.AddCopub(v, hub, 2006 + static_cast<int>(gen.rng.Below(4)));
+        em.AddCopub(u, hub, 2006 + static_cast<int>(rng.Below(4)));
+        em.AddCopub(v, hub, 2006 + static_cast<int>(rng.Below(4)));
       }
       // Prolific recent co-publication between u and v (year > 2004).
       for (int p = 0; p <= config.v3_copub_threshold; ++p) {
-        gen.AddCopub(u, v, 2005 + static_cast<int>(gen.rng.Below(5)));
+        em.AddCopub(u, v, 2005 + static_cast<int>(rng.Below(5)));
       }
     }
   }
@@ -189,32 +271,57 @@ StatusOr<std::unique_ptr<Mvdb>> BuildDblpMvdb(const DblpConfig& config,
   // --- Derived views -----------------------------------------------------
   for (int aid = 1; aid <= n; ++aid) {
     db.InsertDeterministic("FirstPub",
-                           {aid, gen.first_pub[static_cast<size_t>(aid)]});
+                           {aid, first_pub[static_cast<size_t>(aid)]});
   }
 
   // --- Probabilistic tables (Fig. 1 weight expressions) ------------------
   // Student(aid, year)[exp(1 - .15 (year - year'))], year' - 1 <= year <=
-  // year' + 5.
+  // year' + 5: only 7 distinct weights, one per window offset.
+  std::array<double, 7> student_w;
+  for (int j = 0; j < 7; ++j) student_w[static_cast<size_t>(j)] =
+      std::exp(1.0 - 0.15 * (j - 1));
   for (int aid = 1; aid <= n; ++aid) {
-    const int fp = gen.first_pub[static_cast<size_t>(aid)];
-    for (int year = fp - 1; year <= fp + 5; ++year) {
-      const double w = std::exp(1.0 - 0.15 * (year - fp));
-      db.InsertProbabilistic("Student", {aid, year}, w);
+    const int fp = first_pub[static_cast<size_t>(aid)];
+    for (int j = 0; j < 7; ++j) {
+      db.InsertProbabilistic("Student", {aid, fp - 1 + j},
+                             student_w[static_cast<size_t>(j)]);
     }
   }
 
+  auto in_student_window = [&first_pub](int aid, int year) {
+    const int fp = first_pub[static_cast<size_t>(aid)];
+    return year >= fp - 1 && year <= fp + 5;
+  };
+
   // Advisor(aid1, aid2)[exp(.25 count(pid))]: co-publications while aid1 was
-  // a student and aid2 was not, count > threshold.
-  size_t advisor_rows = 0;
-  for (const auto& [pair, pubs] : gen.copubs) {
-    for (const auto& [a, b] : {pair, std::make_pair(pair.second, pair.first)}) {
+  // a student and aid2 was not, count > threshold. The window counting is
+  // sharded over the co-authorship pairs; rows are emitted in pair order.
+  using CopubEntry = decltype(em.copubs)::value_type;
+  std::vector<const CopubEntry*> copub_entries;
+  copub_entries.reserve(em.copubs.size());
+  for (const auto& entry : em.copubs) copub_entries.push_back(&entry);
+
+  std::vector<std::array<int, 2>> window_counts(copub_entries.size());
+  ParallelForChunked(threads, copub_entries.size(), 256, [&](size_t i) {
+    const auto& [pair, pubs] = *copub_entries[i];
+    for (int dir = 0; dir < 2; ++dir) {
+      const int a = dir == 0 ? pair.first : pair.second;
+      const int b = dir == 0 ? pair.second : pair.first;
       int count = 0;
       for (const auto& [pid, year] : pubs) {
-        if (gen.InStudentWindow(a, year) && !gen.InStudentWindow(b, year)) {
-          ++count;
-        }
+        if (in_student_window(a, year) && !in_student_window(b, year)) ++count;
       }
+      window_counts[i][static_cast<size_t>(dir)] = count;
+    }
+  });
+  size_t advisor_rows = 0;
+  for (size_t i = 0; i < copub_entries.size(); ++i) {
+    const auto& pair = copub_entries[i]->first;
+    for (int dir = 0; dir < 2; ++dir) {
+      const int count = window_counts[i][static_cast<size_t>(dir)];
       if (count > config.advisor_copub_threshold) {
+        const int a = dir == 0 ? pair.first : pair.second;
+        const int b = dir == 0 ? pair.second : pair.first;
         db.InsertProbabilistic("Advisor", {a, b}, std::exp(0.25 * count));
         ++advisor_rows;
       }
@@ -222,22 +329,40 @@ StatusOr<std::unique_ptr<Mvdb>> BuildDblpMvdb(const DblpConfig& config,
   }
 
   // Affiliation(aid, inst)[exp(.1 count(pid))]: recent co-publication with
-  // affiliated authors, for authors without a declared affiliation.
-  std::map<std::pair<int, Value>, std::set<Value>> affiliation_pids;
+  // affiliated authors, for authors without a declared affiliation. Each
+  // pair contributes its own pids, so per-(author, institute) counts are
+  // sums of the sharded per-pair recent-pub counts.
   if (config.include_affiliation) {
-    for (const auto& [pair, pubs] : gen.copubs) {
-      for (const auto& [a, b] : {pair, std::make_pair(pair.second, pair.first)}) {
-        if (gen.homepage_inst[static_cast<size_t>(a)] >= 0) continue;
-        const int64_t inst = gen.homepage_inst[static_cast<size_t>(b)];
-        if (inst < 0) continue;
-        for (const auto& [pid, year] : pubs) {
-          if (year > 2005) affiliation_pids[{a, inst}].insert(pid);
+    std::vector<std::array<int, 2>> recent_counts(copub_entries.size());
+    ParallelForChunked(threads, copub_entries.size(), 256, [&](size_t i) {
+      const auto& [pair, pubs] = *copub_entries[i];
+      for (int dir = 0; dir < 2; ++dir) {
+        const int a = dir == 0 ? pair.first : pair.second;
+        const int b = dir == 0 ? pair.second : pair.first;
+        int count = 0;
+        if (homepage_inst[static_cast<size_t>(a)] < 0 &&
+            homepage_inst[static_cast<size_t>(b)] >= 0) {
+          for (const auto& [pid, year] : pubs) {
+            if (year > 2005) ++count;
+          }
         }
+        recent_counts[i][static_cast<size_t>(dir)] = count;
+      }
+    });
+    std::map<std::pair<int, Value>, int64_t> affiliation_counts;
+    for (size_t i = 0; i < copub_entries.size(); ++i) {
+      const auto& pair = copub_entries[i]->first;
+      for (int dir = 0; dir < 2; ++dir) {
+        const int count = recent_counts[i][static_cast<size_t>(dir)];
+        if (count == 0) continue;
+        const int a = dir == 0 ? pair.first : pair.second;
+        const int b = dir == 0 ? pair.second : pair.first;
+        affiliation_counts[{a, homepage_inst[static_cast<size_t>(b)]}] += count;
       }
     }
-    for (const auto& [key, pids] : affiliation_pids) {
+    for (const auto& [key, count] : affiliation_counts) {
       db.InsertProbabilistic("Affiliation", {key.first, key.second},
-                             std::exp(0.1 * static_cast<double>(pids.size())));
+                             std::exp(0.1 * static_cast<double>(count)));
     }
   }
 

@@ -1,11 +1,10 @@
 #include "mvindex/mv_index.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 #include <string>
 #include <utility>
 
+#include "mvindex/partition.h"
 #include "query/analysis.h"
 #include "query/eval.h"
 #include "util/logging.h"
@@ -14,20 +13,6 @@
 
 namespace mvdb {
 namespace {
-
-Ucq SubUcq(const Ucq& q, const std::vector<size_t>& disjuncts) {
-  Ucq out = q;
-  out.disjuncts.clear();
-  for (size_t d : disjuncts) out.disjuncts.push_back(q.disjuncts[d]);
-  return out;
-}
-
-/// One unit of offline work: a variable-disjoint sub-constraint of W (an
-/// independent view group, or one separator value of such a group).
-struct BlockTask {
-  std::string key;
-  Ucq query;
-};
 
 /// Compile-phase output for one task, flattened over local ids so it no
 /// longer references any manager. `present` is false when NOT W_b = true
@@ -41,57 +26,6 @@ struct CompiledBlock {
   int32_t last_level = 0;
   ScaledDouble prob;
 };
-
-/// Stage 1: decompose W into independently compilable block tasks, in the
-/// deterministic order the serial build has always used — groups ascending,
-/// separator values in domain order within a group.
-std::vector<BlockTask> PartitionBlocks(const Database& db, const Ucq& w,
-                                       const IsProbFn& is_prob) {
-  std::vector<BlockTask> tasks;
-  if (w.disjuncts.empty()) return tasks;
-  const auto groups = IndependentUnionComponents(w, is_prob);
-  for (size_t g = 0; g < groups.size(); ++g) {
-    Ucq sub = SubUcq(w, groups[g]);
-    const auto sep = FindSeparator(sub, is_prob);
-    bool decomposed = false;
-    if (sep.has_value()) {
-      bool any_var = false;
-      for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
-      if (any_var) {
-        // One task per separator value: the per-value subqueries are
-        // tuple-disjoint (Proposition 1), hence variable-disjoint blocks —
-        // the property that makes shard compilation sound.
-        std::set<Value> domain;
-        for (size_t d = 0; d < sub.disjuncts.size(); ++d) {
-          const int z = sep->var_of_disjunct[d];
-          if (z < 0) continue;
-          for (const Atom& a : sub.disjuncts[d].atoms) {
-            if (!is_prob(a.relation)) continue;
-            const Table* t = db.Find(a.relation);
-            const size_t pos = sep->position.at(a.relation);
-            const auto vals = t->DistinctValues(pos);
-            domain.insert(vals.begin(), vals.end());
-          }
-        }
-        for (Value a : domain) {
-          Ucq block_q = sub;
-          for (size_t d = 0; d < block_q.disjuncts.size(); ++d) {
-            const int z = sep->var_of_disjunct[d];
-            if (z >= 0) SubstituteInDisjunct(&block_q, d, z, a);
-          }
-          tasks.push_back(BlockTask{
-              "g" + std::to_string(g) + "/" + std::to_string(a),
-              std::move(block_q)});
-        }
-        decomposed = true;
-      }
-    }
-    if (!decomposed) {
-      tasks.push_back(BlockTask{"g" + std::to_string(g), std::move(sub)});
-    }
-  }
-  return tasks;
-}
 
 /// Stage 2 worker: compile one block inside the shard's private manager and
 /// flatten it standalone. The shard manager shares the immutable VarOrder,
@@ -123,9 +57,10 @@ void CompileBlock(const Database& db, const BlockTask& task,
   out->last_level = hi;
   out->prob = shard_mgr->ProbScaled(not_f, var_probs);
   out->flat = FlatObdd::FlattenBlock(*shard_mgr, not_f);
-  // Per-block memo tables would otherwise accumulate for the shard's whole
-  // task list; the unique table stays (hash-consing is the point).
-  shard_mgr->ClearOpCaches();
+  // Unlike the old unbounded memo maps, the direct-mapped op cache needs no
+  // per-block clearing: it cannot grow, and stale entries stay *valid* —
+  // node ids are never freed within a shard manager — so a warm cache only
+  // helps the next block. Build() shrinks it once per shard at the end.
 }
 
 /// Conjunction of two compiled blocks whose level ranges interleave (only
@@ -159,9 +94,12 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   index->var_probs_ = var_probs;
   MvIndexBuildStats& stats = index->build_stats_;
 
-  // Stage 1: partition W into variable-disjoint block tasks.
+  // Stage 1: partition W into variable-disjoint block tasks. The
+  // separator-domain substitution shards over the same thread budget as the
+  // compile stage; the task list is identical for every thread count.
   Timer timer;
-  const std::vector<BlockTask> tasks = PartitionBlocks(db, w, is_prob);
+  const std::vector<BlockTask> tasks =
+      PartitionBlocks(db, w, is_prob, options.num_threads);
   stats.block_tasks = tasks.size();
   stats.partition_seconds = timer.Seconds();
 
@@ -192,7 +130,15 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
     CompileBlock(db, tasks[i], var_probs, shard_mgrs[static_cast<size_t>(shard)].get(),
                  &compiled[i]);
   });
-  for (const auto& m : shard_mgrs) stats.peak_manager_nodes += m->num_created();
+  for (const auto& m : shard_mgrs) {
+    stats.peak_manager_nodes += m->num_created();
+    // Sample the node-store footprint *before* shrinking the op caches, so
+    // the stat reflects the true compile-phase peak, then release each
+    // shard's reserved cache and account the freed bytes.
+    stats.peak_manager_bytes += m->MemoryBytes();
+    m->ClearOpCaches();
+    stats.op_cache_freed_bytes += m->cache_bytes_freed();
+  }
   stats.compile_seconds = timer.Seconds();
   shard_mgrs.clear();  // all compile state is flattened; free it
 

@@ -48,7 +48,8 @@ struct MvBlock {
 /// are spawned and the build output is bit-identical to any thread count
 /// (the property tests assert this) — parallelism only changes wall time.
 struct MvIndexBuildOptions {
-  /// Compilation shards. 1 = serial in the calling thread; <= 0 = one per
+  /// Compilation shards; also shards the partition stage's separator-domain
+  /// substitution. 1 = serial in the calling thread; <= 0 = one per
   /// hardware thread; otherwise that many worker threads.
   int num_threads = 1;
   /// Expected total manager nodes of the compile phase; pre-sizes each
@@ -64,6 +65,12 @@ struct MvIndexBuildStats {
   size_t merged = 0;              ///< blocks absorbed by range merging
   int shards = 1;                 ///< worker threads actually used
   size_t peak_manager_nodes = 0;  ///< sum of shard-manager nodes at peak
+  /// Sum of shard node-store bytes at the compile-phase peak (sampled
+  /// before the end-of-compile op-cache shrink).
+  size_t peak_manager_bytes = 0;
+  /// Bytes released by the end-of-compile ClearOpCaches() calls across all
+  /// shard managers (the op caches are shrunk, not just cleared).
+  size_t op_cache_freed_bytes = 0;
   size_t flat_nodes = 0;          ///< stitched chain size
   size_t flat_bytes = 0;          ///< resident bytes of the flat arrays
   double partition_seconds = 0.0;

@@ -1,0 +1,102 @@
+#include "mvindex/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace mvdb {
+namespace {
+
+Ucq SubUcq(const Ucq& q, const std::vector<size_t>& disjuncts) {
+  Ucq out = q;
+  out.disjuncts.clear();
+  for (size_t d : disjuncts) out.disjuncts.push_back(q.disjuncts[d]);
+  return out;
+}
+
+/// Sorted distinct union of the separator attribute's active domain across
+/// every probabilistic atom of the group. Equivalent to inserting each
+/// atom's DistinctValues into one ordered set, but the per-table scans are
+/// deduplicated by (relation, position) and sharded over threads.
+std::vector<Value> SeparatorDomain(const Database& db, const Ucq& sub,
+                                   const Separator& sep, const IsProbFn& is_prob,
+                                   int num_threads) {
+  std::vector<std::pair<std::string, size_t>> columns;
+  for (size_t d = 0; d < sub.disjuncts.size(); ++d) {
+    if (sep.var_of_disjunct[d] < 0) continue;
+    for (const Atom& a : sub.disjuncts[d].atoms) {
+      if (!is_prob(a.relation)) continue;
+      columns.emplace_back(a.relation, sep.position.at(a.relation));
+    }
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+
+  std::vector<std::vector<Value>> per_column(columns.size());
+  ParallelFor(EffectiveThreads(num_threads, columns.size()), columns.size(),
+              [&](int, size_t i) {
+                const Table* t = db.Find(columns[i].first);
+                per_column[i] = t->DistinctValues(columns[i].second);
+              });
+
+  std::vector<Value> domain;
+  for (const auto& values : per_column) {
+    const size_t mid = domain.size();
+    domain.insert(domain.end(), values.begin(), values.end());
+    std::inplace_merge(domain.begin(),
+                       domain.begin() + static_cast<ptrdiff_t>(mid),
+                       domain.end());
+  }
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
+}  // namespace
+
+std::vector<BlockTask> PartitionBlocks(const Database& db, const Ucq& w,
+                                       const IsProbFn& is_prob,
+                                       int num_threads) {
+  std::vector<BlockTask> tasks;
+  if (w.disjuncts.empty()) return tasks;
+  const auto groups = IndependentUnionComponents(w, is_prob);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Ucq sub = SubUcq(w, groups[g]);
+    const auto sep = FindSeparator(sub, is_prob);
+    bool decomposed = false;
+    if (sep.has_value()) {
+      bool any_var = false;
+      for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
+      if (any_var) {
+        // One task per separator value: the per-value subqueries are
+        // tuple-disjoint (Proposition 1), hence variable-disjoint blocks —
+        // the property that makes shard compilation sound. Every slot is
+        // indexed by its domain position, so the sharded substitution
+        // produces the same ordered task list as the serial loop.
+        const std::vector<Value> domain =
+            SeparatorDomain(db, sub, *sep, is_prob, num_threads);
+        const size_t base = tasks.size();
+        tasks.resize(base + domain.size());
+        const std::string prefix = "g" + std::to_string(g) + "/";
+        ParallelFor(EffectiveThreads(num_threads, domain.size()), domain.size(),
+                    [&](int, size_t i) {
+                      const Value a = domain[i];
+                      Ucq block_q = sub;
+                      for (size_t d = 0; d < block_q.disjuncts.size(); ++d) {
+                        const int z = sep->var_of_disjunct[d];
+                        if (z >= 0) SubstituteInDisjunct(&block_q, d, z, a);
+                      }
+                      tasks[base + i] =
+                          BlockTask{prefix + std::to_string(a), std::move(block_q)};
+                    });
+        decomposed = true;
+      }
+    }
+    if (!decomposed) {
+      tasks.push_back(BlockTask{"g" + std::to_string(g), std::move(sub)});
+    }
+  }
+  return tasks;
+}
+
+}  // namespace mvdb

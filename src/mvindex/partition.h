@@ -1,0 +1,43 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Stage 1 of the MV-index build (Section 4): decompose the constraint query
+// W into variable-disjoint *block tasks* — one per independent view group
+// (rule R1) and, when the group has a separator, one per separator value
+// (Proposition 1: the per-value subqueries are tuple-disjoint, hence
+// variable-disjoint). The task list fixes the block identity and the order
+// every later stage sees, so it must be deterministic; the per-value
+// substitution work is sharded over threads with indexed result slots, which
+// makes the output identical for every thread count.
+
+#ifndef MVDB_MVINDEX_PARTITION_H_
+#define MVDB_MVINDEX_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "query/analysis.h"
+#include "query/ast.h"
+#include "relational/database.h"
+
+namespace mvdb {
+
+/// One unit of offline work: a variable-disjoint sub-constraint of W (an
+/// independent view group, or one separator value of such a group).
+struct BlockTask {
+  std::string key;  ///< "g<group>" or "g<group>/<separatorValue>"
+  Ucq query;
+};
+
+/// Decomposes W into independently compilable block tasks, in the
+/// deterministic order the serial build has always used — groups ascending,
+/// separator values in domain order within a group. `num_threads` shards the
+/// separator-domain substitution (the dominant cost at DBLP scale: one UCQ
+/// copy per separator value); <= 1 runs serially. The output is bit-identical
+/// for any thread count.
+std::vector<BlockTask> PartitionBlocks(const Database& db, const Ucq& w,
+                                       const IsProbFn& is_prob,
+                                       int num_threads = 1);
+
+}  // namespace mvdb
+
+#endif  // MVDB_MVINDEX_PARTITION_H_

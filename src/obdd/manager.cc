@@ -13,32 +13,37 @@ BddManager::BddManager(std::shared_ptr<const VarOrder> order)
 
 void BddManager::ReserveNodes(size_t n) {
   nodes_.reserve(n + 2);
-  unique_.reserve(n);
+  unique_.Reserve(n, [this](uint32_t id) {
+    const BddNode& m = nodes_[id];
+    return NodeHash(m.level, m.lo, m.hi);
+  });
 }
 
-void BddManager::ReserveCaches(size_t n) {
-  and_cache_.reserve(n);
-  or_cache_.reserve(n);
-  not_cache_.reserve(n);
-}
+void BddManager::ReserveCaches(size_t n) { op_cache_.ReserveEntries(n); }
 
-void BddManager::ClearOpCaches() {
-  and_cache_.clear();
-  or_cache_.clear();
-  not_cache_.clear();
+size_t BddManager::ClearOpCaches() {
+  const size_t freed = op_cache_.ShrinkToDefault();
+  cache_bytes_freed_ += freed;
+  return freed;
 }
 
 NodeId BddManager::Mk(int32_t level, NodeId lo, NodeId hi) {
   if (lo == hi) return lo;
   MVDB_DCHECK(level < nodes_[static_cast<size_t>(lo)].level);
   MVDB_DCHECK(level < nodes_[static_cast<size_t>(hi)].level);
-  const UniqueKey key{level, lo, hi};
-  auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
-  const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(BddNode{level, lo, hi});
-  unique_.emplace(key, id);
-  return id;
+  const NodeId fresh = static_cast<NodeId>(nodes_.size());
+  const uint32_t got = unique_.FindOrInsert(
+      NodeHash(level, lo, hi), static_cast<uint32_t>(fresh),
+      [&](uint32_t id) {
+        const BddNode& m = nodes_[id];
+        return m.level == level && m.lo == lo && m.hi == hi;
+      },
+      [this](uint32_t id) {
+        const BddNode& m = nodes_[id];
+        return NodeHash(m.level, m.lo, m.hi);
+      });
+  if (got == static_cast<uint32_t>(fresh)) nodes_.push_back(BddNode{level, lo, hi});
+  return static_cast<NodeId>(got);
 }
 
 NodeId BddManager::Apply(OpKind op, NodeId f, NodeId g) {
@@ -55,9 +60,9 @@ NodeId BddManager::Apply(OpKind op, NodeId f, NodeId g) {
     if (f == g) return f;
   }
   if (f > g) std::swap(f, g);  // commutative: canonicalize the cache key
-  auto& cache = (op == OpKind::kAnd) ? and_cache_ : or_cache_;
-  auto it = cache.find({f, g});
-  if (it != cache.end()) return it->second;
+  const uint64_t key = OpKey(op, f, g);
+  NodeId cached;
+  if (op_cache_.Lookup(key, &cached)) return cached;
   ++apply_steps_;
 
   const BddNode& nf = nodes_[static_cast<size_t>(f)];
@@ -68,40 +73,65 @@ NodeId BddManager::Apply(OpKind op, NodeId f, NodeId g) {
   const NodeId g0 = (ng.level == m) ? ng.lo : g;
   const NodeId g1 = (ng.level == m) ? ng.hi : g;
   const NodeId r = Mk(m, Apply(op, f0, g0), Apply(op, f1, g1));
-  cache.emplace(std::make_pair(f, g), r);
+  op_cache_.Insert(key, r);
   return r;
 }
 
 NodeId BddManager::Not(NodeId f) {
   // Iterative post-order: the NOT W chain is one long thin OBDD (size
   // ~1.4M nodes at the paper's DBLP scale), so naive recursion would
-  // exhaust the stack long before the 1M-author target.
-  auto known = [this](NodeId g) -> NodeId {
-    if (g == kFalse) return kTrue;
-    if (g == kTrue) return kFalse;
-    auto it = not_cache_.find(g);
-    return it == not_cache_.end() ? NodeId{-1} : it->second;
+  // exhaust the stack long before the 1M-author target. Each frame owns the
+  // already-negated lo child, so correctness never depends on the lossy op
+  // cache retaining an entry — a cache hit merely short-circuits a subtree.
+  auto sink_not = [](NodeId s) { return s == kFalse ? kTrue : kFalse; };
+  // Resolves without descending: sinks and cache hits.
+  auto resolve = [&](NodeId id, NodeId* out) {
+    if (IsSink(id)) {
+      *out = sink_not(id);
+      return true;
+    }
+    return op_cache_.Lookup(OpKey(OpKind::kNot, id, id), out);
   };
-  if (const NodeId r = known(f); r >= 0) return r;
-  std::vector<NodeId> stack = {f};
+
+  NodeId ret = kFalse;
+  if (resolve(f, &ret)) return ret;
+  struct Frame {
+    NodeId id;
+    NodeId not_lo = -1;
+    // 0 = lo unresolved, 1 = lo child pending on the stack,
+    // 2 = lo done / hi unresolved, 3 = hi child pending on the stack.
+    uint8_t stage = 0;
+  };
+  std::vector<Frame> stack = {Frame{f}};
   while (!stack.empty()) {
-    const NodeId id = stack.back();
-    if (known(id) >= 0) {
-      stack.pop_back();
+    Frame fr = stack.back();  // copy: pushes below may reallocate the stack
+    const BddNode n = nodes_[static_cast<size_t>(fr.id)];  // copy: Mk reallocates
+    if (fr.stage == 1) {  // lo child just completed into `ret`
+      fr.not_lo = ret;
+      fr.stage = 2;
+    } else if (fr.stage == 0) {
+      if (resolve(n.lo, &fr.not_lo)) {
+        fr.stage = 2;
+      } else {
+        stack.back().stage = 1;
+        stack.push_back(Frame{n.lo});
+        continue;
+      }
+    }
+    NodeId not_hi;
+    if (fr.stage == 3) {  // hi child just completed into `ret`
+      not_hi = ret;
+    } else if (!resolve(n.hi, &not_hi)) {
+      fr.stage = 3;
+      stack.back() = fr;
+      stack.push_back(Frame{n.hi});
       continue;
     }
-    const BddNode n = nodes_[static_cast<size_t>(id)];  // copy: Mk reallocates
-    const NodeId not_lo = known(n.lo);
-    const NodeId not_hi = known(n.hi);
-    if (not_lo >= 0 && not_hi >= 0) {
-      not_cache_.emplace(id, Mk(n.level, not_lo, not_hi));
-      stack.pop_back();
-    } else {
-      if (not_lo < 0) stack.push_back(n.lo);
-      if (not_hi < 0) stack.push_back(n.hi);
-    }
+    ret = Mk(n.level, fr.not_lo, not_hi);
+    op_cache_.Insert(OpKey(OpKind::kNot, fr.id, fr.id), ret);
+    stack.pop_back();
   }
-  return not_cache_.at(f);
+  return ret;
 }
 
 NodeId BddManager::ConcatRec(NodeId f, NodeId g, NodeId sink_to_replace,

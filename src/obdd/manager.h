@@ -25,6 +25,7 @@
 
 #include "obdd/var_order.h"
 #include "prob/lineage.h"
+#include "util/flat_hash.h"
 #include "util/scaled_double.h"
 #include "relational/types.h"
 #include "util/logging.h"
@@ -126,51 +127,58 @@ class BddManager {
   /// Pre-sizes the node vector and unique table for a build expected to
   /// create ~`n` nodes, so large compilations stop rehashing mid-build.
   void ReserveNodes(size_t n);
-  /// Pre-sizes the binary-op caches for ~`n` memoized apply steps.
+  /// Grows the lossy apply/not cache toward one slot per expected memoized
+  /// step (clamped; see DirectMappedCache::kMaxEntries).
   void ReserveCaches(size_t n);
-  /// Drops the apply/not memo tables (the unique table and nodes stay).
-  /// Purely a memory release: results are hash-consed, so re-deriving an
-  /// evicted entry returns the identical node. The sharded MV-index build
-  /// calls this between blocks so per-block caches don't accumulate.
-  void ClearOpCaches();
+  /// Drops the apply/not memo cache and returns its allocation to the
+  /// default footprint, reporting the bytes freed. Purely a memory release:
+  /// results are hash-consed, so re-deriving an evicted entry returns the
+  /// identical node. The sharded MV-index build calls this once per shard
+  /// when the compile phase ends — not between blocks: the fixed-size cache
+  /// cannot grow, and its stale entries stay valid, so a warm cache only
+  /// helps the shard's next block.
+  size_t ClearOpCaches();
+
+  /// Cumulative bytes released by ClearOpCaches() over the manager's
+  /// lifetime (surfaced as MvIndexBuildStats::op_cache_freed_bytes).
+  size_t cache_bytes_freed() const { return cache_bytes_freed_; }
+
+  /// Resident bytes of the node store: node vector + open-addressed unique
+  /// table + the direct-mapped op cache.
+  size_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(BddNode) + unique_.MemoryBytes() +
+           op_cache_.MemoryBytes();
+  }
 
  private:
-  enum class OpKind : uint8_t { kAnd, kOr };
+  /// Tags for the packed op-cache key. Values stay below 3 so the packed
+  /// key can never equal DirectMappedCache::kEmptyKey (all ones).
+  enum class OpKind : uint8_t { kAnd = 0, kOr = 1, kNot = 2 };
+
+  static uint64_t OpKey(OpKind op, NodeId f, NodeId g) {
+    return (static_cast<uint64_t>(op) << 62) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(f)) << 31) |
+           static_cast<uint64_t>(static_cast<uint32_t>(g));
+  }
+  static uint64_t NodeHash(int32_t level, NodeId lo, NodeId hi) {
+    return Mix64((static_cast<uint64_t>(static_cast<uint32_t>(level)) << 32) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 16) ^
+                 static_cast<uint64_t>(static_cast<uint32_t>(hi)));
+  }
 
   NodeId Apply(OpKind op, NodeId f, NodeId g);
   NodeId ConcatRec(NodeId f, NodeId g, NodeId sink_to_replace,
                    std::unordered_map<NodeId, NodeId>* memo);
 
-  struct UniqueKey {
-    int32_t level;
-    NodeId lo;
-    NodeId hi;
-    bool operator==(const UniqueKey& o) const {
-      return level == o.level && lo == o.lo && hi == o.hi;
-    }
-  };
-  struct UniqueKeyHash {
-    size_t operator()(const UniqueKey& k) const {
-      uint64_t h = static_cast<uint32_t>(k.level);
-      h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.lo);
-      h = h * 0x9e3779b97f4a7c15ULL + static_cast<uint32_t>(k.hi);
-      return static_cast<size_t>(h ^ (h >> 32));
-    }
-  };
-  struct PairHash {
-    size_t operator()(const std::pair<NodeId, NodeId>& p) const {
-      return static_cast<size_t>((static_cast<uint64_t>(static_cast<uint32_t>(p.first)) << 32) |
-                                 static_cast<uint32_t>(p.second));
-    }
-  };
-
   std::shared_ptr<const VarOrder> order_;
   std::vector<BddNode> nodes_;
-  std::unordered_map<UniqueKey, NodeId, UniqueKeyHash> unique_;
-  std::unordered_map<std::pair<NodeId, NodeId>, NodeId, PairHash> and_cache_;
-  std::unordered_map<std::pair<NodeId, NodeId>, NodeId, PairHash> or_cache_;
-  std::unordered_map<NodeId, NodeId> not_cache_;
+  /// Hash-consing table: open-addressed ids into nodes_ (the keys are the
+  /// node triples themselves; see util/flat_hash.h).
+  FlatIdTable unique_;
+  /// One CUDD-style lossy computed table for And/Or/Not.
+  DirectMappedCache op_cache_;
   size_t apply_steps_ = 0;
+  size_t cache_bytes_freed_ = 0;
 };
 
 }  // namespace mvdb

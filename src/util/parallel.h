@@ -56,6 +56,21 @@ void ParallelFor(int num_threads, size_t num_tasks, Fn&& fn) {
   for (std::thread& t : threads) t.join();
 }
 
+/// Runs fn(index) for every index in [0, n), handing workers `chunk`-sized
+/// contiguous ranges so fine-grained loops (one RNG draw per entity, one
+/// substitution per separator value) don't pay one atomic fetch per element.
+/// Results must go to per-index slots; then the output is deterministic.
+template <typename Fn>
+void ParallelForChunked(int num_threads, size_t n, size_t chunk, Fn&& fn) {
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  ParallelFor(EffectiveThreads(num_threads, num_chunks), num_chunks,
+              [&](int, size_t c) {
+                const size_t lo = c * chunk;
+                const size_t hi = std::min(n, lo + chunk);
+                for (size_t i = lo; i < hi; ++i) fn(i);
+              });
+}
+
 }  // namespace mvdb
 
 #endif  // MVDB_UTIL_PARALLEL_H_

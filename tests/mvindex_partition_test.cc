@@ -1,0 +1,98 @@
+// Determinism of the parallel partition stage (mvindex/partition.h): the
+// sharded separator-domain substitution must yield exactly the ordered
+// block-task list the serial loop produces — same keys, same per-task
+// subqueries — on random MVDBs and on the DBLP workload. The task list
+// fixes block identity for every later build stage, so any divergence here
+// would silently re-key the whole index.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mvdb.h"
+#include "dblp/dblp.h"
+#include "mvindex/partition.h"
+#include "query/ast.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::RandomMvdb;
+using testing_util::RandomMvdbSpec;
+
+IsProbFn IsProbOf(const Database& db) {
+  return [&db](const std::string& rel) {
+    const Table* t = db.Find(rel);
+    return t != nullptr && t->probabilistic();
+  };
+}
+
+/// Task lists must agree exactly: count, keys, and the (pretty-printed)
+/// substituted subqueries.
+void ExpectIdenticalTasks(const std::vector<BlockTask>& a,
+                          const std::vector<BlockTask>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << "task " << i;
+    EXPECT_EQ(ToString(a[i].query), ToString(b[i].query)) << "task " << i;
+  }
+}
+
+class PartitionParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionParityTest, ParallelPartitionMatchesSerialOnRandomMvdbs) {
+  Rng rng(9100 + static_cast<uint64_t>(GetParam()));
+  RandomMvdbSpec spec;
+  spec.domain = 3 + static_cast<int>(rng.Below(4));
+  spec.with_binary_view = rng.Chance(0.7);
+  auto mvdb = RandomMvdb(&rng, spec);
+  ASSERT_TRUE(mvdb->Translate().ok());
+  const Database& db = mvdb->db();
+  const auto is_prob = IsProbOf(db);
+
+  const auto serial = PartitionBlocks(db, mvdb->W(), is_prob, 1);
+  for (int threads : {2, 8}) {
+    ExpectIdenticalTasks(serial,
+                         PartitionBlocks(db, mvdb->W(), is_prob, threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PartitionParityTest,
+                         ::testing::Range(0, 12));
+
+TEST(PartitionTest, ParallelPartitionMatchesSerialOnDblp) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = 200;
+  cfg.include_affiliation = true;
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  ASSERT_TRUE((*mvdb)->Translate().ok());
+  const Database& db = (*mvdb)->db();
+  const auto is_prob = IsProbOf(db);
+
+  const auto serial = PartitionBlocks(db, (*mvdb)->W(), is_prob, 1);
+  ASSERT_GT(serial.size(), 1u);  // DBLP decomposes on the aid separator
+  for (int threads : {2, 8, 0}) {  // 0 = one per hardware thread
+    ExpectIdenticalTasks(serial,
+                         PartitionBlocks(db, (*mvdb)->W(), is_prob, threads));
+  }
+}
+
+TEST(PartitionTest, EmptyAndUndecomposableQueries) {
+  auto db = testing_util::Fig3Database();
+  const auto is_prob = IsProbOf(*db);
+  // Empty W: no tasks.
+  Ucq empty;
+  EXPECT_TRUE(PartitionBlocks(*db, empty, is_prob, 4).empty());
+  // A query with no separator still yields its per-group tasks, identically
+  // at any thread count.
+  Ucq q = testing_util::MustParse("Q :- R(x), S(y,x).", &db->dict());
+  const auto serial = PartitionBlocks(*db, q, is_prob, 1);
+  ExpectIdenticalTasks(serial, PartitionBlocks(*db, q, is_prob, 8));
+}
+
+}  // namespace
+}  // namespace mvdb
