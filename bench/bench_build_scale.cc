@@ -4,7 +4,8 @@
 // tracks how far the sharded pipeline pushes the build along that axis.
 //
 // For each (authors, threads) cell it reports wall-clock build time, the
-// per-phase split (partition / parallel compile / stitch+import), peak shard
+// per-phase split (translate / order / partition / compile / stitch /
+// import — the full offline pipeline including the front-end), peak shard
 // manager nodes, bytes/node of both the shard node stores (open-addressed
 // unique table + direct-mapped op caches) and the flat layout, the op-cache
 // bytes returned by the end-of-compile ClearOpCaches shrinks, and the process peak
@@ -120,18 +121,24 @@ void ReportCell(int authors, int threads, const BuildResult& r,
           : static_cast<double>(r.stats.peak_manager_bytes) /
                 static_cast<double>(r.stats.peak_manager_nodes);
   const double rss_mb = PeakRssMb();
-  std::printf("%-9d %-8d %9.2f %9.2f %9.2f %10zu %10zu %8.1f %8.1f %8.0f %8s\n",
-              authors, threads, r.total_s, r.stats.compile_seconds,
-              r.stats.stitch_seconds, r.stats.peak_manager_nodes,
-              r.stats.flat_nodes, bytes_per_node, mgr_bytes_per_node, rss_mb,
-              parity);
+  std::printf(
+      "%-9d %-8d %9.2f %9.2f %9.2f %9.2f %9.2f %10zu %10zu %8.1f %8.1f %8.0f "
+      "%8s\n",
+      authors, threads, r.total_s, r.stats.translate_seconds,
+      r.stats.order_seconds, r.stats.compile_seconds,
+      r.stats.stitch_seconds + r.stats.import_seconds,
+      r.stats.peak_manager_nodes, r.stats.flat_nodes, bytes_per_node,
+      mgr_bytes_per_node, rss_mb, parity);
   JsonLine json("build_scale");
   json.Field("authors", authors)
       .Field("threads", threads)
       .Field("build_s", r.total_s)
+      .Field("translate_s", r.stats.translate_seconds)
+      .Field("order_s", r.stats.order_seconds)
       .Field("partition_s", r.stats.partition_seconds)
       .Field("compile_s", r.stats.compile_seconds)
       .Field("stitch_s", r.stats.stitch_seconds)
+      .Field("import_s", r.stats.import_seconds)
       .Field("blocks", r.blocks)
       .Field("peak_manager_nodes", r.stats.peak_manager_nodes)
       .Field("peak_manager_bytes", r.stats.peak_manager_bytes)
@@ -148,9 +155,10 @@ void ReportCell(int authors, int threads, const BuildResult& r,
 
 void RunSweep(const std::vector<int>& authors_sweep,
               const std::vector<int>& threads_sweep) {
-  std::printf("%-9s %-8s %9s %9s %9s %10s %10s %8s %8s %8s %8s\n", "authors",
-              "threads", "build(s)", "compile", "stitch", "peak nodes",
-              "flat", "B/node", "mgrB/nd", "rss(MB)", "parity");
+  std::printf("%-9s %-8s %9s %9s %9s %9s %9s %10s %10s %8s %8s %8s %8s\n",
+              "authors", "threads", "build(s)", "translate", "order",
+              "compile", "stitch", "peak nodes", "flat", "B/node", "mgrB/nd",
+              "rss(MB)", "parity");
   for (int authors : authors_sweep) {
     const BuildResult* ref = nullptr;
     BuildResult serial;

@@ -6,6 +6,7 @@
 #include "query/analysis.h"
 #include "safeplan/lifted.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace mvdb {
 namespace {
@@ -21,9 +22,15 @@ double ClampProb(double p) {
 
 Status QueryEngine::Compile(const CompileOptions& options) {
   if (compiled()) return Status::OK();
+  // Phase 1: MVDB -> INDB translation, sharded over the compile thread
+  // budget (bit-identical output for any thread count).
+  Timer timer;
+  double translate_seconds = 0.0;  // stays 0 when already translated
   if (!mvdb_->translated()) {
-    MVDB_RETURN_NOT_OK(mvdb_->Translate());
+    MVDB_RETURN_NOT_OK(mvdb_->Translate(TranslateOptions{options.num_threads}));
+    translate_seconds = timer.Seconds();
   }
+  timer.Restart();
   const Database& db = mvdb_->db();
   const Ucq& w = mvdb_->W();
   auto is_prob = [&db](const std::string& rel) {
@@ -72,10 +79,15 @@ Status QueryEngine::Compile(const CompileOptions& options) {
   }
 
   mgr_ = std::make_unique<BddManager>(
-      BuildVariableOrder(db, order_spec_));
+      BuildVariableOrder(db, order_spec_, options.num_threads));
+  const double order_seconds = timer.Seconds();
   var_probs_ = db.VarProbs();
   MVDB_ASSIGN_OR_RETURN(
       index_, MvIndex::Build(db, w, mgr_.get(), var_probs_, options));
+  // Phase 2 bookkeeping: Build timed partition/compile/stitch/import; the
+  // engine owns the front-end phases it ran above.
+  index_->mutable_build_stats().translate_seconds = translate_seconds;
+  index_->mutable_build_stats().order_seconds = order_seconds;
   w_bdd_ = mgr_->Not(index_->not_w_manager_root());
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 
 #include "query/eval.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace mvdb {
 namespace {
@@ -61,7 +62,7 @@ Status Mvdb::AddView(MarkoView view) {
   return Status::OK();
 }
 
-Status Mvdb::Translate() {
+Status Mvdb::Translate(const TranslateOptions& options) {
   if (translated_) return Status::AlreadyExists("Translate() already ran");
   base_num_vars_ = db_.num_vars();
   w_ = Ucq{};
@@ -73,17 +74,34 @@ Status Mvdb::Translate() {
   for (size_t i = 0; i < views_.size(); ++i) {
     const MarkoView& view = views_[i];
 
-    // Materialize the view over I_poss with lineage + distinct counts.
+    // Materialize the view over I_poss with lineage + distinct counts. The
+    // evaluation shards the view's driver atom over the thread budget; the
+    // answer map is bit-identical for any thread count.
     AnswerMap answers;
     EvalOptions opts;
     opts.count_var = view.count_var();
+    opts.num_threads = options.num_threads;
     MVDB_RETURN_NOT_OK(Eval(db_, view.definition(), opts, &answers));
 
-    // First pass: compute weights, detect a pure denial view.
+    // Gather tuples in answer (head) order, then fan the per-tuple weight
+    // computation out — each weight lands in its tuple's slot, so the
+    // result is independent of scheduling.
     std::vector<ViewTuple>& tuples = view_tuples_[i];
-    bool all_denial = !answers.empty();
+    tuples.reserve(answers.size());
+    std::vector<int64_t> counts;
+    counts.reserve(answers.size());
     for (auto& [head, info] : answers) {
-      const double w = view.Weight(head, static_cast<int64_t>(info.count_values.size()));
+      counts.push_back(static_cast<int64_t>(info.count_values.size()));
+      tuples.push_back(ViewTuple{head, 0.0, std::move(info.lineage), kNoVar});
+    }
+    ParallelForChunked(options.num_threads, tuples.size(), 1024, [&](size_t t) {
+      tuples[t].weight = view.Weight(tuples[t].head, counts[t]);
+    });
+
+    // Serial validation pass: weight sanity and pure-denial detection.
+    bool all_denial = !tuples.empty();
+    for (const ViewTuple& t : tuples) {
+      const double w = t.weight;
       if (std::isinf(w)) {
         return Status::InvalidArgument("view '" + view.name() +
                                        "' produced an infinite weight");
@@ -93,7 +111,6 @@ Status Mvdb::Translate() {
                                        "' produced an invalid weight");
       }
       if (w != 0.0) all_denial = false;
-      tuples.push_back(ViewTuple{head, w, std::move(info.lineage), kNoVar});
     }
 
     if (tuples.empty()) continue;  // empty view: no features, no W disjunct

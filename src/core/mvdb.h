@@ -41,6 +41,18 @@ struct ViewTuple {
                       ///< (denial tuple under simplification, or w == 1)
 };
 
+/// Knobs for the MVDB -> INDB translation. The translation's output (view
+/// tuples, weights, NV tables, W, variable numbering) is bit-identical for
+/// every thread count: view evaluation shards the driver atom with
+/// canonically merged answers, per-tuple weights land in indexed slots, and
+/// the NV emission stays serial so VarIds are allocated in tuple order.
+struct TranslateOptions {
+  /// Worker threads for view materialization and weight computation.
+  /// 1 = serial; <= 0 = one per hardware thread. Weight callbacks must be
+  /// pure functions (the shipped views' are) — they may run concurrently.
+  int num_threads = 1;
+};
+
 class Mvdb {
  public:
   Mvdb() = default;
@@ -59,7 +71,8 @@ class Mvdb {
 
   /// Materializes all views and builds the associated INDB (Definition 5).
   /// Idempotent: returns AlreadyExists on a second call.
-  Status Translate();
+  Status Translate() { return Translate(TranslateOptions{}); }
+  Status Translate(const TranslateOptions& options);
 
   bool translated() const { return translated_; }
 

@@ -69,6 +69,10 @@ NodeId ImportNodes(BddManager* mgr, const std::vector<int32_t>& levels,
                    const std::vector<FlatEdges>& edges, FlatId root) {
   if (root == kFlatTrue) return BddManager::kTrue;
   if (root == kFlatFalse) return BddManager::kFalse;
+  // Reserve ahead: the import appends at most levels.size() fresh nodes, so
+  // sizing the node vector and unique table once up front turns the rebuild
+  // into a bulk append with no mid-import growth or rehash.
+  mgr->ReserveNodes(mgr->num_created() + levels.size());
   std::vector<NodeId> ids(levels.size());
   auto node_of = [&](FlatId u) -> NodeId {
     if (u == kFlatFalse) return BddManager::kFalse;
@@ -88,7 +92,6 @@ NodeId FlatObdd::ImportBlock(BddManager* mgr, const Block& block) {
 }
 
 NodeId FlatObdd::ImportInto(BddManager* mgr) const {
-  mgr->ReserveNodes(mgr->num_created() + size());
   return ImportNodes(mgr, levels_, edges_, root_);
 }
 

@@ -184,13 +184,18 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   std::vector<FlatId> chain_roots;
   index->flat_ =
       FlatObdd::StitchChain(pieces, std::move(level_probs), &chain_roots);
-  index->not_w_root_ = index->flat_->ImportInto(mgr);
   for (size_t i = 0; i < merged.size(); ++i) {
     index->blocks_.push_back(MvBlock{std::move(merged[i].key), chain_roots[i],
                                      merged[i].first_level, merged[i].last_level,
                                      merged[i].prob});
   }
   stats.stitch_seconds = timer.Seconds();
+
+  // Register the chain in the online manager: one reserve-ahead bulk append
+  // (nodes + unique table sized up front, no mid-import rehash).
+  timer.Restart();
+  index->not_w_root_ = index->flat_->ImportInto(mgr);
+  stats.import_seconds = timer.Seconds();
   stats.blocks = index->blocks_.size();
   stats.flat_nodes = index->flat_->size();
   stats.flat_bytes = index->flat_->MemoryBytes();

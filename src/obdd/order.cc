@@ -2,68 +2,218 @@
 
 #include <algorithm>
 
+#include "util/flat_hash.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace mvdb {
 namespace {
 
+/// Per-tuple ordering key. The permuted value sequence lives in one shared
+/// flat buffer (`vals`, offset/arity addressed) so building millions of keys
+/// performs zero per-key allocations.
 struct OrderKey {
-  int component;
-  std::vector<Value> permuted;  // tuple values in pi order
-  size_t arity;
-  const std::string* relation;
+  Value v0;            ///< first permuted value — the bucket key
+  size_t val_offset;   ///< start of the full permuted sequence in `vals`
+  uint32_t arity;
+  uint32_t rel_rank;   ///< rank of the relation name (alphabetical)
   RowId row;
   VarId var;
+};
 
-  bool operator<(const OrderKey& o) const {
-    if (component != o.component) return component < o.component;
-    if (permuted != o.permuted) {
-      return std::lexicographical_compare(permuted.begin(), permuted.end(),
-                                          o.permuted.begin(), o.permuted.end());
+/// Total order identical to the original monolithic comparator: component
+/// is handled by bucket layout; within a bucket compare the permuted
+/// sequences lexicographically (shorter first on prefix ties), then
+/// relation-name rank, then row id. Keys are unique (rel_rank, row), so the
+/// order is deterministic for any sort schedule.
+struct KeyLess {
+  const Value* vals;
+  bool operator()(const OrderKey& a, const OrderKey& b) const {
+    const Value* pa = vals + a.val_offset;
+    const Value* pb = vals + b.val_offset;
+    const uint32_t m = std::min(a.arity, b.arity);
+    for (uint32_t k = 0; k < m; ++k) {
+      if (pa[k] != pb[k]) return pa[k] < pb[k];
     }
-    if (arity != o.arity) return arity < o.arity;
-    if (*relation != *o.relation) return *relation < *o.relation;
-    return row < o.row;
+    if (a.arity != b.arity) return a.arity < b.arity;
+    if (a.rel_rank != b.rel_rank) return a.rel_rank < b.rel_rank;
+    return a.row < b.row;
   }
+};
+
+/// One probabilistic table's slice of the key/value buffers.
+struct TableSlice {
+  const Table* table;
+  int component;
+  std::vector<size_t> perm;
+  uint32_t rel_rank;
+  size_t key_offset;
+  size_t val_offset;
 };
 
 }  // namespace
 
-std::vector<VarId> BuildVariableOrder(const Database& db, const OrderSpec& spec) {
-  std::vector<OrderKey> keys;
-  keys.reserve(db.num_vars());
+std::vector<VarId> BuildVariableOrder(const Database& db, const OrderSpec& spec,
+                                      int num_threads) {
+  // Resolve participating tables, their permutations and name ranks, and
+  // group them by component rank (stable within a component) so the key
+  // buffer is laid out component-major from the start.
+  std::vector<TableSlice> slices;
+  std::vector<std::string> prob_names;
   for (const std::string& name : db.table_names()) {
     const Table* t = db.Find(name);
     if (!t->probabilistic()) continue;
-    int component = 0;
+    prob_names.push_back(name);
+    TableSlice s;
+    s.table = t;
+    s.component = 0;
     if (auto it = spec.component_rank.find(name); it != spec.component_rank.end()) {
-      component = it->second;
+      s.component = it->second;
     }
-    std::vector<size_t> perm;
     if (auto it = spec.pi.find(name); it != spec.pi.end()) {
-      perm = it->second;
-      MVDB_CHECK_EQ(perm.size(), t->arity()) << "bad permutation for " << name;
+      s.perm = it->second;
+      MVDB_CHECK_EQ(s.perm.size(), t->arity()) << "bad permutation for " << name;
     } else {
-      perm.resize(t->arity());
-      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      s.perm.resize(t->arity());
+      for (size_t i = 0; i < s.perm.size(); ++i) s.perm[i] = i;
     }
-    const size_t n = t->size();
-    for (size_t r = 0; r < n; ++r) {
-      OrderKey key;
-      key.component = component;
-      key.permuted.reserve(t->arity());
-      for (size_t p : perm) key.permuted.push_back(t->At(static_cast<RowId>(r), p));
-      key.arity = t->arity();
-      key.relation = &t->name();
-      key.row = static_cast<RowId>(r);
-      key.var = t->var(static_cast<RowId>(r));
-      keys.push_back(std::move(key));
-    }
+    slices.push_back(std::move(s));
   }
-  std::sort(keys.begin(), keys.end());
+  std::sort(prob_names.begin(), prob_names.end());
+  for (TableSlice& s : slices) {
+    s.rel_rank = static_cast<uint32_t>(
+        std::lower_bound(prob_names.begin(), prob_names.end(),
+                         s.table->name()) -
+        prob_names.begin());
+  }
+  std::stable_sort(slices.begin(), slices.end(),
+                   [](const TableSlice& a, const TableSlice& b) {
+                     return a.component < b.component;
+                   });
+  size_t total_keys = 0, total_vals = 0;
+  for (TableSlice& s : slices) {
+    s.key_offset = total_keys;
+    s.val_offset = total_vals;
+    total_keys += s.table->size();
+    total_vals += s.table->size() * s.table->arity();
+  }
+
+  // Extract every tuple's permuted key, sharded per table over row chunks.
+  // Each key lands in a precomputed slot, so the layout is deterministic.
+  std::vector<OrderKey> keys(total_keys);
+  std::vector<Value> vals(total_vals);
+  for (const TableSlice& s : slices) {
+    const Table& t = *s.table;
+    const size_t arity = t.arity();
+    ParallelForChunked(num_threads, t.size(), 4096, [&](size_t r) {
+      OrderKey& key = keys[s.key_offset + r];
+      Value* out = vals.data() + s.val_offset + r * arity;
+      for (size_t p = 0; p < arity; ++p) {
+        out[p] = t.At(static_cast<RowId>(r), s.perm[p]);
+      }
+      key.v0 = out[0];
+      key.val_offset = s.val_offset + r * arity;
+      key.arity = static_cast<uint32_t>(arity);
+      key.rel_rank = s.rel_rank;
+      key.row = static_cast<RowId>(r);
+      key.var = t.var(static_cast<RowId>(r));
+    });
+  }
+
+  // Bucket each component's slice by first permuted value — the per-block
+  // variable groups of the MV-index decomposition — then sort only within
+  // buckets. Component slices are already contiguous in `keys`.
+  std::vector<OrderKey> sorted(total_keys);
+  std::vector<Value> bucket_values;     // distinct v0, first-occurrence order
+  std::vector<uint32_t> bucket_counts;  // parallel to bucket_values
+  std::vector<uint32_t> slot_table;     // open-addressed v0 -> bucket slot
+  std::vector<uint32_t> bucket_of;      // per key in the component slice
+  std::vector<size_t> bucket_begin, bucket_end;
+  constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  size_t comp_begin = 0;
+  size_t out_pos = 0;
+  for (size_t si = 0; si < slices.size();) {
+    // [comp_begin, comp_end) = one component's keys.
+    size_t sj = si;
+    size_t comp_end = comp_begin;
+    while (sj < slices.size() &&
+           slices[sj].component == slices[si].component) {
+      comp_end += slices[sj].table->size();
+      ++sj;
+    }
+    const size_t n = comp_end - comp_begin;
+
+    // Assign v0 values to bucket slots (first occurrence order) and count.
+    size_t cap = 16;
+    while (cap < 2 * n) cap <<= 1;
+    slot_table.assign(cap, kEmptySlot);
+    const uint32_t mask = static_cast<uint32_t>(cap - 1);
+    bucket_values.clear();
+    bucket_counts.clear();
+    bucket_of.resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      const Value v = keys[comp_begin + k].v0;
+      uint32_t pos =
+          static_cast<uint32_t>(Mix64(static_cast<uint64_t>(v))) & mask;
+      while (true) {
+        const uint32_t s = slot_table[pos];
+        if (s == kEmptySlot) {
+          slot_table[pos] = static_cast<uint32_t>(bucket_values.size());
+          bucket_of[k] = static_cast<uint32_t>(bucket_values.size());
+          bucket_values.push_back(v);
+          bucket_counts.push_back(1);
+          break;
+        }
+        if (bucket_values[s] == v) {
+          ++bucket_counts[s];
+          bucket_of[k] = s;
+          break;
+        }
+        pos = (pos + 1) & mask;
+      }
+    }
+
+    // Order buckets by value (the domain order of the paper's grouping) and
+    // lay out their output ranges by prefix sum.
+    const size_t num_buckets = bucket_values.size();
+    std::vector<uint32_t> by_value(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) by_value[b] = static_cast<uint32_t>(b);
+    std::sort(by_value.begin(), by_value.end(), [&](uint32_t a, uint32_t b) {
+      return bucket_values[a] < bucket_values[b];
+    });
+    bucket_begin.assign(num_buckets, 0);
+    bucket_end.assign(num_buckets, 0);
+    size_t offset = out_pos;
+    for (uint32_t slot : by_value) {
+      bucket_begin[slot] = offset;
+      offset += bucket_counts[slot];
+      bucket_end[slot] = offset;
+    }
+
+    // Counting scatter into the sorted array, then sort each bucket slice
+    // independently — buckets share v0 and component, so the full
+    // comparator only ever looks at the residual key fields.
+    std::vector<size_t> cursor(bucket_begin);
+    for (size_t k = 0; k < n; ++k) {
+      sorted[cursor[bucket_of[k]]++] = keys[comp_begin + k];
+    }
+    KeyLess less{vals.data()};
+    ParallelForChunked(num_threads, num_buckets, 64, [&](size_t b) {
+      const uint32_t slot = by_value[b];
+      std::sort(sorted.begin() + static_cast<ptrdiff_t>(bucket_begin[slot]),
+                sorted.begin() + static_cast<ptrdiff_t>(bucket_end[slot]),
+                less);
+    });
+
+    out_pos = comp_end;
+    comp_begin = comp_end;
+    si = sj;
+  }
+
   std::vector<VarId> order;
-  order.reserve(keys.size());
-  for (const OrderKey& k : keys) order.push_back(k.var);
+  order.reserve(total_keys);
+  for (const OrderKey& k : sorted) order.push_back(k.var);
   return order;
 }
 

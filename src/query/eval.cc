@@ -1,42 +1,111 @@
 #include "query/eval.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "query/analysis.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace mvdb {
 namespace {
 
-/// Backtracking join state for one conjunctive query.
+/// Minimum driver rows per worker before sharding pays for itself (thread
+/// spawn + per-worker map merge); below this the evaluation stays serial.
+constexpr size_t kMinRowsPerWorker = 512;
+
+/// Planner, plan data and executor for one conjunctive query. Prepare() is
+/// serial; Execute() is const and reentrant — the parallel path runs it
+/// concurrently over disjoint driver-row ranges with per-worker output maps.
 class CqEvaluator {
  public:
   CqEvaluator(const Database& db, const Ucq& q, const ConjunctiveQuery& cq,
-              const EvalOptions& opts, AnswerMap* out)
-      : db_(db), q_(q), cq_(cq), opts_(opts), out_(out) {}
+              const EvalOptions& opts)
+      : db_(db), q_(q), cq_(cq), opts_(opts) {}
 
-  Status Run() {
+  /// Validates the query, resolves tables, and builds the join plan (atom
+  /// order, probe columns, per-depth comparison schedule).
+  Status Prepare() {
+    tables_.resize(cq_.atoms.size());
     for (size_t i = 0; i < cq_.atoms.size(); ++i) {
-      (cq_.atoms[i].negated ? negatives_ : positives_).push_back(i);
+      const Atom& a = cq_.atoms[i];
+      tables_[i] = db_.Find(a.relation);
+      if (tables_[i] == nullptr) {
+        return Status::NotFound("no such table: " + a.relation);
+      }
+      if (tables_[i]->arity() != a.args.size()) {
+        return Status::InvalidArgument("arity mismatch on " + a.relation);
+      }
+      (a.negated ? negatives_ : positives_).push_back(i);
     }
     MVDB_RETURN_NOT_OK(Validate());
-    binding_.assign(static_cast<size_t>(q_.num_vars()), 0);
-    bound_.assign(static_cast<size_t>(q_.num_vars()), false);
-    order_ = PlanAtomOrder();
-    clause_vars_.clear();
-    Join(0);
+    if (opts_.strategy == EvalStrategy::kLegacyScan) {
+      PlanLegacy();
+    } else {
+      PlanCostBased();
+    }
+    ScheduleComparisons();
+    // Driver row source: a probe span when the driver atom has a usable
+    // constant argument, else the full row range.
+    if (!order_.empty() && probe_cols_[0] >= 0) {
+      Value v = 0;
+      const Atom& a = cq_.atoms[order_[0]];
+      MVDB_CHECK(!a.args[static_cast<size_t>(probe_cols_[0])].is_var());
+      v = a.args[static_cast<size_t>(probe_cols_[0])].constant;
+      driver_rows_ = tables_[order_[0]]->Probe(
+          static_cast<size_t>(probe_cols_[0]), v);
+      driver_is_probe_ = true;
+    }
     return Status::OK();
   }
 
- private:
-  Status Validate() {
-    for (const Atom& a : cq_.atoms) {
-      const Table* t = db_.Find(a.relation);
-      if (t == nullptr) return Status::NotFound("no such table: " + a.relation);
-      if (t->arity() != a.args.size()) {
-        return Status::InvalidArgument("arity mismatch on " + a.relation);
+  size_t NumDriverRows() const {
+    if (order_.empty()) return 0;
+    return driver_is_probe_ ? driver_rows_.size() : tables_[order_[0]]->size();
+  }
+
+  /// Builds every index Execute() can touch, so concurrent workers only
+  /// read shared state (Table::EnsureIndex is not thread-safe). Only the
+  /// planned strategy fans out, and its probe columns are static.
+  void WarmPlanIndexes() const {
+    MVDB_DCHECK(opts_.strategy == EvalStrategy::kPlanned);
+    for (size_t d = 0; d < order_.size(); ++d) {
+      if (probe_cols_[d] >= 0) {
+        tables_[order_[d]]->WarmIndex(static_cast<size_t>(probe_cols_[d]));
       }
     }
+    for (size_t i : negatives_) tables_[i]->WarmIndex(0);  // FindRow probes 0
+  }
+
+  /// Evaluates driver rows [begin, end) of the driver source into `out`.
+  void Execute(size_t begin, size_t end, AnswerMap* out) const {
+    ExecState st;
+    st.binding.assign(static_cast<size_t>(q_.num_vars()), 0);
+    st.bound.assign(static_cast<size_t>(q_.num_vars()), 0);
+    st.newly_bound.reserve(16);
+    st.out = out;
+    if (order_.empty()) {
+      // No positive atoms (a constant negation-only disjunct): the single
+      // empty binding goes straight to the negated-atom checks.
+      if (begin == 0) Emit(&st);
+      return;
+    }
+    for (size_t i = begin; i < end; ++i) {
+      TryRow(&st, 0,
+             driver_is_probe_ ? driver_rows_[i] : static_cast<RowId>(i));
+    }
+  }
+
+ private:
+  struct ExecState {
+    std::vector<Value> binding;
+    std::vector<uint8_t> bound;
+    std::vector<int> newly_bound;  ///< undo stack across recursion depths
+    Clause clause_vars;
+    AnswerMap* out = nullptr;
+  };
+
+  Status Validate() {
     // Range-restriction: every head variable and every comparison variable
     // must occur in some *positive* atom, or evaluation cannot bind it; the
     // same holds for the variables of negated atoms (safe negation).
@@ -80,12 +149,11 @@ class CqEvaluator {
     return Status::OK();
   }
 
-  /// Greedy atom order over the positive atoms: repeatedly pick the atom
-  /// with the most bound arguments (ties: smaller table). Bound arguments
-  /// enable index probes. Negated atoms are checked at the leaf.
-  std::vector<size_t> PlanAtomOrder() const {
+  /// Original greedy order over the positive atoms: repeatedly pick the atom
+  /// with the most bound arguments (ties: smaller table), probing the first
+  /// bound column. Kept as the reference strategy for the property tests.
+  void PlanLegacy() {
     const size_t n = cq_.atoms.size();
-    std::vector<size_t> order;
     std::vector<bool> used(n, false);
     for (size_t i = 0; i < n; ++i) used[i] = cq_.atoms[i].negated;
     std::vector<bool> bound(static_cast<size_t>(q_.num_vars()), false);
@@ -99,7 +167,7 @@ class CqEvaluator {
         for (const Term& t : cq_.atoms[i].args) {
           if (!t.is_var() || bound[static_cast<size_t>(t.var)]) ++score;
         }
-        const size_t size = db_.Find(cq_.atoms[i].relation)->size();
+        const size_t size = tables_[i]->size();
         if (best == n || score > best_score ||
             (score == best_score && size < best_size)) {
           best = i;
@@ -108,97 +176,219 @@ class CqEvaluator {
         }
       }
       used[best] = true;
-      order.push_back(best);
+      order_.push_back(best);
+      // First bound argument — the probe the old evaluator chose at run
+      // time. The bound-variable set at each depth is fixed by the order,
+      // so the choice is static.
+      int probe = -1;
+      for (size_t c = 0; c < cq_.atoms[best].args.size(); ++c) {
+        const Term& t = cq_.atoms[best].args[c];
+        if (!t.is_var() || bound[static_cast<size_t>(t.var)]) {
+          probe = static_cast<int>(c);
+          break;
+        }
+      }
+      probe_cols_.push_back(probe);
       for (const Term& t : cq_.atoms[best].args) {
         if (t.is_var()) bound[static_cast<size_t>(t.var)] = true;
       }
     }
-    return order;
   }
 
-  bool TermValue(const Term& t, Value* out) const {
+  /// Cost-based greedy order: each step picks the positive atom whose index
+  /// probe visits the fewest rows — estimated as size / distinct(probe
+  /// column), probing the most selective (max-distinct) bound column — with
+  /// the estimated output cardinality (all bound-column selectivities
+  /// applied) as tie-break. This is what routes a join through a
+  /// high-fan-out column (Wrote.aid, ~3 rows per probe) instead of a
+  /// low-selectivity one (Affiliation.inst, ~1/12 of the table per probe):
+  /// the failure mode that made the old order quadratic on V3.
+  void PlanCostBased() {
+    const size_t n = cq_.atoms.size();
+    std::vector<bool> used(n, false);
+    for (size_t i = 0; i < n; ++i) used[i] = cq_.atoms[i].negated;
+    std::vector<bool> bound(static_cast<size_t>(q_.num_vars()), false);
+    for (size_t step = 0; step < positives_.size(); ++step) {
+      size_t best = n;
+      int best_probe = -1;
+      double best_visited = std::numeric_limits<double>::infinity();
+      double best_output = std::numeric_limits<double>::infinity();
+      size_t best_size = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        const Table* t = tables_[i];
+        const double size = static_cast<double>(std::max<size_t>(t->size(), 1));
+        int probe = -1;
+        size_t probe_distinct = 0;
+        double output = size;
+        for (size_t c = 0; c < cq_.atoms[i].args.size(); ++c) {
+          const Term& term = cq_.atoms[i].args[c];
+          const bool is_bound =
+              !term.is_var() || bound[static_cast<size_t>(term.var)];
+          if (!is_bound) continue;
+          const size_t d = std::max<size_t>(t->DistinctCount(c), 1);
+          output /= static_cast<double>(d);
+          if (d > probe_distinct) {
+            probe_distinct = d;
+            probe = static_cast<int>(c);
+          }
+        }
+        const double visited =
+            probe >= 0 ? size / static_cast<double>(probe_distinct) : size;
+        if (best == n || visited < best_visited ||
+            (visited == best_visited &&
+             (output < best_output ||
+              (output == best_output && t->size() < best_size)))) {
+          best = i;
+          best_probe = probe;
+          best_visited = visited;
+          best_output = output;
+          best_size = t->size();
+        }
+      }
+      used[best] = true;
+      order_.push_back(best);
+      probe_cols_.push_back(best_probe);
+      for (const Term& t : cq_.atoms[best].args) {
+        if (t.is_var()) bound[static_cast<size_t>(t.var)] = true;
+      }
+    }
+  }
+
+  /// Assigns each comparison to the first depth at which both sides are
+  /// bound, so it is checked exactly once per candidate binding instead of
+  /// re-scanned after every atom. Constant-only comparisons check at depth
+  /// 0. Stored flat (schedule + per-depth offsets) — block compilation
+  /// plans one grounded query per separator value, so per-plan allocations
+  /// are on the offline build's hot path.
+  void ScheduleComparisons() {
+    comp_offsets_.assign(order_.size() + 1, 0);
+    if (order_.empty()) return;
+    std::vector<int> bound_depth(static_cast<size_t>(q_.num_vars()), -1);
+    for (size_t d = 0; d < order_.size(); ++d) {
+      for (const Term& t : cq_.atoms[order_[d]].args) {
+        if (t.is_var() && bound_depth[static_cast<size_t>(t.var)] < 0) {
+          bound_depth[static_cast<size_t>(t.var)] = static_cast<int>(d);
+        }
+      }
+    }
+    const size_t nc = cq_.comparisons.size();
+    std::vector<uint32_t> depth_of(nc, 0);
+    for (size_t c = 0; c < nc; ++c) {
+      int depth = 0;
+      for (const Term* t :
+           {&cq_.comparisons[c].lhs, &cq_.comparisons[c].rhs}) {
+        if (t->is_var()) {
+          depth = std::max(depth, bound_depth[static_cast<size_t>(t->var)]);
+        }
+      }
+      depth_of[c] = static_cast<uint32_t>(depth);
+      ++comp_offsets_[static_cast<size_t>(depth) + 1];
+    }
+    for (size_t d = 1; d < comp_offsets_.size(); ++d) {
+      comp_offsets_[d] += comp_offsets_[d - 1];
+    }
+    comp_sched_.resize(nc);
+    std::vector<uint32_t> cursor(comp_offsets_.begin(), comp_offsets_.end() - 1);
+    for (size_t c = 0; c < nc; ++c) {
+      comp_sched_[cursor[depth_of[c]]++] = static_cast<uint32_t>(c);
+    }
+  }
+
+  bool TermValue(const ExecState& st, const Term& t, Value* out) const {
     if (!t.is_var()) {
       *out = t.constant;
       return true;
     }
-    if (bound_[static_cast<size_t>(t.var)]) {
-      *out = binding_[static_cast<size_t>(t.var)];
+    if (st.bound[static_cast<size_t>(t.var)]) {
+      *out = st.binding[static_cast<size_t>(t.var)];
       return true;
     }
     return false;
   }
 
-  /// Checks all comparisons whose variables are fully bound. Called after
-  /// each new binding; unbound comparisons are deferred.
-  bool ComparisonsHold() const {
-    for (const Comparison& c : cq_.comparisons) {
-      Value a, b;
-      if (TermValue(c.lhs, &a) && TermValue(c.rhs, &b)) {
-        if (!Comparison::Apply(c.op, a, b)) return false;
-      }
+  bool ComparisonsHoldAt(const ExecState& st, size_t depth) const {
+    for (size_t k = comp_offsets_[depth]; k < comp_offsets_[depth + 1]; ++k) {
+      const Comparison& cmp = cq_.comparisons[comp_sched_[k]];
+      Value a = 0, b = 0;
+      const bool ba = TermValue(st, cmp.lhs, &a);
+      const bool bb = TermValue(st, cmp.rhs, &b);
+      MVDB_DCHECK(ba && bb);  // the schedule binds both sides by this depth
+      (void)ba;
+      (void)bb;
+      if (!Comparison::Apply(cmp.op, a, b)) return false;
     }
     return true;
   }
 
-  void Join(size_t depth) {
-    if (depth == order_.size()) {
-      Emit();
-      return;
-    }
+  void TryRow(ExecState* st, size_t depth, RowId r) const {
     const Atom& atom = cq_.atoms[order_[depth]];
-    const Table* table = db_.Find(atom.relation);
-
-    // Choose a probe column: any argument that is a constant or bound var.
-    int probe_col = -1;
-    Value probe_val = 0;
+    const Table* table = tables_[order_[depth]];
+    const auto row = table->Row(r);
+    // Match and bind, recording newly bound variables on the shared undo
+    // stack. Repeated variables within the atom: subsequent occurrences go
+    // through the TermValue branch.
+    const size_t undo_mark = st->newly_bound.size();
+    bool ok = true;
     for (size_t i = 0; i < atom.args.size(); ++i) {
-      Value v;
-      if (TermValue(atom.args[i], &v)) {
-        probe_col = static_cast<int>(i);
-        probe_val = v;
-        break;
+      const Term& t = atom.args[i];
+      Value expect;
+      if (TermValue(*st, t, &expect)) {
+        if (row[i] != expect) { ok = false; break; }
+      } else {
+        st->binding[static_cast<size_t>(t.var)] = row[i];
+        st->bound[static_cast<size_t>(t.var)] = 1;
+        st->newly_bound.push_back(t.var);
       }
     }
+    if (ok && ComparisonsHoldAt(*st, depth)) {
+      const VarId var = table->var(r);
+      const bool pushed = (var != kNoVar);
+      if (pushed) st->clause_vars.push_back(var);
+      if (depth + 1 == order_.size()) {
+        Emit(st);
+      } else {
+        Join(st, depth + 1);
+      }
+      if (pushed) st->clause_vars.pop_back();
+    }
+    for (size_t k = undo_mark; k < st->newly_bound.size(); ++k) {
+      st->bound[static_cast<size_t>(st->newly_bound[k])] = 0;
+    }
+    st->newly_bound.resize(undo_mark);
+  }
 
-    auto try_row = [&](RowId r) {
-      const auto row = table->Row(r);
-      // Match and bind.
-      std::vector<int> newly_bound;
-      bool ok = true;
+  void Join(ExecState* st, size_t depth) const {
+    const Atom& atom = cq_.atoms[order_[depth]];
+    const Table* table = tables_[order_[depth]];
+
+    int probe_col = probe_cols_[depth];
+    if (opts_.strategy == EvalStrategy::kLegacyScan) {
+      // Legacy behaviour: first argument with an available value (which can
+      // include same-atom repeated variables the static plan cannot use).
+      probe_col = -1;
       for (size_t i = 0; i < atom.args.size(); ++i) {
-        const Term& t = atom.args[i];
-        Value expect;
-        if (TermValue(t, &expect)) {
-          if (row[i] != expect) { ok = false; break; }
-        } else {
-          // Unbound variable: bind it. Handle repeated vars within the atom:
-          // subsequent occurrences go through the TermValue branch above.
-          binding_[static_cast<size_t>(t.var)] = row[i];
-          bound_[static_cast<size_t>(t.var)] = true;
-          newly_bound.push_back(t.var);
+        Value v;
+        if (TermValue(*st, atom.args[i], &v)) {
+          probe_col = static_cast<int>(i);
+          break;
         }
       }
-      if (ok && ComparisonsHold()) {
-        const VarId var = table->var(r);
-        const bool pushed = (var != kNoVar);
-        if (pushed) clause_vars_.push_back(var);
-        Join(depth + 1);
-        if (pushed) clause_vars_.pop_back();
-      }
-      for (int v : newly_bound) bound_[static_cast<size_t>(v)] = false;
-    };
-
+    }
     if (probe_col >= 0) {
+      Value probe_val = 0;
+      MVDB_CHECK(TermValue(*st, atom.args[static_cast<size_t>(probe_col)],
+                           &probe_val));
       for (RowId r : table->Probe(static_cast<size_t>(probe_col), probe_val)) {
-        try_row(r);
+        TryRow(st, depth, r);
       }
     } else {
       const size_t n = table->size();
-      for (size_t r = 0; r < n; ++r) try_row(static_cast<RowId>(r));
+      for (size_t r = 0; r < n; ++r) TryRow(st, depth, static_cast<RowId>(r));
     }
   }
 
-  void Emit() {
+  void Emit(ExecState* st) const {
     // Safe negation: all variables of negated atoms are bound here. A
     // negated *deterministic* atom whose tuple exists kills the binding; a
     // negated *probabilistic* atom whose tuple is possible contributes a
@@ -206,12 +396,12 @@ class CqEvaluator {
     Clause neg_vars;
     for (size_t i : negatives_) {
       const Atom& atom = cq_.atoms[i];
-      const Table* table = db_.Find(atom.relation);
+      const Table* table = tables_[i];
       std::vector<Value> row;
       row.reserve(atom.args.size());
       for (const Term& t : atom.args) {
         Value v;
-        MVDB_CHECK(TermValue(t, &v));
+        MVDB_CHECK(TermValue(*st, t, &v));
         row.push_back(v);
       }
       RowId r;
@@ -223,13 +413,14 @@ class CqEvaluator {
     std::vector<Value> head;
     head.reserve(q_.head_vars.size());
     for (int hv : q_.head_vars) {
-      MVDB_DCHECK(bound_[static_cast<size_t>(hv)]);
-      head.push_back(binding_[static_cast<size_t>(hv)]);
+      MVDB_DCHECK(st->bound[static_cast<size_t>(hv)]);
+      head.push_back(st->binding[static_cast<size_t>(hv)]);
     }
-    AnswerInfo& info = (*out_)[head];
-    info.lineage.AddSignedClause(clause_vars_, neg_vars);
-    if (opts_.count_var >= 0 && bound_[static_cast<size_t>(opts_.count_var)]) {
-      info.count_values.insert(binding_[static_cast<size_t>(opts_.count_var)]);
+    AnswerInfo& info = (*st->out)[std::move(head)];
+    info.lineage.AddSignedClause(st->clause_vars, std::move(neg_vars));
+    if (opts_.count_var >= 0 &&
+        st->bound[static_cast<size_t>(opts_.count_var)]) {
+      info.count_values.insert(st->binding[static_cast<size_t>(opts_.count_var)]);
     }
   }
 
@@ -237,14 +428,29 @@ class CqEvaluator {
   const Ucq& q_;
   const ConjunctiveQuery& cq_;
   const EvalOptions& opts_;
-  AnswerMap* out_;
+  std::vector<const Table*> tables_;      // parallel to cq_.atoms
   std::vector<size_t> positives_;
   std::vector<size_t> negatives_;
-  std::vector<size_t> order_;
-  std::vector<Value> binding_;
-  std::vector<bool> bound_;
-  Clause clause_vars_;
+  std::vector<size_t> order_;             // positive atoms, execution order
+  std::vector<int> probe_cols_;           // parallel to order_; -1 = scan
+  std::vector<uint32_t> comp_sched_;      // comparison ids grouped by depth
+  std::vector<uint32_t> comp_offsets_;    // per-depth ranges in comp_sched_
+  std::span<const RowId> driver_rows_;
+  bool driver_is_probe_ = false;
 };
+
+/// Folds `src` into `dst`. Clause order across workers is scheduling-
+/// dependent, but the final Normalize() canonicalizes each answer, so the
+/// merged result is bit-identical for every thread count and schedule.
+void MergeAnswers(AnswerMap&& src, AnswerMap* dst) {
+  for (auto& [head, info] : src) {
+    auto [it, inserted] = dst->try_emplace(head, std::move(info));
+    if (!inserted) {
+      it->second.lineage.Union(info.lineage);
+      it->second.count_values.merge(info.count_values);
+    }
+  }
+}
 
 }  // namespace
 
@@ -254,14 +460,41 @@ Status Eval(const Database& db, const Ucq& q, const EvalOptions& opts,
     if (cq.atoms.empty()) {
       return Status::InvalidArgument("disjunct with no atoms");
     }
-    CqEvaluator eval(db, q, cq, opts, out);
-    MVDB_RETURN_NOT_OK(eval.Run());
+    CqEvaluator eval(db, q, cq, opts);
+    MVDB_RETURN_NOT_OK(eval.Prepare());
+    const size_t rows = eval.NumDriverRows();
+    int shards = 1;
+    if (opts.strategy == EvalStrategy::kPlanned && opts.num_threads != 1) {
+      shards = EffectiveThreads(opts.num_threads, rows / kMinRowsPerWorker);
+    }
+    if (shards <= 1) {
+      eval.Execute(0, rows, out);
+      continue;
+    }
+    // Shard the driver rows: workers pull chunks dynamically and fill
+    // per-worker maps; the merge below plus the final Normalize make the
+    // output independent of the schedule.
+    eval.WarmPlanIndexes();
+    std::vector<AnswerMap> worker_maps(static_cast<size_t>(shards));
+    const size_t num_chunks =
+        std::min(rows, static_cast<size_t>(shards) * 8);
+    const size_t chunk = (rows + num_chunks - 1) / num_chunks;
+    ParallelFor(shards, num_chunks, [&](int w, size_t c) {
+      const size_t begin = c * chunk;
+      const size_t end = std::min(rows, begin + chunk);
+      eval.Execute(begin, end, &worker_maps[static_cast<size_t>(w)]);
+    });
+    for (AnswerMap& m : worker_maps) MergeAnswers(std::move(m), out);
   }
   // Normalize lineages (sorting, dedup, absorption) so downstream consumers
-  // see canonical DNFs.
-  for (auto& [head, info] : *out) {
-    info.lineage.Normalize();
-  }
+  // see canonical DNFs — this is also what makes the planned, legacy and
+  // sharded evaluations bit-identical. Independent per answer, so it fans
+  // out over the same thread budget.
+  std::vector<AnswerInfo*> infos;
+  infos.reserve(out->size());
+  for (auto& [head, info] : *out) infos.push_back(&info);
+  ParallelForChunked(opts.num_threads, infos.size(), 256,
+                     [&](size_t i) { infos[i]->lineage.Normalize(); });
   return Status::OK();
 }
 

@@ -2,30 +2,90 @@
 
 #include <algorithm>
 
+#include "util/flat_hash.h"
+
 namespace mvdb {
 
-const std::vector<RowId> Table::kEmptyRows;
-
-const std::unordered_map<Value, std::vector<RowId>>& Table::EnsureIndex(
-    size_t col) const {
-  auto it = indexes_.find(col);
-  if (it == indexes_.end()) {
-    auto& idx = indexes_[col];
-    const size_t n = size();
-    idx.reserve(n);
-    for (size_t r = 0; r < n; ++r) {
-      idx[At(static_cast<RowId>(r), col)].push_back(static_cast<RowId>(r));
-    }
-    it = indexes_.find(col);
+uint32_t Table::ColumnIndex::Find(Value v) const {
+  if (slots.empty()) return kEmptySlot;
+  uint32_t pos = static_cast<uint32_t>(Mix64(static_cast<uint64_t>(v))) & mask;
+  while (true) {
+    const uint32_t s = slots[pos];
+    if (s == kEmptySlot) return kEmptySlot;
+    if (slot_values[s] == v) return s;
+    pos = (pos + 1) & mask;
   }
-  return it->second;
 }
 
-const std::vector<RowId>& Table::Probe(size_t col, Value v) const {
+const Table::ColumnIndex& Table::EnsureIndex(size_t col) const {
+  if (indexes_.empty()) indexes_.resize(arity());
+  if (indexes_[col] != nullptr) return *indexes_[col];
+  indexes_[col] = std::make_unique<ColumnIndex>();
+  ColumnIndex& idx = *indexes_[col];
+  const size_t n = size();
+
+  // Open-addressed capacity: power of two, load factor <= 1/2.
+  size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  idx.slots.assign(cap, ColumnIndex::kEmptySlot);
+  idx.mask = static_cast<uint32_t>(cap - 1);
+
+  // Pass 1: assign each distinct value a slot (first-occurrence order) and
+  // count group sizes into `starts` (shifted by one for the exclusive scan).
+  std::vector<uint32_t>& counts = idx.starts;
+  counts.reserve(n / 4 + 2);
+  counts.push_back(0);
+  const size_t stride = arity();
+  const Value* column = data_.data() + col;
+  std::vector<uint32_t> slot_of_row(n);
+  for (size_t r = 0; r < n; ++r) {
+    const Value v = column[r * stride];
+    uint32_t pos = static_cast<uint32_t>(Mix64(static_cast<uint64_t>(v))) &
+                   idx.mask;
+    while (true) {
+      const uint32_t s = idx.slots[pos];
+      if (s == ColumnIndex::kEmptySlot) {
+        const uint32_t fresh = static_cast<uint32_t>(idx.slot_values.size());
+        idx.slots[pos] = fresh;
+        idx.slot_values.push_back(v);
+        counts.push_back(1);
+        slot_of_row[r] = fresh;
+        break;
+      }
+      if (idx.slot_values[s] == v) {
+        ++counts[s + 1];
+        slot_of_row[r] = s;
+        break;
+      }
+      pos = (pos + 1) & idx.mask;
+    }
+  }
+
+  // Exclusive scan turns counts into group start offsets.
+  for (size_t s = 1; s < counts.size(); ++s) counts[s] += counts[s - 1];
+
+  // Pass 2: scatter row ids into their groups. Scanning rows in order keeps
+  // each group ascending, so Probe results match the old layout exactly.
+  idx.row_ids.resize(n);
+  std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+  for (size_t r = 0; r < n; ++r) {
+    idx.row_ids[cursor[slot_of_row[r]]++] = static_cast<RowId>(r);
+  }
+  return idx;
+}
+
+std::span<const RowId> Table::Probe(size_t col, Value v) const {
   MVDB_CHECK_LT(col, arity());
-  const auto& idx = EnsureIndex(col);
-  auto hit = idx.find(v);
-  return hit == idx.end() ? kEmptyRows : hit->second;
+  const ColumnIndex& idx = EnsureIndex(col);
+  const uint32_t s = idx.Find(v);
+  if (s == ColumnIndex::kEmptySlot) return {};
+  return std::span<const RowId>(idx.row_ids.data() + idx.starts[s],
+                                idx.starts[s + 1] - idx.starts[s]);
+}
+
+size_t Table::DistinctCount(size_t col) const {
+  MVDB_CHECK_LT(col, arity());
+  return EnsureIndex(col).distinct();
 }
 
 void Table::WarmIndexes() const {

@@ -99,6 +99,42 @@ TEST(EngineScaleTest, MixedSignBlocksStayInRange) {
   EXPECT_NEAR(*p, expected, 1e-9);
 }
 
+TEST(EngineScaleTest, BuildStatsCoverEveryPipelinePhase) {
+  // The offline pipeline is translate -> order -> partition -> compile ->
+  // stitch -> import; bench_build_scale reports this breakdown from
+  // MvIndexBuildStats, so every phase timing must actually be populated
+  // (the front-end phases are filled in by QueryEngine::Compile, the rest
+  // inside MvIndex::Build).
+  dblp::DblpConfig cfg;
+  cfg.num_authors = 2000;
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  ASSERT_TRUE(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  ASSERT_TRUE(engine.Compile().ok());
+  const MvIndexBuildStats& stats = engine.index().build_stats();
+  EXPECT_GT(stats.translate_seconds, 0.0);
+  EXPECT_GT(stats.order_seconds, 0.0);
+  EXPECT_GT(stats.partition_seconds, 0.0);
+  EXPECT_GT(stats.compile_seconds, 0.0);
+  EXPECT_GT(stats.stitch_seconds, 0.0);
+  EXPECT_GT(stats.import_seconds, 0.0);
+  EXPECT_GT(stats.block_tasks, 0u);
+  EXPECT_GT(stats.blocks, 0u);
+  EXPECT_GT(stats.flat_nodes, 0u);
+
+  // Compiling through an already-translated MVDB reports a zero translate
+  // phase (nothing ran) but still times the rest.
+  auto pre = dblp::BuildDblpMvdb(cfg, nullptr);
+  ASSERT_TRUE(pre.ok());
+  ASSERT_TRUE((*pre)->Translate().ok());
+  QueryEngine engine2(pre->get());
+  ASSERT_TRUE(engine2.Compile().ok());
+  const MvIndexBuildStats& stats2 = engine2.index().build_stats();
+  EXPECT_EQ(stats2.translate_seconds, 0.0);
+  EXPECT_GT(stats2.order_seconds, 0.0);
+  EXPECT_GT(stats2.compile_seconds, 0.0);
+}
+
 TEST(EngineScaleTest, FullDblpPipelineModerateScale) {
   dblp::DblpConfig cfg;
   cfg.num_authors = 2000;

@@ -1,0 +1,215 @@
+// The cost-based hash-join/index-nested-loop path (EvalStrategy::kPlanned)
+// against the original greedy scan path (kLegacyScan): on any query the two
+// must produce the same answer sets, the same canonical lineage per answer,
+// and the same distinct-count sets — the join order and probe columns are
+// pure execution detail. Randomized conjunctive queries over random
+// databases, plus regressions for self-joins, repeated variables within an
+// atom, constant-bound atoms, and the sharded parallel evaluation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/eval.h"
+#include "relational/database.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace mvdb {
+namespace {
+
+using testing_util::MustParse;
+
+/// Three-relation random database with skewed, overlapping domains so joins
+/// have real fan-out: R(x,y), S(y,z), T(z) — some columns low-cardinality
+/// (the institute-style trap the legacy planner falls into).
+std::unique_ptr<Database> RandomDb(Rng* rng, int scale) {
+  auto db = std::make_unique<Database>();
+  MVDB_CHECK(db->CreateTable("R", {"x", "y"}, true).ok());
+  MVDB_CHECK(db->CreateTable("S", {"y", "z"}, true).ok());
+  MVDB_CHECK(db->CreateTable("T", {"z"}, true).ok());
+  MVDB_CHECK(db->CreateTable("D", {"x", "z"}, false).ok());
+  const int nx = scale, ny = std::max(2, scale / 4), nz = 3;
+  for (int i = 0; i < scale * 2; ++i) {
+    db->InsertProbabilistic(
+        "R", {1 + static_cast<Value>(rng->Below(static_cast<uint64_t>(nx))),
+              1 + static_cast<Value>(rng->Below(static_cast<uint64_t>(ny)))},
+        0.2 + rng->Uniform());
+  }
+  for (int i = 0; i < scale; ++i) {
+    db->InsertProbabilistic(
+        "S", {1 + static_cast<Value>(rng->Below(static_cast<uint64_t>(ny))),
+              1 + static_cast<Value>(rng->Below(static_cast<uint64_t>(nz)))},
+        0.2 + rng->Uniform());
+  }
+  for (int z = 1; z <= nz; ++z) {
+    if (rng->Chance(0.8)) db->InsertProbabilistic("T", {z}, 0.5);
+  }
+  for (int i = 0; i < scale; ++i) {
+    db->InsertDeterministic(
+        "D", {1 + static_cast<Value>(rng->Below(static_cast<uint64_t>(nx))),
+              1 + static_cast<Value>(rng->Below(static_cast<uint64_t>(nz)))});
+  }
+  return db;
+}
+
+/// Evaluates `q` under both strategies (and optionally several thread
+/// counts for the planned path) and asserts identical canonical output.
+void ExpectStrategiesAgree(const Database& db, const Ucq& q,
+                           int count_var = -1) {
+  EvalOptions legacy;
+  legacy.strategy = EvalStrategy::kLegacyScan;
+  legacy.count_var = count_var;
+  AnswerMap ref;
+  ASSERT_TRUE(Eval(db, q, legacy, &ref).ok());
+
+  for (int threads : {1, 4}) {
+    EvalOptions planned;
+    planned.strategy = EvalStrategy::kPlanned;
+    planned.count_var = count_var;
+    planned.num_threads = threads;
+    AnswerMap got;
+    ASSERT_TRUE(Eval(db, q, planned, &got).ok());
+    ASSERT_EQ(got.size(), ref.size()) << "threads=" << threads;
+    auto it_ref = ref.begin();
+    for (auto it = got.begin(); it != got.end(); ++it, ++it_ref) {
+      EXPECT_EQ(it->first, it_ref->first);
+      EXPECT_EQ(it->second.lineage.clauses(), it_ref->second.lineage.clauses());
+      EXPECT_EQ(it->second.lineage.neg_clauses(),
+                it_ref->second.lineage.neg_clauses());
+      EXPECT_EQ(it->second.count_values, it_ref->second.count_values);
+    }
+  }
+}
+
+TEST(EvalJoinTest, RandomizedConjunctiveQueries) {
+  Rng rng(7);
+  const std::vector<std::string> queries = {
+      "Q(x) :- R(x,y), S(y,z), T(z).",
+      "Q(x,z) :- R(x,y), S(y,z).",
+      "Q(z) :- T(z), S(y,z), R(x,y).",
+      "Q(x) :- R(x,y), S(y,z), not D(x,z).",
+      "Q(y) :- S(y,z), T(z), z > 1.",
+      "Q(x,y) :- R(x,y), S(y,z), T(z), x != y.",
+  };
+  for (int round = 0; round < 6; ++round) {
+    auto db = RandomDb(&rng, 20 + round * 17);
+    for (const std::string& text : queries) {
+      SCOPED_TRACE("round " + std::to_string(round) + ": " + text);
+      Ucq q = MustParse(text, &db->dict());
+      ExpectStrategiesAgree(*db, q, /*count_var=*/round % 2 == 0 ? 1 : -1);
+    }
+  }
+}
+
+TEST(EvalJoinTest, SelfJoinRegression) {
+  // The same relation twice with shared and distinct variables — the plan
+  // must treat the two atoms as independent index scans over one table.
+  Rng rng(42);
+  auto db = RandomDb(&rng, 60);
+  for (const std::string text : {
+           "Q(x1,x2) :- R(x1,y), R(x2,y), x1 < x2.",
+           "Q(y) :- S(y,z), S(y,z2), z != z2.",
+           "Q(x) :- R(x,y), R(x,y2), S(y,z), S(y2,z).",
+       }) {
+    SCOPED_TRACE(text);
+    Ucq q = MustParse(text, &db->dict());
+    ExpectStrategiesAgree(*db, q);
+  }
+}
+
+TEST(EvalJoinTest, RepeatedVariableWithinAtom) {
+  auto db = std::make_unique<Database>();
+  ASSERT_TRUE(db->CreateTable("R", {"a", "b"}, true).ok());
+  db->InsertProbabilistic("R", {1, 1}, 1.0);
+  db->InsertProbabilistic("R", {1, 2}, 1.0);
+  db->InsertProbabilistic("R", {3, 3}, 1.0);
+  Ucq q = MustParse("Q(x) :- R(x,x).", &db->dict());
+  ExpectStrategiesAgree(*db, q);
+  AnswerMap answers;
+  ASSERT_TRUE(Eval(*db, q, EvalOptions{}, &answers).ok());
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers.begin()->first, std::vector<Value>{1});
+}
+
+TEST(EvalJoinTest, ConstantBoundAtomsRegression) {
+  // Constants must drive index probes under both strategies — including a
+  // constant on a low-selectivity column and a fully grounded atom (the
+  // shape every separator-substituted W block query has).
+  Rng rng(99);
+  auto db = RandomDb(&rng, 80);
+  for (const std::string text : {
+           "Q(y) :- R(2,y), S(y,z).",
+           "Q(x) :- R(x,y), S(y,1).",
+           "Q :- R(2,1), S(1,2).",
+           "Q(x) :- R(x,y), S(y,2), T(2).",
+       }) {
+    SCOPED_TRACE(text);
+    Ucq q = MustParse(text, &db->dict());
+    ExpectStrategiesAgree(*db, q);
+  }
+}
+
+TEST(EvalJoinTest, NegationOnlyDisjunctEmitsTheEmptyBinding) {
+  // A disjunct with no positive atoms (all arguments constant, safe
+  // negation trivially satisfied) has exactly one candidate binding — the
+  // empty one — which must reach the negated-atom checks under both
+  // strategies.
+  auto db = std::make_unique<Database>();
+  ASSERT_TRUE(db->CreateTable("R", {"a", "b"}, true).ok());
+  ASSERT_TRUE(db->CreateTable("D", {"a"}, false).ok());
+  const VarId var = db->InsertProbabilistic("R", {1, 1}, 1.0);
+  db->InsertDeterministic("D", {5});
+
+  // Negated probabilistic atom on a possible tuple: one answer whose
+  // lineage is the single negated literal.
+  Ucq q1 = MustParse("Q :- not R(1,1).", &db->dict());
+  ExpectStrategiesAgree(*db, q1);
+  AnswerMap a1;
+  ASSERT_TRUE(Eval(*db, q1, EvalOptions{}, &a1).ok());
+  ASSERT_EQ(a1.size(), 1u);
+  EXPECT_EQ(a1.begin()->second.lineage.neg_clauses(),
+            std::vector<Clause>{Clause{var}});
+
+  // Negated atom on an impossible tuple: the empty clause (true lineage).
+  Ucq q2 = MustParse("Q :- not R(7,7).", &db->dict());
+  ExpectStrategiesAgree(*db, q2);
+  AnswerMap a2;
+  ASSERT_TRUE(Eval(*db, q2, EvalOptions{}, &a2).ok());
+  ASSERT_EQ(a2.size(), 1u);
+  EXPECT_TRUE(a2.begin()->second.lineage.IsTrue());
+
+  // Negated deterministic atom on a present tuple: the binding dies.
+  Ucq q3 = MustParse("Q :- not D(5).", &db->dict());
+  ExpectStrategiesAgree(*db, q3);
+  AnswerMap a3;
+  ASSERT_TRUE(Eval(*db, q3, EvalOptions{}, &a3).ok());
+  EXPECT_TRUE(a3.empty());
+}
+
+TEST(EvalJoinTest, UnionsAndEmptyAnswers) {
+  Rng rng(5);
+  auto db = RandomDb(&rng, 30);
+  Ucq u = MustParse("Q(y) :- R(x,y), S(y,z). Q(y) :- S(y,z), T(z).",
+                    &db->dict());
+  ExpectStrategiesAgree(*db, u);
+  Ucq empty = MustParse("Q(x) :- R(x,y), S(y,z), z > 999.", &db->dict());
+  ExpectStrategiesAgree(*db, empty);
+}
+
+TEST(EvalJoinTest, PlannedPathPrefersSelectiveProbe) {
+  // Sanity check that the planned path is actually exercising the index:
+  // a star join whose legacy order explodes through the 3-value z column
+  // still returns correct results (small instance; the 1M-author case is
+  // covered by the build benchmarks).
+  Rng rng(1);
+  auto db = RandomDb(&rng, 200);
+  Ucq q = MustParse("Q(x1,x2) :- T(z), S(y1,z), S(y2,z), R(x1,y1), R(x2,y2).",
+                    &db->dict());
+  ExpectStrategiesAgree(*db, q);
+}
+
+}  // namespace
+}  // namespace mvdb

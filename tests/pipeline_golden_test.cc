@@ -1,0 +1,79 @@
+// End-to-end golden test for the offline pipeline: a 2K-author DBLP build
+// (generate -> translate -> order -> partition -> compile -> stitch ->
+// import) pins an FNV hash of the compiled flat MV-index — node-by-node
+// topology, block layout, and the extended-range P0(NOT W) — so any
+// front-end refactor that silently changes the output fails tier-1 instead
+// of skewing every benchmark. The same hash must come out of every thread
+// count: the whole pipeline is required to be bit-identical under
+// parallelism.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+
+namespace mvdb {
+namespace {
+
+void FnvMix(uint64_t v, uint64_t* h) { *h = (*h ^ v) * 1099511628211ULL; }
+
+/// Hashes the full compiled index: flat topology (levels, edges, root),
+/// per-block metadata (chain roots, level ranges, probability bits), and
+/// P0(NOT W).
+uint64_t HashIndex(const MvIndex& index) {
+  uint64_t h = 1469598103934665603ULL;
+  const FlatObdd& flat = index.flat();
+  FnvMix(static_cast<uint64_t>(static_cast<int64_t>(flat.root())), &h);
+  FnvMix(flat.size(), &h);
+  for (FlatId u = 0; u < static_cast<FlatId>(flat.size()); ++u) {
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(flat.level(u))), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(flat.lo(u))), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(flat.hi(u))), &h);
+  }
+  FnvMix(index.blocks().size(), &h);
+  for (const MvBlock& b : index.blocks()) {
+    for (char c : b.key) FnvMix(static_cast<uint64_t>(c), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(b.chain_root)), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(b.first_level)), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(b.last_level)), &h);
+    const double p = b.prob.ToDouble();
+    uint64_t bits;
+    std::memcpy(&bits, &p, sizeof(bits));
+    FnvMix(bits, &h);
+  }
+  const double not_w = index.ProbNotW();
+  uint64_t bits;
+  std::memcpy(&bits, &not_w, sizeof(bits));
+  FnvMix(bits, &h);
+  return h;
+}
+
+uint64_t BuildAndHash(int threads) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = 2000;
+  cfg.include_affiliation = true;
+  cfg.num_threads = threads;
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  MVDB_CHECK(mvdb.ok());
+  QueryEngine engine(mvdb->get());
+  CompileOptions opts;
+  opts.num_threads = threads;
+  MVDB_CHECK(engine.Compile(opts).ok());
+  return HashIndex(engine.index());
+}
+
+TEST(PipelineGoldenTest, TwoKAuthorBuildMatchesGoldenForEveryThreadCount) {
+  // If an intentional pipeline change moves this value, re-pin it and
+  // expect every DBLP-derived benchmark and the 1M-author trajectory
+  // numbers to shift with it.
+  constexpr uint64_t kGolden = 5664108467663546581ULL;
+  EXPECT_EQ(BuildAndHash(1), kGolden);
+  EXPECT_EQ(BuildAndHash(2), kGolden);
+  EXPECT_EQ(BuildAndHash(8), kGolden);
+}
+
+}  // namespace
+}  // namespace mvdb
