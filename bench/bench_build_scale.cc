@@ -16,10 +16,14 @@
 // parallelism too. Any MISMATCH makes the process exit non-zero.
 //
 // Usage: bench_build_scale [authors ...] [--threads=1,2,4] [--scale-sweep]
+//                          [--no-templates]
 //   bench_build_scale                      # sweep {10000, 50000} x {1,2,4}
 //   bench_build_scale --scale-sweep        # {10000,50000,100000,200000,500000}
 //                                          # x {1,4}: the 1M-author trajectory
 //   bench_build_scale 500000 --threads=4   # one large cell
+//   bench_build_scale --no-templates       # classic per-block planning (the
+//                                          # CompileOptions escape hatch) for
+//                                          # template-on/off A-B runs
 
 #include <sys/resource.h>
 
@@ -58,6 +62,7 @@ uint64_t HashLayout(const FlatObdd& flat) {
 }
 
 bool g_parity_failed = false;
+bool g_use_templates = true;
 
 /// Peak resident set of this process so far, in MiB (Linux ru_maxrss is in
 /// KiB). Monotone across cells; meaningful for the largest cell of a sweep.
@@ -78,6 +83,7 @@ BuildResult BuildOnce(int authors, int threads) {
   QueryEngine engine(mvdb.get());
   CompileOptions copts;
   copts.num_threads = threads;
+  copts.use_plan_templates = g_use_templates;
   // The chain is ~14 nodes per author at this workload shape; hint the
   // shard managers so the unique tables do not rehash mid-build.
   copts.reserve_hint = static_cast<size_t>(authors) * 16;
@@ -133,12 +139,17 @@ void ReportCell(int authors, int threads, const BuildResult& r,
   json.Field("authors", authors)
       .Field("threads", threads)
       .Field("build_s", r.total_s)
+      .Field("total_s", r.stats.total_seconds)
       .Field("translate_s", r.stats.translate_seconds)
       .Field("order_s", r.stats.order_seconds)
       .Field("partition_s", r.stats.partition_seconds)
       .Field("compile_s", r.stats.compile_seconds)
       .Field("stitch_s", r.stats.stitch_seconds)
       .Field("import_s", r.stats.import_seconds)
+      .Field("use_templates", g_use_templates ? 1 : 0)
+      .Field("plan_templates", r.stats.plan_templates)
+      .Field("template_blocks", r.stats.template_blocks)
+      .Field("template_plan_s", r.stats.template_plan_seconds)
       .Field("blocks", r.blocks)
       .Field("peak_manager_nodes", r.stats.peak_manager_nodes)
       .Field("peak_manager_bytes", r.stats.peak_manager_bytes)
@@ -200,12 +211,14 @@ int main(int argc, char** argv) {
       parse_thread_list(argv[++i]);
     } else if (std::strcmp(argv[i], "--scale-sweep") == 0) {
       scale_sweep = true;
+    } else if (std::strcmp(argv[i], "--no-templates") == 0) {
+      mvdb::bench::g_use_templates = false;
     } else if (argv[i][0] != '-') {
       authors.push_back(std::atoi(argv[i]));
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: bench_build_scale [authors ...] "
-                   "[--threads=1,2,4] [--scale-sweep]\n",
+                   "[--threads=1,2,4] [--scale-sweep] [--no-templates]\n",
                    argv[i]);
       return 2;
     }

@@ -132,7 +132,6 @@ class QueryEngine {
   bool w_inversion_free_ = false;
   std::unique_ptr<BddManager> mgr_;
   std::unique_ptr<MvIndex> index_;
-  NodeId w_bdd_ = BddManager::kFalse;  // W OBDD for the kObddReuse backend
   std::vector<double> var_probs_;
   std::optional<Lineage> w_lineage_;
 };

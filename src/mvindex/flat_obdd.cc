@@ -9,55 +9,84 @@ namespace mvdb {
 
 FlatObdd::Block FlatObdd::FlattenBlock(const BddManager& mgr, NodeId root) {
   Block out;
+  FlattenScratch scratch;
+  FlattenBlockInto(mgr, root, &scratch, &out);
+  return out;
+}
+
+void FlatObdd::FlattenBlockInto(const BddManager& mgr, NodeId root,
+                                FlattenScratch* scratch, Block* out) {
+  out->levels.clear();
+  out->edges.clear();
   if (mgr.IsSink(root)) {
-    out.root = (root == BddManager::kTrue) ? kFlatTrue : kFlatFalse;
-    return out;
+    out->root = (root == BddManager::kTrue) ? kFlatTrue : kFlatFalse;
+    return;
   }
 
-  // Collect reachable internal nodes, then sort by (level, discovery order).
-  std::vector<NodeId> reachable;
-  {
-    std::unordered_map<NodeId, bool> seen;
-    std::vector<NodeId> stack = {root};
-    while (!stack.empty()) {
-      const NodeId id = stack.back();
-      stack.pop_back();
-      if (mgr.IsSink(id) || seen.count(id)) continue;
-      seen.emplace(id, true);
-      reachable.push_back(id);
-      stack.push_back(mgr.node(id).lo);
-      stack.push_back(mgr.node(id).hi);
+  // Collect reachable internal nodes, then sort by (level, discovery
+  // order). `position` doubles as the seen-set: it records each node's
+  // discovery index during the walk and is rewritten to flat positions
+  // after the sort.
+  auto& position = scratch->position;
+  auto& stack = scratch->stack;
+  auto& reachable = scratch->reachable;
+  position.clear();
+  stack.clear();
+  reachable.clear();
+  stack.push_back(root);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (mgr.IsSink(id) || !position.emplace(id, reachable.size()).second) {
+      continue;
     }
+    reachable.push_back(id);
+    stack.push_back(mgr.node(id).lo);
+    stack.push_back(mgr.node(id).hi);
   }
-  std::unordered_map<NodeId, size_t> discovery;
-  discovery.reserve(reachable.size());
-  for (size_t i = 0; i < reachable.size(); ++i) discovery.emplace(reachable[i], i);
   std::stable_sort(reachable.begin(), reachable.end(),
                    [&](NodeId a, NodeId b) {
                      const int32_t la = mgr.level(a), lb = mgr.level(b);
                      if (la != lb) return la < lb;
-                     return discovery[a] < discovery[b];
+                     return position[a] < position[b];
                    });
 
-  // Reuse the discovery map to hold flat positions (the discovery values are
-  // dead after the sort).
   for (size_t i = 0; i < reachable.size(); ++i) {
-    discovery[reachable[i]] = i;
+    position[reachable[i]] = i;
   }
   auto flat_of = [&](NodeId id) -> FlatId {
     if (id == BddManager::kFalse) return kFlatFalse;
     if (id == BddManager::kTrue) return kFlatTrue;
-    return static_cast<FlatId>(discovery.at(id));
+    return static_cast<FlatId>(position.at(id));
   };
-  out.levels.reserve(reachable.size());
-  out.edges.reserve(reachable.size());
+  out->levels.reserve(reachable.size());
+  out->edges.reserve(reachable.size());
   for (NodeId id : reachable) {
     const BddNode& n = mgr.node(id);
-    out.levels.push_back(n.level);
-    out.edges.push_back(FlatEdges{flat_of(n.lo), flat_of(n.hi)});
+    out->levels.push_back(n.level);
+    out->edges.push_back(FlatEdges{flat_of(n.lo), flat_of(n.hi)});
   }
-  out.root = flat_of(root);
-  return out;
+  out->root = flat_of(root);
+}
+
+ScaledDouble FlatObdd::BlockProbScaled(const Block& block,
+                                       const std::vector<double>& level_probs,
+                                       std::vector<ScaledDouble>* scratch) {
+  if (block.root == kFlatFalse) return ScaledDouble::Zero();
+  if (block.root == kFlatTrue) return ScaledDouble::One();
+  auto& vals = *scratch;
+  vals.resize(block.size());
+  auto value_of = [&](FlatId u) {
+    if (u == kFlatFalse) return ScaledDouble::Zero();
+    if (u == kFlatTrue) return ScaledDouble::One();
+    return vals[static_cast<size_t>(u)];
+  };
+  for (size_t i = block.size(); i-- > 0;) {
+    const double p = level_probs[static_cast<size_t>(block.levels[i])];
+    vals[i] = ScaledDouble(1.0 - p) * value_of(block.edges[i].lo) +
+              ScaledDouble(p) * value_of(block.edges[i].hi);
+  }
+  return vals[static_cast<size_t>(block.root)];
 }
 
 namespace {

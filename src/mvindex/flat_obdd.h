@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "obdd/manager.h"
@@ -67,6 +68,30 @@ class FlatObdd {
   /// sorted by (level, DFS discovery order) — the same order the classic
   /// constructor produces — with local ids and sink sentinels.
   static Block FlattenBlock(const BddManager& mgr, NodeId root);
+
+  /// Reusable traversal state for FlattenBlockInto: the per-block hash maps
+  /// and stacks are cleared, not reallocated, between blocks, so the sharded
+  /// compile loop flattens ~200K small blocks without per-block allocations
+  /// beyond the output arrays themselves.
+  struct FlattenScratch {
+    std::unordered_map<NodeId, size_t> position;
+    std::vector<NodeId> stack;
+    std::vector<NodeId> reachable;
+  };
+
+  /// FlattenBlock with caller-owned scratch; `out` is overwritten. Produces
+  /// exactly FlattenBlock(mgr, root).
+  static void FlattenBlockInto(const BddManager& mgr, NodeId root,
+                               FlattenScratch* scratch, Block* out);
+
+  /// Standalone probUnder of a flattened block's root — the same Shannon
+  /// expansion BddManager::ProbScaled performs, evaluated bottom-up over the
+  /// level-sorted arrays (children always sit at larger indexes), with
+  /// caller-owned scratch. `level_probs` is indexed by level. Bit-identical
+  /// to ProbScaled on the manager sub-DAG the block was flattened from.
+  static ScaledDouble BlockProbScaled(const Block& block,
+                                      const std::vector<double>& level_probs,
+                                      std::vector<ScaledDouble>* scratch);
 
   /// Rebuilds a flattened block inside `mgr` bottom-up, returning its root.
   /// The inverse of FlattenBlock up to hash-consing: importing into a fresh

@@ -1,7 +1,9 @@
 #include "mvindex/mv_index.h"
 
 #include <algorithm>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "mvindex/partition.h"
@@ -27,56 +29,112 @@ struct CompiledBlock {
   ScaledDouble prob;
 };
 
-/// Stage 2 worker: compile one block inside the shard's private manager and
-/// flatten it standalone. The shard manager shares the immutable VarOrder,
-/// so the reduced OBDD (and hence the flattened block, the level range and
-/// the extended-range probability) is identical to what a single shared
-/// manager would produce.
-void CompileBlock(const Database& db, const BlockTask& task,
-                  const std::vector<double>& var_probs, BddManager* shard_mgr,
-                  CompiledBlock* out) {
-  out->key = task.key;
-  ConObddBuilder builder(db, shard_mgr);
-  auto f_or = builder.Build(task.query);
-  if (!f_or.ok()) {
-    out->status = f_or.status();
-    return;
-  }
-  const NodeId f = f_or.value();
+/// Per-shard reusable state: the template-execution scratch plus the
+/// flatten/probability buffers, so the steady-state block loop performs no
+/// per-block allocations beyond the flattened output arrays themselves.
+struct BlockCompileScratch {
+  ConObddScratch con;
+  FlatObdd::FlattenScratch flatten;
+  std::vector<ScaledDouble> prob_vals;
+};
+
+/// How one task is executed by the compile stage: through a shared plan
+/// template with a slot binding (tmpl != nullptr), or the classic per-block
+/// path (materialize + plan + build from scratch).
+struct TaskPlan {
+  const ConObddTemplate* tmpl = nullptr;
+  uint32_t slots_begin = 0;
+  uint32_t slots_len = 0;
+};
+
+/// Shared tail of both compile paths: the block OBDD f of W_b becomes the
+/// flattened NOT W_b with its level range and standalone probability. The
+/// level range is read off the level-sorted flat arrays and the probability
+/// is the same Shannon expansion BddManager::ProbScaled performs, evaluated
+/// over the flat arrays — both bit-identical to the manager-side queries the
+/// per-block path used to issue, without the per-block hash maps.
+void FinishBlock(BddManager* shard_mgr, NodeId f,
+                 const std::vector<double>& level_probs,
+                 BlockCompileScratch* scratch, CompiledBlock* out) {
   if (f == BddManager::kFalse) return;  // NOT W_b = true: skip
   if (f == BddManager::kTrue) {
     out->status = Status::InvalidArgument(
         "MarkoView constraint W is certainly true: the MVDB admits no "
-        "possible world (1 - P0(W) = 0), block " + task.key);
+        "possible world (1 - P0(W) = 0), block " + out->key);
     return;
   }
   const NodeId not_f = shard_mgr->Not(f);
-  const auto [lo, hi] = shard_mgr->LevelRange(not_f);
+  FlatObdd::FlattenBlockInto(*shard_mgr, not_f, &scratch->flatten, &out->flat);
   out->present = true;
-  out->first_level = lo;
-  out->last_level = hi;
-  out->prob = shard_mgr->ProbScaled(not_f, var_probs);
-  out->flat = FlatObdd::FlattenBlock(*shard_mgr, not_f);
+  out->first_level = out->flat.levels.front();
+  out->last_level = out->flat.levels.back();
+  out->prob =
+      FlatObdd::BlockProbScaled(out->flat, level_probs, &scratch->prob_vals);
   // Unlike the old unbounded memo maps, the direct-mapped op cache needs no
   // per-block clearing: it cannot grow, and stale entries stay *valid* —
   // node ids are never freed within a shard manager — so a warm cache only
   // helps the next block. Build() shrinks it once per shard at the end.
 }
 
+/// Stage 2 worker: compile one block inside the shard's private manager and
+/// flatten it standalone. The shard manager shares the immutable VarOrder,
+/// so the reduced OBDD (and hence the flattened block, the level range and
+/// the extended-range probability) is identical to what a single shared
+/// manager would produce — and identical between the template and classic
+/// paths, which build the same reduced OBDD by construction.
+void CompileBlock(const Database& db, const PartitionResult& partition,
+                  const BlockTask& task, const TaskPlan& plan,
+                  std::span<const Value> slot_arena,
+                  const std::vector<double>& level_probs,
+                  BddManager* shard_mgr, BlockCompileScratch* scratch,
+                  CompiledBlock* out) {
+  StatusOr<NodeId> f_or = BddManager::kFalse;
+  if (plan.tmpl != nullptr) {
+    f_or = plan.tmpl->Execute(
+        slot_arena.subspan(plan.slots_begin, plan.slots_len), shard_mgr,
+        &scratch->con);
+  } else {
+    ConObddBuilder builder(db, shard_mgr);
+    // Undecomposed tasks carry their query; shaped tasks on the
+    // template-off path ground theirs on demand.
+    f_or = task.shape < 0
+               ? builder.Build(task.query)
+               : builder.Build(MaterializeTaskQuery(partition, task));
+  }
+  if (!f_or.ok()) {
+    out->status = f_or.status();
+    return;
+  }
+  FinishBlock(shard_mgr, f_or.value(), level_probs, scratch, out);
+}
+
 /// Conjunction of two compiled blocks whose level ranges interleave (only
 /// non-inversion-free residues). Rebuilds both in a scratch manager over the
 /// shared order, ANDs them, and re-flattens — the canonical reduced result
-/// is the same OBDD the serial in-manager merge produced.
-void MergeInto(const std::shared_ptr<const VarOrder>& order,
-               const std::vector<double>& var_probs, CompiledBlock* m,
-               const CompiledBlock& b) {
+/// is the same OBDD the serial in-manager merge produced. A degenerate
+/// conjunction is an error, not a silent sink block: kFalse would mean the
+/// merged constraints admit no possible world, and the chain stitcher would
+/// otherwise absorb it without a trace.
+Status MergeInto(const std::shared_ptr<const VarOrder>& order,
+                 const std::vector<double>& var_probs, CompiledBlock* m,
+                 const CompiledBlock& b) {
   BddManager scratch(order);
   const NodeId conj = scratch.And(FlatObdd::ImportBlock(&scratch, m->flat),
                                   FlatObdd::ImportBlock(&scratch, b.flat));
+  if (conj == BddManager::kFalse) {
+    return Status::InvalidArgument(
+        "MarkoView constraint W is certainly true: merged blocks " + m->key +
+        "+" + b.key + " admit no possible world (1 - P0(W) = 0)");
+  }
+  if (conj == BddManager::kTrue) {
+    return Status::Internal("merged blocks " + m->key + "+" + b.key +
+                            " collapsed to the true sink");
+  }
   m->flat = FlatObdd::FlattenBlock(scratch, conj);
   m->last_level = std::max(m->last_level, b.last_level);
   m->key += "+" + b.key;
   m->prob = scratch.ProbScaled(conj, var_probs);
+  return Status::OK();
 }
 
 }  // namespace
@@ -84,6 +142,11 @@ void MergeInto(const std::shared_ptr<const VarOrder>& order,
 StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
     const Database& db, const Ucq& w, BddManager* mgr,
     const std::vector<double>& var_probs, const MvIndexBuildOptions& options) {
+  // The partition window opens before any setup work (including the
+  // var_probs snapshot copy below) so that everything Build does is
+  // attributed to a phase — the phase timings must sum to the engine's
+  // total clock.
+  Timer timer;
   auto is_prob = [&db](const std::string& rel) {
     const Table* t = db.Find(rel);
     return t != nullptr && t->probabilistic();
@@ -94,12 +157,12 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   index->var_probs_ = var_probs;
   MvIndexBuildStats& stats = index->build_stats_;
 
-  // Stage 1: partition W into variable-disjoint block tasks. The
-  // separator-domain substitution shards over the same thread budget as the
-  // compile stage; the task list is identical for every thread count.
-  Timer timer;
-  const std::vector<BlockTask> tasks =
+  // Stage 1: partition W into variable-disjoint block tasks — decomposed
+  // groups become one shape plus (shape, separator value) tasks; the task
+  // list is identical for every thread count.
+  PartitionResult partition =
       PartitionBlocks(db, w, is_prob, options.num_threads);
+  const std::vector<BlockTask>& tasks = partition.tasks;
   stats.block_tasks = tasks.size();
   stats.partition_seconds = timer.Seconds();
 
@@ -107,6 +170,124 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   // so the output order is deterministic regardless of scheduling; with one
   // shard no threads are spawned (the serial fallback).
   timer.Restart();
+  std::vector<double> level_probs(mgr->num_levels());
+  for (size_t l = 0; l < level_probs.size(); ++l) {
+    level_probs[l] =
+        var_probs[static_cast<size_t>(mgr->var_at_level(static_cast<int32_t>(l)))];
+  }
+  std::vector<CompiledBlock> compiled(tasks.size());
+
+  // Stage 2a (serial): map every task of a decomposed group onto a plan
+  // template — one per structural signature, not one per block. Tasks whose
+  // separator value collides with a constant of the shape's own query have
+  // a different constant-equality pattern (hence signature) and get their
+  // own template; everything else in the group shares the default one. A
+  // failed plan fails every task that maps to it: the status lands in the
+  // task's slot now, and the canonical scan below reports the first failing
+  // task in task order no matter which workers ran first.
+  std::vector<TaskPlan> task_plans(tasks.size());
+  std::vector<Value> slot_arena;
+  std::vector<std::unique_ptr<const ConObddTemplate>> templates;
+  if (options.use_plan_templates) {
+    Timer template_timer;
+    struct StoreEntry {
+      const ConObddTemplate* tmpl = nullptr;
+      Status status = Status::OK();
+    };
+    std::unordered_map<std::string, StoreEntry> store;  // by signature key
+    struct ShapeDefault {
+      bool ready = false;
+      StoreEntry entry;
+      std::vector<Value> slots;
+      size_t binding_slot = 0;
+    };
+    std::vector<ShapeDefault> defaults(partition.shapes.size());
+    // Sorted constants per shape, for the collision test.
+    std::vector<std::vector<Value>> shape_consts(partition.shapes.size());
+    for (size_t s = 0; s < partition.shapes.size(); ++s) {
+      std::vector<Value>& consts = shape_consts[s];
+      ForEachUcqTerm(partition.shapes[s].query, [&](size_t, const Term& t) {
+        if (!t.is_var()) consts.push_back(t.constant);
+      });
+      std::sort(consts.begin(), consts.end());
+      consts.erase(std::unique(consts.begin(), consts.end()), consts.end());
+    }
+    auto plan_for = [&](const UcqSignature& sig,
+                        const BlockTask& task) -> const StoreEntry& {
+      auto it = store.find(sig.key);
+      if (it == store.end()) {
+        StoreEntry entry;
+        auto tmpl_or =
+            ConObddTemplate::Plan(db, is_prob, MaterializeTaskQuery(partition, task));
+        if (tmpl_or.ok()) {
+          templates.push_back(std::move(*tmpl_or));
+          entry.tmpl = templates.back().get();
+        } else {
+          entry.status = tmpl_or.status();
+        }
+        it = store.emplace(sig.key, std::move(entry)).first;
+      }
+      return it->second;
+    };
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const BlockTask& task = tasks[i];
+      if (task.shape < 0) continue;  // undecomposed group: classic path
+      const BlockShape& shape =
+          partition.shapes[static_cast<size_t>(task.shape)];
+      const std::vector<Value>& consts =
+          shape_consts[static_cast<size_t>(task.shape)];
+      const StoreEntry* entry = nullptr;
+      if (std::binary_search(consts.begin(), consts.end(), task.binding)) {
+        // Collision: compute this binding's own signature.
+        const UcqSignature sig = ComputeGroundedSignature(
+            shape.query, shape.sep_var_of_disjunct, task.binding);
+        const StoreEntry& e = plan_for(sig, task);
+        entry = &e;
+        if (e.status.ok()) {
+          task_plans[i].slots_begin = static_cast<uint32_t>(slot_arena.size());
+          task_plans[i].slots_len = static_cast<uint32_t>(sig.slots.size());
+          slot_arena.insert(slot_arena.end(), sig.slots.begin(),
+                            sig.slots.end());
+        }
+      } else {
+        ShapeDefault& def = defaults[static_cast<size_t>(task.shape)];
+        if (!def.ready) {
+          UcqSignature sig = ComputeGroundedSignature(
+              shape.query, shape.sep_var_of_disjunct, task.binding);
+          def.entry = plan_for(sig, task);
+          def.slots = std::move(sig.slots);
+          if (def.entry.status.ok()) {
+            const auto slot = std::find(def.slots.begin(), def.slots.end(),
+                                        task.binding);
+            MVDB_CHECK(slot != def.slots.end());
+            def.binding_slot =
+                static_cast<size_t>(slot - def.slots.begin());
+          }
+          def.ready = true;
+        }
+        entry = &def.entry;
+        if (def.entry.status.ok()) {
+          task_plans[i].slots_begin = static_cast<uint32_t>(slot_arena.size());
+          task_plans[i].slots_len = static_cast<uint32_t>(def.slots.size());
+          slot_arena.insert(slot_arena.end(), def.slots.begin(),
+                            def.slots.end());
+          slot_arena[task_plans[i].slots_begin + def.binding_slot] =
+              task.binding;
+        }
+      }
+      if (!entry->status.ok()) {
+        compiled[i].status = entry->status;
+        compiled[i].key = task.key;
+      } else {
+        task_plans[i].tmpl = entry->tmpl;
+        ++stats.template_blocks;
+      }
+    }
+    stats.plan_templates = templates.size();
+    stats.template_plan_seconds = template_timer.Seconds();
+  }
+
+  // Stage 2b (parallel): execute the templates / classic-compile the rest.
   const int shards = EffectiveThreads(options.num_threads, tasks.size());
   stats.shards = shards;
   if (shards > 1) {
@@ -125,10 +306,14 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
       m->ReserveCaches(per_shard);
     }
   }
-  std::vector<CompiledBlock> compiled(tasks.size());
+  std::vector<BlockCompileScratch> shard_scratch(static_cast<size_t>(shards));
   ParallelFor(shards, tasks.size(), [&](int shard, size_t i) {
-    CompileBlock(db, tasks[i], var_probs, shard_mgrs[static_cast<size_t>(shard)].get(),
-                 &compiled[i]);
+    CompiledBlock& out = compiled[i];
+    if (!out.status.ok()) return;  // template planning already failed it
+    out.key = tasks[i].key;
+    CompileBlock(db, partition, tasks[i], task_plans[i], slot_arena,
+                 level_probs, shard_mgrs[static_cast<size_t>(shard)].get(),
+                 &shard_scratch[static_cast<size_t>(shard)], &out);
   });
   for (const auto& m : shard_mgrs) {
     stats.peak_manager_nodes += m->num_created();
@@ -139,12 +324,15 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
     m->ClearOpCaches();
     stats.op_cache_freed_bytes += m->cache_bytes_freed();
   }
-  stats.compile_seconds = timer.Seconds();
   shard_mgrs.clear();  // all compile state is flattened; free it
 
+  // Deterministic error propagation: statuses live in per-task slots, so
+  // the scan always reports the first failing block in canonical task
+  // order, independent of which worker finished (or failed) first.
   for (const CompiledBlock& c : compiled) {
-    MVDB_RETURN_NOT_OK(c.status);  // first failure in task order
+    MVDB_RETURN_NOT_OK(c.status);
   }
+  stats.compile_seconds = timer.Seconds();
 
   // Sort blocks by level and merge any with interleaving ranges so the
   // final chain is strictly level-ordered (merging only happens for
@@ -162,7 +350,7 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   std::vector<CompiledBlock> merged;
   for (CompiledBlock& b : raw) {
     if (!merged.empty() && b.first_level <= merged.back().last_level) {
-      MergeInto(mgr->order(), var_probs, &merged.back(), b);
+      MVDB_RETURN_NOT_OK(MergeInto(mgr->order(), var_probs, &merged.back(), b));
       ++stats.merged;
     } else {
       merged.push_back(std::move(b));
@@ -173,11 +361,6 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   // emission (block i's true sink redirects to block i+1's root), run the
   // annotation passes once over the stitched arrays, and register the chain
   // in the online manager.
-  std::vector<double> level_probs(mgr->num_levels());
-  for (size_t l = 0; l < level_probs.size(); ++l) {
-    level_probs[l] =
-        var_probs[static_cast<size_t>(mgr->var_at_level(static_cast<int32_t>(l)))];
-  }
   std::vector<FlatObdd::Block> pieces;
   pieces.reserve(merged.size());
   for (CompiledBlock& b : merged) pieces.push_back(std::move(b.flat));
@@ -189,6 +372,18 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
                                      merged[i].first_level, merged[i].last_level,
                                      merged[i].prob});
   }
+  // Release the large per-task containers here so their teardown (200K
+  // keys, blocks and plans at DBLP scale) is attributed to the stitch
+  // phase instead of falling between import_seconds and the engine's total
+  // clock — the phase timings are required to sum to the build wall time.
+  partition = PartitionResult{};
+  task_plans = {};
+  slot_arena = {};
+  templates.clear();
+  compiled = {};
+  raw = {};
+  merged = {};
+  pieces = {};
   stats.stitch_seconds = timer.Seconds();
 
   // Register the chain in the online manager: one reserve-ahead bulk append

@@ -58,6 +58,12 @@ struct MvIndexBuildOptions {
   /// shard's node vector, unique table and apply caches so large builds
   /// stop rehashing mid-compile. 0 = no reservation.
   size_t reserve_hint = 0;
+  /// Compile each block through a shared per-shape plan template (plan the
+  /// block-query shape once, execute it per separator value) instead of
+  /// re-planning every grounded block query from scratch. The output is
+  /// bit-identical either way — the escape hatch exists for A/B parity
+  /// tests and benchmarks, not because the paths may diverge.
+  bool use_plan_templates = true;
 };
 
 /// What the offline build did — the numbers bench_build_scale reports.
@@ -79,6 +85,16 @@ struct MvIndexBuildStats {
   size_t op_cache_freed_bytes = 0;
   size_t flat_nodes = 0;          ///< stitched chain size
   size_t flat_bytes = 0;          ///< resident bytes of the flat arrays
+  /// Distinct block-query plan templates compiled (one per structural
+  /// signature; a DBLP-scale W has a handful for its ~200K blocks).
+  size_t plan_templates = 0;
+  /// Blocks executed through a shared template (the rest — undecomposed
+  /// groups, or all blocks when use_plan_templates is off — take the
+  /// classic per-block planning path).
+  size_t template_blocks = 0;
+  /// Serial template-planning prefix of the compile phase (included in
+  /// compile_seconds).
+  double template_plan_seconds = 0.0;
   /// MVDB -> INDB translation (view materialization, weights, NV tables;
   /// Definition 5). Filled by QueryEngine::Compile.
   double translate_seconds = 0.0;
@@ -94,6 +110,10 @@ struct MvIndexBuildStats {
   /// Reserve-ahead bulk import of the stitched chain into the online
   /// manager (FlatObdd::ImportInto).
   double import_seconds = 0.0;
+  /// End-to-end offline wall clock measured by QueryEngine::Compile. The
+  /// six phase timings above partition it: their sum equals this value up
+  /// to clock-read noise (engine_scale_test asserts the invariant).
+  double total_seconds = 0.0;
 };
 
 class MvIndex {
@@ -104,12 +124,17 @@ class MvIndex {
   /// VarId (NV variables may carry negative probabilities).
   ///
   /// The build is a three-stage pipeline: partition W into variable-disjoint
-  /// block tasks (independent view groups x separator values), compile each
-  /// block in one of `options.num_threads` shards — every shard owns a
-  /// private BddManager sharing the immutable VarOrder — and flatten each
-  /// block standalone, then stitch the per-block pieces into the flat chain
-  /// by direct emission (no global NodeId -> FlatId map). Only the finished
-  /// chain is imported into `mgr`; per-shard compile state is discarded.
+  /// block tasks (independent view groups x separator values, emitted as
+  /// per-group shapes plus (shape, value) bindings), compile each block in
+  /// one of `options.num_threads` shards — every shard owns a private
+  /// BddManager sharing the immutable VarOrder, and executes a per-shape
+  /// plan template compiled once per structural signature rather than
+  /// re-planning each grounded block query (obdd/conobdd.h,
+  /// ConObddTemplate; disable via options.use_plan_templates) — and flatten
+  /// each block standalone, then stitch the per-block pieces into the flat
+  /// chain by direct emission (no global NodeId -> FlatId map). Only the
+  /// finished chain is imported into `mgr`; per-shard compile state is
+  /// discarded.
   static StatusOr<std::unique_ptr<MvIndex>> Build(
       const Database& db, const Ucq& w, BddManager* mgr,
       const std::vector<double>& var_probs,

@@ -54,11 +54,10 @@ std::vector<Value> SeparatorDomain(const Database& db, const Ucq& sub,
 
 }  // namespace
 
-std::vector<BlockTask> PartitionBlocks(const Database& db, const Ucq& w,
-                                       const IsProbFn& is_prob,
-                                       int num_threads) {
-  std::vector<BlockTask> tasks;
-  if (w.disjuncts.empty()) return tasks;
+PartitionResult PartitionBlocks(const Database& db, const Ucq& w,
+                                const IsProbFn& is_prob, int num_threads) {
+  PartitionResult out;
+  if (w.disjuncts.empty()) return out;
   const auto groups = IndependentUnionComponents(w, is_prob);
   for (size_t g = 0; g < groups.size(); ++g) {
     Ucq sub = SubUcq(w, groups[g]);
@@ -70,33 +69,45 @@ std::vector<BlockTask> PartitionBlocks(const Database& db, const Ucq& w,
       if (any_var) {
         // One task per separator value: the per-value subqueries are
         // tuple-disjoint (Proposition 1), hence variable-disjoint blocks —
-        // the property that makes shard compilation sound. Every slot is
-        // indexed by its domain position, so the sharded substitution
-        // produces the same ordered task list as the serial loop.
+        // the property that makes shard compilation sound. The tasks carry
+        // only (shape id, value); the grounded AST is materialized on
+        // demand, never per task on the build path.
         const std::vector<Value> domain =
             SeparatorDomain(db, sub, *sep, is_prob, num_threads);
-        const size_t base = tasks.size();
-        tasks.resize(base + domain.size());
+        const int shape_id = static_cast<int>(out.shapes.size());
         const std::string prefix = "g" + std::to_string(g) + "/";
-        ParallelFor(EffectiveThreads(num_threads, domain.size()), domain.size(),
-                    [&](int, size_t i) {
-                      const Value a = domain[i];
-                      Ucq block_q = sub;
-                      for (size_t d = 0; d < block_q.disjuncts.size(); ++d) {
-                        const int z = sep->var_of_disjunct[d];
-                        if (z >= 0) SubstituteInDisjunct(&block_q, d, z, a);
-                      }
-                      tasks[base + i] =
-                          BlockTask{prefix + std::to_string(a), std::move(block_q)};
-                    });
+        out.tasks.reserve(out.tasks.size() + domain.size());
+        for (const Value a : domain) {
+          BlockTask task;
+          task.key = prefix + std::to_string(a);
+          task.shape = shape_id;
+          task.binding = a;
+          out.tasks.push_back(std::move(task));
+        }
+        out.shapes.push_back(BlockShape{std::move(sub), sep->var_of_disjunct});
         decomposed = true;
       }
     }
     if (!decomposed) {
-      tasks.push_back(BlockTask{"g" + std::to_string(g), std::move(sub)});
+      BlockTask task;
+      task.key = "g" + std::to_string(g);
+      task.query = std::move(sub);
+      out.tasks.push_back(std::move(task));
     }
   }
-  return tasks;
+  return out;
+}
+
+Ucq MaterializeTaskQuery(const PartitionResult& partition,
+                         const BlockTask& task) {
+  if (task.shape < 0) return task.query;
+  const BlockShape& shape = partition.shapes[static_cast<size_t>(task.shape)];
+  Ucq out = shape.query;
+  for (size_t d = 0; d < out.disjuncts.size(); ++d) {
+    const int z = shape.sep_var_of_disjunct[d];
+    if (z >= 0) SubstituteInDisjunct(&out, d, z, task.binding);
+  }
+  return out;
 }
 
 }  // namespace mvdb

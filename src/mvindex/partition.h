@@ -5,9 +5,18 @@
 // (rule R1) and, when the group has a separator, one per separator value
 // (Proposition 1: the per-value subqueries are tuple-disjoint, hence
 // variable-disjoint). The task list fixes the block identity and the order
-// every later stage sees, so it must be deterministic; the per-value
-// substitution work is sharded over threads with indexed result slots, which
-// makes the output identical for every thread count.
+// every later stage sees, so it must be deterministic.
+//
+// Decomposed groups are emitted as one *shape* (the group's abstract
+// sub-query plus the per-disjunct separator variable) and one lightweight
+// (shape id, separator value) task per domain value — the grounded per-task
+// AST is never materialized on the build path. All ~200K tasks of a
+// DBLP-scale group share the shape, which is what lets the compile stage
+// plan each block-query shape once and execute it per task
+// (obdd/conobdd.h, ConObddTemplate). MaterializeTaskQuery reconstructs the
+// grounded query of any task (tests, template exemplars, the template-off
+// escape hatch); the reconstruction is exactly the substitution the old
+// per-task rewrite performed, so task identity is unchanged.
 
 #ifndef MVDB_MVINDEX_PARTITION_H_
 #define MVDB_MVINDEX_PARTITION_H_
@@ -21,22 +30,44 @@
 
 namespace mvdb {
 
-/// One unit of offline work: a variable-disjoint sub-constraint of W (an
-/// independent view group, or one separator value of such a group).
-struct BlockTask {
-  std::string key;  ///< "g<group>" or "g<group>/<separatorValue>"
+/// One decomposed group: the abstract sub-constraint all of the group's
+/// tasks share, with the separator variable left unsubstituted.
+struct BlockShape {
   Ucq query;
+  /// FindSeparator's per-disjunct separator variable (-1 = the disjunct is
+  /// not substituted, e.g. it has no probabilistic atoms).
+  std::vector<int> sep_var_of_disjunct;
 };
 
-/// Decomposes W into independently compilable block tasks, in the
-/// deterministic order the serial build has always used — groups ascending,
-/// separator values in domain order within a group. `num_threads` shards the
-/// separator-domain substitution (the dominant cost at DBLP scale: one UCQ
-/// copy per separator value); <= 1 runs serially. The output is bit-identical
-/// for any thread count.
-std::vector<BlockTask> PartitionBlocks(const Database& db, const Ucq& w,
-                                       const IsProbFn& is_prob,
-                                       int num_threads = 1);
+/// One unit of offline work: either one separator value of a decomposed
+/// group (shape >= 0; the grounded query is shape.query with the separator
+/// variable bound to `binding`), or a whole undecomposable group
+/// (shape < 0; `query` holds the materialized sub-constraint).
+struct BlockTask {
+  std::string key;  ///< "g<group>" or "g<group>/<separatorValue>"
+  int shape = -1;   ///< index into PartitionResult::shapes, or -1
+  Value binding = 0;
+  Ucq query;        ///< only populated when shape < 0
+};
+
+/// The deterministic partition output: shapes plus the ordered task list —
+/// groups ascending, separator values in domain order within a group, the
+/// same order the serial build has always used.
+struct PartitionResult {
+  std::vector<BlockShape> shapes;
+  std::vector<BlockTask> tasks;
+};
+
+/// Decomposes W into independently compilable block tasks. `num_threads`
+/// shards the separator-domain scans (<= 1 runs serially); the output is
+/// bit-identical for any thread count.
+PartitionResult PartitionBlocks(const Database& db, const Ucq& w,
+                                const IsProbFn& is_prob, int num_threads = 1);
+
+/// The grounded query of a task: shape.query with the separator variable
+/// substituted by the task's binding (shape >= 0), or the task's own query.
+Ucq MaterializeTaskQuery(const PartitionResult& partition,
+                         const BlockTask& task);
 
 }  // namespace mvdb
 

@@ -61,8 +61,8 @@ StatusOr<NodeId> ConObddBuilder::Build(const Ucq& boolean_query) {
   return r.id;
 }
 
-ConObddBuilder::ConResult ConObddBuilder::CombineOr(const ConResult& a,
-                                                    const ConResult& b) {
+ConResult ConObddBuilder::CombineOr(const ConResult& a,
+                                    const ConResult& b) {
   ConResult out;
   out.min_level = std::min(a.min_level, b.min_level);
   out.max_level = std::max(a.max_level, b.max_level);
@@ -85,8 +85,8 @@ ConObddBuilder::ConResult ConObddBuilder::CombineOr(const ConResult& a,
   return out;
 }
 
-ConObddBuilder::ConResult ConObddBuilder::CombineAnd(const ConResult& a,
-                                                     const ConResult& b) {
+ConResult ConObddBuilder::CombineAnd(const ConResult& a,
+                                     const ConResult& b) {
   ConResult out;
   out.min_level = std::min(a.min_level, b.min_level);
   out.max_level = std::max(a.max_level, b.max_level);
@@ -109,8 +109,7 @@ ConObddBuilder::ConResult ConObddBuilder::CombineAnd(const ConResult& a,
   return out;
 }
 
-StatusOr<ConObddBuilder::ConResult> ConObddBuilder::BuildFallback(const Ucq& q) {
-  MVDB_ASSIGN_OR_RETURN(Lineage lineage, EvalBoolean(db_, q));
+ConResult ConObddBuilder::FromLineage(const Lineage& lineage) {
   ConResult out;
   if (lineage.IsTrue()) {
     out.id = BddManager::kTrue;
@@ -127,15 +126,28 @@ StatusOr<ConObddBuilder::ConResult> ConObddBuilder::BuildFallback(const Ucq& q) 
   } else {
     ++concat_count_;
   }
-  for (VarId v : lineage.Vars()) {
-    const int32_t l = mgr_->level_of_var(v);
-    out.min_level = std::min(out.min_level, l);
-    out.max_level = std::max(out.max_level, l);
-  }
+  // min/max over every variable mentioned (positive and negated literals)
+  // without materializing the sorted Vars() vector.
+  auto widen = [&](const std::vector<Clause>& clauses) {
+    for (const Clause& c : clauses) {
+      for (VarId v : c) {
+        const int32_t l = mgr_->level_of_var(v);
+        out.min_level = std::min(out.min_level, l);
+        out.max_level = std::max(out.max_level, l);
+      }
+    }
+  };
+  widen(lineage.clauses());
+  widen(lineage.neg_clauses());
   return out;
 }
 
-StatusOr<ConObddBuilder::ConResult> ConObddBuilder::BuildUcq(const Ucq& q) {
+StatusOr<ConResult> ConObddBuilder::BuildFallback(const Ucq& q) {
+  MVDB_ASSIGN_OR_RETURN(Lineage lineage, EvalBoolean(db_, q));
+  return FromLineage(lineage);
+}
+
+StatusOr<ConResult> ConObddBuilder::BuildUcq(const Ucq& q) {
   // Separate disjuncts with no probabilistic atoms: each is deterministically
   // true or false on I_poss; a true one makes the whole query true.
   Ucq pruned = q;
@@ -268,6 +280,225 @@ StatusOr<ConObddBuilder::ConResult> ConObddBuilder::BuildUcq(const Ucq& q) {
 
   // R4: residual subquery — classic synthesis on its lineage.
   return BuildFallback(pruned);
+}
+
+// ---------------------------------------------------------------------------
+// ConObddTemplate: the plan-once / execute-per-block form of BuildUcq.
+// ---------------------------------------------------------------------------
+
+/// One mirrored BuildUcq invocation. `det_checks` replays the
+/// deterministic-disjunct prune (value-dependent truth, so evaluated per
+/// binding); the kind records which rule the signature selects.
+struct ConObddTemplateNode {
+  enum class Kind {
+    kFalse,    ///< no probabilistic disjunct survives the prune
+    kLeaf,     ///< R4 residual: prepared join plans + lineage synthesis
+    kOrFold,   ///< R1 independent unions
+    kAndFold,  ///< R2 independent join components
+    kGeneric,  ///< R3 separator decomposition: domain is value-dependent,
+               ///< so the grounded residual runs the classic recursion
+  };
+
+  /// R2 child: either a probabilistic sub-node or a deterministic-only
+  /// component check (false kills the conjunction, true is dropped).
+  struct Child {
+    std::unique_ptr<ConObddTemplateNode> sub;
+    std::unique_ptr<const PlanTemplate> det;
+  };
+
+  Kind kind = Kind::kFalse;
+  std::vector<std::unique_ptr<const PlanTemplate>> det_checks;
+  std::unique_ptr<const PlanTemplate> leaf;
+  std::vector<Child> children;
+  Ucq generic;  ///< abstracted residual for kGeneric
+};
+
+ConObddTemplate::ConObddTemplate() = default;
+ConObddTemplate::~ConObddTemplate() = default;
+
+Status ConObddTemplate::PlanNode(const Database& db, const IsProbFn& is_prob,
+                                 const Ucq& q, ConObddTemplateNode* out) {
+  // Deterministic-only disjuncts: truth is binding-dependent, so record a
+  // prepared plan per disjunct (evaluated in disjunct order at execution).
+  for (size_t d = 0; d < q.disjuncts.size(); ++d) {
+    if (HasProbAtom(q.disjuncts[d], is_prob)) continue;
+    MVDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<const PlanTemplate> check,
+        PlanTemplate::PlanAbstracted(db, SubUcq(q, {d}), EvalOptions{}));
+    out->det_checks.push_back(std::move(check));
+  }
+  Ucq pruned = q;
+  std::erase_if(pruned.disjuncts, [&](const ConjunctiveQuery& cq) {
+    return !HasProbAtom(cq, is_prob);
+  });
+  if (pruned.disjuncts.empty()) {
+    out->kind = ConObddTemplateNode::Kind::kFalse;
+    return Status::OK();
+  }
+
+  // R1: independent unions — the grouping is a function of the relation
+  // symbols alone, hence of the signature.
+  const auto groups = IndependentUnionComponents(pruned, is_prob);
+  if (groups.size() > 1) {
+    out->kind = ConObddTemplateNode::Kind::kOrFold;
+    for (const auto& g : groups) {
+      ConObddTemplateNode::Child child;
+      child.sub = std::make_unique<ConObddTemplateNode>();
+      MVDB_RETURN_NOT_OK(PlanNode(db, is_prob, SubUcq(pruned, g),
+                                  child.sub.get()));
+      out->children.push_back(std::move(child));
+    }
+    return Status::OK();
+  }
+
+  // R2: join components. Unifiable() compares abstracted constants by slot
+  // id, which is exactly value equality for every binding of the signature,
+  // so the component split is shared too.
+  if (pruned.disjuncts.size() == 1) {
+    auto comps = ConnectedComponents(pruned.disjuncts[0], is_prob);
+    if (comps.size() > 1) {
+      out->kind = ConObddTemplateNode::Kind::kAndFold;
+      for (auto& comp : comps) {
+        Ucq sub = pruned;
+        const bool det = !HasProbAtom(comp, is_prob);
+        sub.disjuncts = {std::move(comp)};
+        ConObddTemplateNode::Child child;
+        if (det) {
+          MVDB_ASSIGN_OR_RETURN(
+              child.det,
+              PlanTemplate::PlanAbstracted(db, std::move(sub), EvalOptions{}));
+        } else {
+          child.sub = std::make_unique<ConObddTemplateNode>();
+          MVDB_RETURN_NOT_OK(PlanNode(db, is_prob, sub, child.sub.get()));
+        }
+        out->children.push_back(std::move(child));
+      }
+      return Status::OK();
+    }
+  }
+
+  // R3: the separator *choice* is structural but the active-domain
+  // expansion is not — bind the residual and run the classic recursion.
+  if (auto sep = FindSeparator(pruned, is_prob); sep.has_value()) {
+    bool any_var = false;
+    for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
+    if (any_var) {
+      out->kind = ConObddTemplateNode::Kind::kGeneric;
+      out->generic = std::move(pruned);
+      return Status::OK();
+    }
+  }
+
+  // R4: residual subquery — prepared join plans, lineage synthesis at exec.
+  out->kind = ConObddTemplateNode::Kind::kLeaf;
+  MVDB_ASSIGN_OR_RETURN(
+      out->leaf,
+      PlanTemplate::PlanAbstracted(db, std::move(pruned), EvalOptions{}));
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<const ConObddTemplate>> ConObddTemplate::Plan(
+    const Database& db, const IsProbFn& is_prob, const Ucq& exemplar) {
+  if (!exemplar.IsBoolean()) {
+    return Status::InvalidArgument("ConObdd requires a Boolean query");
+  }
+  std::unique_ptr<ConObddTemplate> tmpl(new ConObddTemplate());
+  tmpl->db_ = &db;
+  Ucq abstracted = exemplar;
+  AbstractUcqConstants(&abstracted);
+  tmpl->root_ = std::make_unique<ConObddTemplateNode>();
+  MVDB_RETURN_NOT_OK(PlanNode(db, is_prob, abstracted, tmpl->root_.get()));
+  return std::unique_ptr<const ConObddTemplate>(std::move(tmpl));
+}
+
+StatusOr<ConResult> ConObddTemplate::ExecNode(const ConObddTemplateNode& node,
+                                              std::span<const Value> slots,
+                                              ConObddScratch* scratch,
+                                              ConObddBuilder* helper) const {
+  // Deterministic-disjunct prune: a true disjunct makes the whole query
+  // certainly true on I_poss (same early exit as BuildUcq).
+  for (const auto& check : node.det_checks) {
+    MVDB_RETURN_NOT_OK(
+        check->ExecuteBoolean(slots, &scratch->eval, &scratch->lineage));
+    if (scratch->lineage.IsTrue()) {
+      ConResult out;
+      out.id = BddManager::kTrue;
+      return out;
+    }
+  }
+  switch (node.kind) {
+    case ConObddTemplateNode::Kind::kFalse:
+      return ConResult{};
+    case ConObddTemplateNode::Kind::kLeaf: {
+      MVDB_RETURN_NOT_OK(
+          node.leaf->ExecuteBoolean(slots, &scratch->eval, &scratch->lineage));
+      return helper->FromLineage(scratch->lineage);
+    }
+    case ConObddTemplateNode::Kind::kOrFold: {
+      std::vector<ConResult> parts;
+      parts.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        MVDB_ASSIGN_OR_RETURN(ConResult r,
+                              ExecNode(*child.sub, slots, scratch, helper));
+        parts.push_back(r);
+      }
+      std::sort(parts.begin(), parts.end(),
+                [](const ConResult& a, const ConResult& b) {
+                  return a.min_level < b.min_level;
+                });
+      // Right-to-left fold: each part rebuilt once (see BuildUcq).
+      ConResult acc = parts.back();
+      for (size_t i = parts.size() - 1; i-- > 0;) {
+        acc = helper->CombineOr(parts[i], acc);
+      }
+      return acc;
+    }
+    case ConObddTemplateNode::Kind::kAndFold: {
+      std::vector<ConResult> parts;
+      parts.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        if (child.det != nullptr) {
+          // Deterministic component: true keeps the conjunction, false
+          // kills it.
+          MVDB_RETURN_NOT_OK(child.det->ExecuteBoolean(slots, &scratch->eval,
+                                                       &scratch->lineage));
+          if (!scratch->lineage.IsTrue()) return ConResult{};  // false conjunct
+          continue;
+        }
+        MVDB_ASSIGN_OR_RETURN(ConResult r,
+                              ExecNode(*child.sub, slots, scratch, helper));
+        parts.push_back(r);
+      }
+      if (parts.empty()) {
+        ConResult out;
+        out.id = BddManager::kTrue;
+        return out;
+      }
+      std::sort(parts.begin(), parts.end(),
+                [](const ConResult& a, const ConResult& b) {
+                  return a.min_level < b.min_level;
+                });
+      ConResult acc = parts.back();
+      for (size_t i = parts.size() - 1; i-- > 0;) {
+        acc = helper->CombineAnd(parts[i], acc);
+      }
+      return acc;
+    }
+    case ConObddTemplateNode::Kind::kGeneric: {
+      Ucq grounded = node.generic;
+      BindUcqConstants(&grounded, slots);
+      return helper->BuildUcq(grounded);
+    }
+  }
+  return Status::Internal("unreachable template node kind");
+}
+
+StatusOr<NodeId> ConObddTemplate::Execute(std::span<const Value> slots,
+                                          BddManager* mgr,
+                                          ConObddScratch* scratch) const {
+  ConObddBuilder helper(*db_, mgr);
+  MVDB_ASSIGN_OR_RETURN(ConResult r, ExecNode(*root_, slots, scratch, &helper));
+  return r.id;
 }
 
 }  // namespace mvdb

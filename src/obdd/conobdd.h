@@ -22,13 +22,27 @@
 #ifndef MVDB_OBDD_CONOBDD_H_
 #define MVDB_OBDD_CONOBDD_H_
 
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "obdd/manager.h"
 #include "query/analysis.h"
 #include "query/ast.h"
+#include "query/eval.h"
 #include "relational/database.h"
 #include "util/status.h"
 
 namespace mvdb {
+
+/// Intermediate of the recursive construction: an OBDD node plus the
+/// smallest/largest level it touches (empty range for sinks) — the
+/// information the concatenation test needs.
+struct ConResult {
+  NodeId id = BddManager::kFalse;
+  int32_t min_level = BddManager::kSinkLevel;
+  int32_t max_level = -1;
+};
 
 class ConObddBuilder {
  public:
@@ -51,14 +65,14 @@ class ConObddBuilder {
   size_t synthesis_count() const { return synthesis_count_; }
 
  private:
-  struct ConResult {
-    NodeId id = BddManager::kFalse;
-    int32_t min_level = BddManager::kSinkLevel;  // empty range for sinks
-    int32_t max_level = -1;
-  };
+  friend class ConObddTemplate;
 
   StatusOr<ConResult> BuildUcq(const Ucq& q);
   StatusOr<ConResult> BuildFallback(const Ucq& q);
+  /// BuildFallback's tail: lineage -> OBDD + level range (shared with the
+  /// template leaf execution, which evaluates the lineage via a prepared
+  /// plan instead of ad-hoc EvalBoolean).
+  ConResult FromLineage(const Lineage& lineage);
   ConResult CombineOr(const ConResult& a, const ConResult& b);
   ConResult CombineAnd(const ConResult& a, const ConResult& b);
 
@@ -67,6 +81,61 @@ class ConObddBuilder {
   IsProbFn is_prob_;
   size_t concat_count_ = 0;
   size_t synthesis_count_ = 0;
+};
+
+/// Reusable per-thread scratch for ConObddTemplate::Execute. One per
+/// compilation shard; repeated executions allocate nothing beyond the
+/// lineage clauses they emit.
+struct ConObddScratch {
+  EvalScratch eval;
+  Lineage lineage;
+};
+
+struct ConObddTemplateNode;
+
+/// Immutable compiled form of one block-query *shape*: the Section 4.2
+/// construction with every value-independent decision made once at plan
+/// time. Plan() mirrors ConObddBuilder::BuildUcq on the constant-abstracted
+/// exemplar — the deterministic-disjunct prune set, the R1 union groups, the
+/// R2 join components and the R3-vs-fallback choice are all functions of the
+/// structural signature (query/analysis.h), not of the bound constants — and
+/// records a node tree whose leaves hold prepared PlanTemplate join plans.
+/// Execute() replays the tree with a concrete slot binding: only the
+/// value-dependent outcomes (deterministic-disjunct truth, join results,
+/// level ranges, the rare R3 separator expansion) are computed per block.
+/// The result is the same reduced OBDD the classic builder produces for the
+/// grounded query, at a fraction of the per-block cost — the MV-index
+/// compile stage plans each of its handful of shapes once and executes them
+/// ~200K times.
+class ConObddTemplate {
+ public:
+  ~ConObddTemplate();
+  ConObddTemplate(const ConObddTemplate&) = delete;
+  ConObddTemplate& operator=(const ConObddTemplate&) = delete;
+
+  /// Plans the shape of `exemplar` (a grounded Boolean block query).
+  static StatusOr<std::unique_ptr<const ConObddTemplate>> Plan(
+      const Database& db, const IsProbFn& is_prob, const Ucq& exemplar);
+
+  /// Builds the block OBDD for one binding inside `mgr` (slot order is the
+  /// exemplar's structural signature — ComputeGroundedSignature supplies
+  /// matching slot vectors). Reentrant: shards run it concurrently against
+  /// private managers and scratches.
+  StatusOr<NodeId> Execute(std::span<const Value> slots, BddManager* mgr,
+                           ConObddScratch* scratch) const;
+
+ private:
+  ConObddTemplate();
+
+  static Status PlanNode(const Database& db, const IsProbFn& is_prob,
+                         const Ucq& q, ConObddTemplateNode* out);
+  StatusOr<ConResult> ExecNode(const ConObddTemplateNode& node,
+                               std::span<const Value> slots,
+                               ConObddScratch* scratch,
+                               ConObddBuilder* helper) const;
+
+  const Database* db_ = nullptr;
+  std::unique_ptr<ConObddTemplateNode> root_;
 };
 
 }  // namespace mvdb

@@ -43,12 +43,12 @@ struct KeyLess {
 
 /// One probabilistic table's slice of the key/value buffers.
 struct TableSlice {
-  const Table* table;
-  int component;
+  const Table* table = nullptr;
+  int component = 0;
   std::vector<size_t> perm;
-  uint32_t rel_rank;
-  size_t key_offset;
-  size_t val_offset;
+  uint32_t rel_rank = 0;
+  size_t key_offset = 0;
+  size_t val_offset = 0;
 };
 
 }  // namespace

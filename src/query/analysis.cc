@@ -221,6 +221,153 @@ std::vector<std::vector<size_t>> IndependentUnionComponents(
   return groups;
 }
 
+namespace {
+
+/// THE canonical walk: disjuncts in order; within a disjunct, atoms
+/// left-to-right (arguments in position order), then comparisons (lhs,
+/// rhs). Slot numbering — hence plan-template sharing — is defined by the
+/// order this function visits constant terms in, so every signature/slot
+/// routine below and ForEachUcqTerm go through it; never hand-roll the
+/// loop elsewhere. The structural callbacks (disjunct/atom/comparison) let
+/// the key encoder interleave punctuation; plain term walks pass no-ops.
+template <typename UcqT, typename DisjFn, typename AtomFn, typename AtomEndFn,
+          typename CmpFn, typename TermFn>
+void WalkUcqCanonical(UcqT& q, DisjFn&& disjunct_begin, AtomFn&& atom_begin,
+                      AtomEndFn&& atom_end, CmpFn&& comparison_begin,
+                      TermFn&& term) {
+  for (size_t d = 0; d < q.disjuncts.size(); ++d) {
+    auto& cq = q.disjuncts[d];
+    disjunct_begin(d);
+    for (auto& a : cq.atoms) {
+      atom_begin(a);
+      for (auto& t : a.args) term(d, t);
+      atom_end(a);
+    }
+    for (auto& c : cq.comparisons) {
+      comparison_begin(c);
+      term(d, c.lhs);
+      term(d, c.rhs);
+    }
+  }
+}
+
+/// No-op structural callbacks for plain term walks.
+constexpr auto kIgnoreDisjunct = [](size_t) {};
+constexpr auto kIgnoreAtom = [](const Atom&) {};
+constexpr auto kIgnoreComparison = [](const Comparison&) {};
+
+/// Plain term walk in the canonical order (ForEachUcqTerm's engine).
+template <typename UcqT, typename TermFn>
+void WalkUcqTerms(UcqT& q, TermFn&& term) {
+  WalkUcqCanonical(q, kIgnoreDisjunct, kIgnoreAtom, kIgnoreAtom,
+                   kIgnoreComparison, term);
+}
+
+/// Incremental signature encoder. The canonical walk (head variables, then
+/// per disjunct: atoms left-to-right, then comparisons lhs/rhs) fixes both
+/// the slot numbering (constants, by first occurrence) and the canonical
+/// variable numbering, so structurally isomorphic queries produce the same
+/// key and ComputeUcqSignature / AbstractUcqConstants / the grounded variant
+/// always agree on slot order.
+class SignatureEncoder {
+ public:
+  void AddVar(int v) {
+    auto [it, inserted] = var_of_.emplace(v, static_cast<int>(var_of_.size()));
+    sig_.key += 'v';
+    sig_.key += std::to_string(it->second);
+    sig_.key += ',';
+  }
+  void AddConst(Value c) {
+    auto [it, inserted] = slot_of_.emplace(c, sig_.slots.size());
+    if (inserted) sig_.slots.push_back(c);
+    sig_.key += 's';
+    sig_.key += std::to_string(it->second);
+    sig_.key += ',';
+  }
+  void AddAtomHeader(const Atom& a) {
+    if (a.negated) sig_.key += '~';
+    sig_.key += a.relation;
+    sig_.key += '(';
+  }
+  void Punct(char c) { sig_.key += c; }
+
+  UcqSignature Take() { return std::move(sig_); }
+
+ private:
+  UcqSignature sig_;
+  std::unordered_map<Value, size_t> slot_of_;
+  std::unordered_map<int, int> var_of_;
+};
+
+/// Shared signature walk. `as_const(d, v)` tells whether the variable v of
+/// disjunct d is to be treated as a bound constant (the grounded-signature
+/// variant); `bound` supplies its value.
+template <typename IsBoundFn>
+UcqSignature EncodeSignature(const Ucq& q, const IsBoundFn& as_const,
+                             Value bound) {
+  SignatureEncoder enc;
+  enc.Punct('H');
+  for (int hv : q.head_vars) enc.AddVar(hv);
+  WalkUcqCanonical(
+      q, [&](size_t) { enc.Punct('D'); },
+      [&](const Atom& a) { enc.AddAtomHeader(a); },
+      [&](const Atom&) { enc.Punct(')'); },
+      [&](const Comparison& c) {
+        enc.Punct('C');
+        enc.Punct(static_cast<char>('0' + static_cast<int>(c.op)));
+      },
+      [&](size_t d, const Term& t) {
+        if (!t.is_var()) {
+          enc.AddConst(t.constant);
+        } else if (as_const(d, t.var)) {
+          enc.AddConst(bound);
+        } else {
+          enc.AddVar(t.var);
+        }
+      });
+  return enc.Take();
+}
+
+}  // namespace
+
+UcqSignature ComputeUcqSignature(const Ucq& q) {
+  return EncodeSignature(q, [](size_t, int) { return false; }, 0);
+}
+
+UcqSignature ComputeGroundedSignature(const Ucq& shape,
+                                      const std::vector<int>& sub_var_of_disjunct,
+                                      Value binding) {
+  return EncodeSignature(
+      shape,
+      [&](size_t d, int v) {
+        return d < sub_var_of_disjunct.size() && sub_var_of_disjunct[d] == v;
+      },
+      binding);
+}
+
+std::vector<Value> AbstractUcqConstants(Ucq* q) {
+  std::vector<Value> slots;
+  std::unordered_map<Value, size_t> slot_of;
+  WalkUcqTerms(*q, [&](size_t, Term& t) {
+    if (t.is_var()) return;
+    auto [it, inserted] = slot_of.emplace(t.constant, slots.size());
+    if (inserted) slots.push_back(t.constant);
+    t.constant = static_cast<Value>(it->second);
+  });
+  return slots;
+}
+
+void BindUcqConstants(Ucq* q, std::span<const Value> slots) {
+  WalkUcqTerms(*q, [&](size_t, Term& t) {
+    if (!t.is_var()) t.constant = slots[static_cast<size_t>(t.constant)];
+  });
+}
+
+void ForEachUcqTerm(const Ucq& q,
+                    const std::function<void(size_t, const Term&)>& fn) {
+  WalkUcqTerms(q, fn);
+}
+
 bool Unifiable(const Atom& a, const Atom& b) {
   if (a.relation != b.relation || a.args.size() != b.args.size()) return false;
   for (size_t i = 0; i < a.args.size(); ++i) {

@@ -27,6 +27,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -98,6 +99,61 @@ bool MapsInto(const ConjunctiveQuery& general, const ConjunctiveQuery& specific)
 /// minimization; the lifted evaluator needs it for inclusion–exclusion
 /// conjunctions like (R(x) ^ S(x)) ^ R(x').
 ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& cq);
+
+/// Structural signature of a UCQ with constants abstracted into *slots*:
+/// two queries share a signature exactly when they differ only in the
+/// constant values bound into the slots — same relations, same join graph,
+/// same variable pattern, and the same constant-equality pattern (equal
+/// constants map to the same slot, distinct constants to distinct slots).
+/// This is the key of the block-query plan-template cache: the ~200K
+/// grounded block queries of a DBLP-scale build collapse to a handful of
+/// signatures, each planned once and executed with per-block bindings.
+struct UcqSignature {
+  /// Canonical structural encoding (relations, negation, canonicalized
+  /// variable ids, slot ids, comparison ops, head pattern). Opaque; only
+  /// equality matters.
+  std::string key;
+  /// The query's own binding: the constant held by each slot, in slot-id
+  /// order (= first occurrence order over the canonical walk).
+  std::vector<Value> slots;
+};
+
+/// Computes the signature of `q`. The canonical walk visits disjuncts in
+/// order, atoms before comparisons, argument positions left to right —
+/// AbstractUcqConstants and ComputeGroundedSignature use the same walk, so
+/// their slot numbering always agrees.
+UcqSignature ComputeUcqSignature(const Ucq& q);
+
+/// Rewrites `q` in place, replacing every constant term's value by its slot
+/// id (assigned in the canonical walk order), and returns the slot values.
+/// The rewritten query is the *shape* a PlanTemplate plans once; executing
+/// it with any slot vector whose equality pattern matches reproduces the
+/// grounded query's evaluation exactly. Constant-equality semantics are
+/// preserved under the rewrite: two rewritten terms compare equal iff the
+/// original constants were equal.
+std::vector<Value> AbstractUcqConstants(Ucq* q);
+
+/// Rewrites `q` in place, replacing each constant term holding a slot id by
+/// `slots[id]` — the inverse of AbstractUcqConstants for a given binding.
+void BindUcqConstants(Ucq* q, std::span<const Value> slots);
+
+/// Visits every term of `q` in the canonical signature order (disjuncts in
+/// order; per disjunct, atom arguments left to right, then comparison
+/// lhs/rhs), passing the disjunct index. Slot numbering across the
+/// signature machinery is *defined* by this order — constant walks outside
+/// query/analysis must go through this helper rather than hand-rolling the
+/// loops, so they can never drift out of lockstep.
+void ForEachUcqTerm(const Ucq& q,
+                    const std::function<void(size_t, const Term&)>& fn);
+
+/// Signature of the grounded query obtained from `shape` by substituting
+/// `binding` for `sub_var_of_disjunct[d]` within each disjunct d (entries
+/// < 0 are left untouched) — without materializing the substituted AST.
+/// Equivalent to ComputeUcqSignature(materialized copy); the partition
+/// stage uses it to map each (shape, separator value) task to its template.
+UcqSignature ComputeGroundedSignature(const Ucq& shape,
+                                      const std::vector<int>& sub_var_of_disjunct,
+                                      Value binding);
 
 /// Attribute permutations pi: relation symbol -> permutation of its column
 /// indices (Section 4.2). Relations not present use the identity.

@@ -14,13 +14,30 @@ namespace {
 /// spawn + per-worker map merge); below this the evaluation stays serial.
 constexpr size_t kMinRowsPerWorker = 512;
 
-/// Planner, plan data and executor for one conjunctive query. Prepare() is
-/// serial; Execute() is const and reentrant — the parallel path runs it
-/// concurrently over disjoint driver-row ranges with per-worker output maps.
-class CqEvaluator {
+/// Per-execution view threaded through the join recursion: the reusable
+/// scratch buffers, the slot binding of this execution, and the output sink
+/// (answer map, or a bare lineage on the Boolean fast path).
+struct ExecContext {
+  EvalScratch* scratch = nullptr;
+  const Value* slots = nullptr;
+  AnswerMap* out = nullptr;
+  Lineage* bool_out = nullptr;
+};
+
+}  // namespace
+
+/// Immutable join plan for one conjunctive query of the template: atom
+/// order, probe columns and the per-depth comparison schedule, produced by
+/// the PR-4 cost-based planner (or the legacy greedy order). Prepare() reads
+/// only value-independent inputs — query structure, table sizes, per-column
+/// distinct counts — never the constants themselves, which is what makes
+/// one plan exact for every binding of the same signature. Execution
+/// resolves constant terms through the slot vector at run time (the
+/// template's constant terms hold slot ids, not values).
+class CqPlan {
  public:
-  CqEvaluator(const Database& db, const Ucq& q, const ConjunctiveQuery& cq,
-              const EvalOptions& opts)
+  CqPlan(const Database& db, const Ucq& q, const ConjunctiveQuery& cq,
+         const EvalOptions& opts)
       : db_(db), q_(q), cq_(cq), opts_(opts) {}
 
   /// Validates the query, resolves tables, and builds the join plan (atom
@@ -45,30 +62,34 @@ class CqEvaluator {
       PlanCostBased();
     }
     ScheduleComparisons();
-    // Driver row source: a probe span when the driver atom has a usable
-    // constant argument, else the full row range.
-    if (!order_.empty() && probe_cols_[0] >= 0) {
-      Value v = 0;
-      const Atom& a = cq_.atoms[order_[0]];
-      MVDB_CHECK(!a.args[static_cast<size_t>(probe_cols_[0])].is_var());
-      v = a.args[static_cast<size_t>(probe_cols_[0])].constant;
-      driver_rows_ = tables_[order_[0]]->Probe(
-          static_cast<size_t>(probe_cols_[0]), v);
-      driver_is_probe_ = true;
-    }
+    driver_is_probe_ = !order_.empty() && probe_cols_[0] >= 0;
     return Status::OK();
   }
 
-  size_t NumDriverRows() const {
+  /// Driver row source for a binding: a probe span when the driver atom has
+  /// a usable constant argument, else the full row range. The probe value
+  /// is slot-resolved, so this is the one plan ingredient bound at
+  /// execution time rather than plan time.
+  std::span<const RowId> DriverRows(const Value* slots) const {
+    MVDB_DCHECK(driver_is_probe_);
+    const Atom& a = cq_.atoms[order_[0]];
+    const Term& t = a.args[static_cast<size_t>(probe_cols_[0])];
+    MVDB_CHECK(!t.is_var());
+    return tables_[order_[0]]->Probe(
+        static_cast<size_t>(probe_cols_[0]),
+        slots[static_cast<size_t>(t.constant)]);
+  }
+
+  size_t NumDriverRows(const Value* slots) const {
     if (order_.empty()) return 0;
-    return driver_is_probe_ ? driver_rows_.size() : tables_[order_[0]]->size();
+    return driver_is_probe_ ? DriverRows(slots).size()
+                            : tables_[order_[0]]->size();
   }
 
   /// Builds every index Execute() can touch, so concurrent workers only
   /// read shared state (Table::EnsureIndex is not thread-safe). Only the
   /// planned strategy fans out, and its probe columns are static.
   void WarmPlanIndexes() const {
-    MVDB_DCHECK(opts_.strategy == EvalStrategy::kPlanned);
     for (size_t d = 0; d < order_.size(); ++d) {
       if (probe_cols_[d] >= 0) {
         tables_[order_[d]]->WarmIndex(static_cast<size_t>(probe_cols_[d]));
@@ -77,34 +98,28 @@ class CqEvaluator {
     for (size_t i : negatives_) tables_[i]->WarmIndex(0);  // FindRow probes 0
   }
 
-  /// Evaluates driver rows [begin, end) of the driver source into `out`.
-  void Execute(size_t begin, size_t end, AnswerMap* out) const {
-    ExecState st;
+  /// Evaluates driver rows [begin, end) of the driver source into the
+  /// context's sink. Reentrant: concurrent calls need distinct contexts.
+  void Execute(size_t begin, size_t end, const ExecContext& ctx) const {
+    EvalScratch& st = *ctx.scratch;
     st.binding.assign(static_cast<size_t>(q_.num_vars()), 0);
     st.bound.assign(static_cast<size_t>(q_.num_vars()), 0);
-    st.newly_bound.reserve(16);
-    st.out = out;
+    st.newly_bound.clear();
+    st.clause_vars.clear();
     if (order_.empty()) {
       // No positive atoms (a constant negation-only disjunct): the single
       // empty binding goes straight to the negated-atom checks.
-      if (begin == 0) Emit(&st);
+      if (begin == 0) Emit(ctx);
       return;
     }
+    std::span<const RowId> rows;
+    if (driver_is_probe_) rows = DriverRows(ctx.slots);
     for (size_t i = begin; i < end; ++i) {
-      TryRow(&st, 0,
-             driver_is_probe_ ? driver_rows_[i] : static_cast<RowId>(i));
+      TryRow(ctx, 0, driver_is_probe_ ? rows[i] : static_cast<RowId>(i));
     }
   }
 
  private:
-  struct ExecState {
-    std::vector<Value> binding;
-    std::vector<uint8_t> bound;
-    std::vector<int> newly_bound;  ///< undo stack across recursion depths
-    Clause clause_vars;
-    AnswerMap* out = nullptr;
-  };
-
   Status Validate() {
     // Range-restriction: every head variable and every comparison variable
     // must occur in some *positive* atom, or evaluation cannot bind it; the
@@ -258,9 +273,8 @@ class CqEvaluator {
   /// Assigns each comparison to the first depth at which both sides are
   /// bound, so it is checked exactly once per candidate binding instead of
   /// re-scanned after every atom. Constant-only comparisons check at depth
-  /// 0. Stored flat (schedule + per-depth offsets) — block compilation
-  /// plans one grounded query per separator value, so per-plan allocations
-  /// are on the offline build's hot path.
+  /// 0. Stored flat (schedule + per-depth offsets): one immutable schedule
+  /// per template, shared by every execution.
   void ScheduleComparisons() {
     comp_offsets_.assign(order_.size() + 1, 0);
     if (order_.empty()) return;
@@ -295,11 +309,14 @@ class CqEvaluator {
     }
   }
 
-  bool TermValue(const ExecState& st, const Term& t, Value* out) const {
+  /// Resolves a term under the current binding; constant terms go through
+  /// the execution's slot vector (the term's `constant` field is a slot id).
+  bool TermValue(const ExecContext& ctx, const Term& t, Value* out) const {
     if (!t.is_var()) {
-      *out = t.constant;
+      *out = ctx.slots[static_cast<size_t>(t.constant)];
       return true;
     }
+    const EvalScratch& st = *ctx.scratch;
     if (st.bound[static_cast<size_t>(t.var)]) {
       *out = st.binding[static_cast<size_t>(t.var)];
       return true;
@@ -307,12 +324,12 @@ class CqEvaluator {
     return false;
   }
 
-  bool ComparisonsHoldAt(const ExecState& st, size_t depth) const {
+  bool ComparisonsHoldAt(const ExecContext& ctx, size_t depth) const {
     for (size_t k = comp_offsets_[depth]; k < comp_offsets_[depth + 1]; ++k) {
       const Comparison& cmp = cq_.comparisons[comp_sched_[k]];
       Value a = 0, b = 0;
-      const bool ba = TermValue(st, cmp.lhs, &a);
-      const bool bb = TermValue(st, cmp.rhs, &b);
+      const bool ba = TermValue(ctx, cmp.lhs, &a);
+      const bool bb = TermValue(ctx, cmp.rhs, &b);
       MVDB_DCHECK(ba && bb);  // the schedule binds both sides by this depth
       (void)ba;
       (void)bb;
@@ -321,7 +338,8 @@ class CqEvaluator {
     return true;
   }
 
-  void TryRow(ExecState* st, size_t depth, RowId r) const {
+  void TryRow(const ExecContext& ctx, size_t depth, RowId r) const {
+    EvalScratch* st = ctx.scratch;
     const Atom& atom = cq_.atoms[order_[depth]];
     const Table* table = tables_[order_[depth]];
     const auto row = table->Row(r);
@@ -333,7 +351,7 @@ class CqEvaluator {
     for (size_t i = 0; i < atom.args.size(); ++i) {
       const Term& t = atom.args[i];
       Value expect;
-      if (TermValue(*st, t, &expect)) {
+      if (TermValue(ctx, t, &expect)) {
         if (row[i] != expect) { ok = false; break; }
       } else {
         st->binding[static_cast<size_t>(t.var)] = row[i];
@@ -341,14 +359,14 @@ class CqEvaluator {
         st->newly_bound.push_back(t.var);
       }
     }
-    if (ok && ComparisonsHoldAt(*st, depth)) {
+    if (ok && ComparisonsHoldAt(ctx, depth)) {
       const VarId var = table->var(r);
       const bool pushed = (var != kNoVar);
       if (pushed) st->clause_vars.push_back(var);
       if (depth + 1 == order_.size()) {
-        Emit(st);
+        Emit(ctx);
       } else {
-        Join(st, depth + 1);
+        Join(ctx, depth + 1);
       }
       if (pushed) st->clause_vars.pop_back();
     }
@@ -358,7 +376,7 @@ class CqEvaluator {
     st->newly_bound.resize(undo_mark);
   }
 
-  void Join(ExecState* st, size_t depth) const {
+  void Join(const ExecContext& ctx, size_t depth) const {
     const Atom& atom = cq_.atoms[order_[depth]];
     const Table* table = tables_[order_[depth]];
 
@@ -369,7 +387,7 @@ class CqEvaluator {
       probe_col = -1;
       for (size_t i = 0; i < atom.args.size(); ++i) {
         Value v;
-        if (TermValue(*st, atom.args[i], &v)) {
+        if (TermValue(ctx, atom.args[i], &v)) {
           probe_col = static_cast<int>(i);
           break;
         }
@@ -377,18 +395,19 @@ class CqEvaluator {
     }
     if (probe_col >= 0) {
       Value probe_val = 0;
-      MVDB_CHECK(TermValue(*st, atom.args[static_cast<size_t>(probe_col)],
+      MVDB_CHECK(TermValue(ctx, atom.args[static_cast<size_t>(probe_col)],
                            &probe_val));
       for (RowId r : table->Probe(static_cast<size_t>(probe_col), probe_val)) {
-        TryRow(st, depth, r);
+        TryRow(ctx, depth, r);
       }
     } else {
       const size_t n = table->size();
-      for (size_t r = 0; r < n; ++r) TryRow(st, depth, static_cast<RowId>(r));
+      for (size_t r = 0; r < n; ++r) TryRow(ctx, depth, static_cast<RowId>(r));
     }
   }
 
-  void Emit(ExecState* st) const {
+  void Emit(const ExecContext& ctx) const {
+    EvalScratch* st = ctx.scratch;
     // Safe negation: all variables of negated atoms are bound here. A
     // negated *deterministic* atom whose tuple exists kills the binding; a
     // negated *probabilistic* atom whose tuple is possible contributes a
@@ -397,18 +416,23 @@ class CqEvaluator {
     for (size_t i : negatives_) {
       const Atom& atom = cq_.atoms[i];
       const Table* table = tables_[i];
-      std::vector<Value> row;
-      row.reserve(atom.args.size());
+      st->row_buf.clear();
       for (const Term& t : atom.args) {
         Value v;
-        MVDB_CHECK(TermValue(*st, t, &v));
-        row.push_back(v);
+        MVDB_CHECK(TermValue(ctx, t, &v));
+        st->row_buf.push_back(v);
       }
       RowId r;
-      if (!table->FindRow(row, &r)) continue;  // impossible tuple: not holds
+      if (!table->FindRow(st->row_buf, &r)) continue;  // impossible: not holds
       const VarId var = table->var(r);
       if (var == kNoVar) return;  // deterministic tuple present: binding dies
       neg_vars.push_back(var);
+    }
+    if (ctx.bool_out != nullptr) {
+      // Boolean fast path: the single (empty) head group is the lineage
+      // itself — same AddSignedClause sequence the map path would perform.
+      ctx.bool_out->AddSignedClause(st->clause_vars, std::move(neg_vars));
+      return;
     }
     std::vector<Value> head;
     head.reserve(q_.head_vars.size());
@@ -416,7 +440,7 @@ class CqEvaluator {
       MVDB_DCHECK(st->bound[static_cast<size_t>(hv)]);
       head.push_back(st->binding[static_cast<size_t>(hv)]);
     }
-    AnswerInfo& info = (*st->out)[std::move(head)];
+    AnswerInfo& info = (*ctx.out)[std::move(head)];
     info.lineage.AddSignedClause(st->clause_vars, std::move(neg_vars));
     if (opts_.count_var >= 0 &&
         st->bound[static_cast<size_t>(opts_.count_var)]) {
@@ -425,7 +449,7 @@ class CqEvaluator {
   }
 
   const Database& db_;
-  const Ucq& q_;
+  const Ucq& q_;                  // the template's abstracted query
   const ConjunctiveQuery& cq_;
   const EvalOptions& opts_;
   std::vector<const Table*> tables_;      // parallel to cq_.atoms
@@ -435,9 +459,10 @@ class CqEvaluator {
   std::vector<int> probe_cols_;           // parallel to order_; -1 = scan
   std::vector<uint32_t> comp_sched_;      // comparison ids grouped by depth
   std::vector<uint32_t> comp_offsets_;    // per-depth ranges in comp_sched_
-  std::span<const RowId> driver_rows_;
   bool driver_is_probe_ = false;
 };
+
+namespace {
 
 /// Folds `src` into `dst`. Clause order across workers is scheduling-
 /// dependent, but the final Normalize() canonicalizes each answer, so the
@@ -454,35 +479,80 @@ void MergeAnswers(AnswerMap&& src, AnswerMap* dst) {
 
 }  // namespace
 
-Status Eval(const Database& db, const Ucq& q, const EvalOptions& opts,
-            AnswerMap* out) {
-  for (const ConjunctiveQuery& cq : q.disjuncts) {
+PlanTemplate::PlanTemplate() = default;
+PlanTemplate::~PlanTemplate() = default;
+
+StatusOr<std::unique_ptr<PlanTemplate>> PlanTemplate::PlanImpl(
+    const Database& db, Ucq q_abstracted, const EvalOptions& opts) {
+  std::unique_ptr<PlanTemplate> tmpl(new PlanTemplate());
+  tmpl->q_ = std::move(q_abstracted);
+  tmpl->opts_ = opts;
+  tmpl->plans_.reserve(tmpl->q_.disjuncts.size());
+  for (const ConjunctiveQuery& cq : tmpl->q_.disjuncts) {
     if (cq.atoms.empty()) {
       return Status::InvalidArgument("disjunct with no atoms");
     }
-    CqEvaluator eval(db, q, cq, opts);
-    MVDB_RETURN_NOT_OK(eval.Prepare());
-    const size_t rows = eval.NumDriverRows();
+    tmpl->plans_.push_back(
+        std::make_unique<CqPlan>(db, tmpl->q_, cq, tmpl->opts_));
+    MVDB_RETURN_NOT_OK(tmpl->plans_.back()->Prepare());
+  }
+  return tmpl;
+}
+
+StatusOr<std::unique_ptr<const PlanTemplate>> PlanTemplate::Plan(
+    const Database& db, const Ucq& q, const EvalOptions& opts) {
+  Ucq abstracted = q;
+  std::vector<Value> slots = AbstractUcqConstants(&abstracted);
+  MVDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanTemplate> tmpl,
+                        PlanImpl(db, std::move(abstracted), opts));
+  tmpl->exemplar_slots_ = std::move(slots);
+  return std::unique_ptr<const PlanTemplate>(std::move(tmpl));
+}
+
+StatusOr<std::unique_ptr<const PlanTemplate>> PlanTemplate::PlanAbstracted(
+    const Database& db, Ucq q_abstracted, const EvalOptions& opts) {
+  MVDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanTemplate> tmpl,
+                        PlanImpl(db, std::move(q_abstracted), opts));
+  return std::unique_ptr<const PlanTemplate>(std::move(tmpl));
+}
+
+void PlanTemplate::WarmIndexes() const {
+  for (const auto& plan : plans_) plan->WarmPlanIndexes();
+}
+
+Status PlanTemplate::Execute(std::span<const Value> slots, EvalScratch* scratch,
+                             AnswerMap* out) const {
+  for (const auto& plan : plans_) {
+    const size_t rows = plan->NumDriverRows(slots.data());
     int shards = 1;
-    if (opts.strategy == EvalStrategy::kPlanned && opts.num_threads != 1) {
-      shards = EffectiveThreads(opts.num_threads, rows / kMinRowsPerWorker);
+    if (opts_.strategy == EvalStrategy::kPlanned && opts_.num_threads != 1) {
+      shards = EffectiveThreads(opts_.num_threads, rows / kMinRowsPerWorker);
     }
     if (shards <= 1) {
-      eval.Execute(0, rows, out);
+      ExecContext ctx;
+      ctx.scratch = scratch;
+      ctx.slots = slots.data();
+      ctx.out = out;
+      plan->Execute(0, rows, ctx);
       continue;
     }
     // Shard the driver rows: workers pull chunks dynamically and fill
     // per-worker maps; the merge below plus the final Normalize make the
     // output independent of the schedule.
-    eval.WarmPlanIndexes();
+    plan->WarmPlanIndexes();
     std::vector<AnswerMap> worker_maps(static_cast<size_t>(shards));
+    std::vector<EvalScratch> worker_scratch(static_cast<size_t>(shards));
     const size_t num_chunks =
         std::min(rows, static_cast<size_t>(shards) * 8);
     const size_t chunk = (rows + num_chunks - 1) / num_chunks;
     ParallelFor(shards, num_chunks, [&](int w, size_t c) {
       const size_t begin = c * chunk;
       const size_t end = std::min(rows, begin + chunk);
-      eval.Execute(begin, end, &worker_maps[static_cast<size_t>(w)]);
+      ExecContext ctx;
+      ctx.scratch = &worker_scratch[static_cast<size_t>(w)];
+      ctx.slots = slots.data();
+      ctx.out = &worker_maps[static_cast<size_t>(w)];
+      plan->Execute(begin, end, ctx);
     });
     for (AnswerMap& m : worker_maps) MergeAnswers(std::move(m), out);
   }
@@ -493,9 +563,33 @@ Status Eval(const Database& db, const Ucq& q, const EvalOptions& opts,
   std::vector<AnswerInfo*> infos;
   infos.reserve(out->size());
   for (auto& [head, info] : *out) infos.push_back(&info);
-  ParallelForChunked(opts.num_threads, infos.size(), 256,
+  ParallelForChunked(opts_.num_threads, infos.size(), 256,
                      [&](size_t i) { infos[i]->lineage.Normalize(); });
   return Status::OK();
+}
+
+Status PlanTemplate::ExecuteBoolean(std::span<const Value> slots,
+                                    EvalScratch* scratch, Lineage* out) const {
+  MVDB_DCHECK(q_.IsBoolean());
+  MVDB_DCHECK(opts_.count_var < 0);
+  *out = Lineage();
+  ExecContext ctx;
+  ctx.scratch = scratch;
+  ctx.slots = slots.data();
+  ctx.bool_out = out;
+  for (const auto& plan : plans_) {
+    plan->Execute(0, plan->NumDriverRows(slots.data()), ctx);
+  }
+  out->Normalize();
+  return Status::OK();
+}
+
+Status Eval(const Database& db, const Ucq& q, const EvalOptions& opts,
+            AnswerMap* out) {
+  MVDB_ASSIGN_OR_RETURN(std::unique_ptr<const PlanTemplate> tmpl,
+                        PlanTemplate::Plan(db, q, opts));
+  EvalScratch scratch;
+  return tmpl->Execute(tmpl->exemplar_slots(), &scratch, out);
 }
 
 StatusOr<Lineage> EvalBoolean(const Database& db, const Ucq& q) {

@@ -32,7 +32,9 @@
 #define MVDB_QUERY_EVAL_H_
 
 #include <map>
+#include <memory>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "prob/lineage.h"
@@ -78,6 +80,76 @@ Status Eval(const Database& db, const Ucq& q, const EvalOptions& opts,
 /// Evaluates a Boolean UCQ, returning its lineage (false lineage if no
 /// derivations exist).
 StatusOr<Lineage> EvalBoolean(const Database& db, const Ucq& q);
+
+/// Reusable execution state for PlanTemplate: variable bindings, undo
+/// stacks and the clause under construction. One per executing thread;
+/// repeated Execute calls against any template reuse the buffers, so the
+/// steady state allocates nothing. Treat the fields as opaque.
+struct EvalScratch {
+  std::vector<Value> binding;
+  std::vector<uint8_t> bound;
+  std::vector<int> newly_bound;
+  Clause clause_vars;
+  std::vector<Value> row_buf;
+};
+
+/// A compiled *query shape*: every disjunct planned once by the cost-based
+/// planner, with the query's constants abstracted into slots
+/// (query/analysis.h, UcqSignature). The template is immutable after Plan()
+/// and can be executed any number of times — concurrently from several
+/// threads, each with its own EvalScratch — with per-execution slot values
+/// supplying the constants. Planning only reads value-independent inputs
+/// (query structure, table sizes, per-column distinct counts), so one plan
+/// is exact for every binding of the same signature: this is the
+/// prepared-statement move the MV-index compile stage leans on — plan once
+/// per block shape, execute once per block.
+class PlanTemplate {
+ public:
+  ~PlanTemplate();
+  PlanTemplate(const PlanTemplate&) = delete;
+  PlanTemplate& operator=(const PlanTemplate&) = delete;
+
+  /// Plans `q` after abstracting its constants; exemplar_slots() then holds
+  /// q's own binding (execute with it to evaluate q itself).
+  static StatusOr<std::unique_ptr<const PlanTemplate>> Plan(
+      const Database& db, const Ucq& q, const EvalOptions& opts);
+
+  /// Plans a query whose constant terms already hold slot ids (the caller
+  /// ran AbstractUcqConstants, possibly over an enclosing query — slot ids
+  /// may index a larger shared slot vector).
+  static StatusOr<std::unique_ptr<const PlanTemplate>> PlanAbstracted(
+      const Database& db, Ucq q_abstracted, const EvalOptions& opts);
+
+  /// Evaluates the shape with the given slot binding into `out` (not
+  /// cleared). Mirrors Eval(): per-disjunct join execution, optional driver
+  /// sharding over opts.num_threads, canonical Normalize at the end.
+  Status Execute(std::span<const Value> slots, EvalScratch* scratch,
+                 AnswerMap* out) const;
+
+  /// Boolean fast path: clauses accumulate directly into `*out` (assigned,
+  /// then normalized) with no answer map. Serial; requires a Boolean shape.
+  Status ExecuteBoolean(std::span<const Value> slots, EvalScratch* scratch,
+                        Lineage* out) const;
+
+  /// q's own constants when built via Plan() (empty for PlanAbstracted).
+  std::span<const Value> exemplar_slots() const { return exemplar_slots_; }
+
+  /// Warms every table index any Execute can probe, so concurrent
+  /// executions only read shared state.
+  void WarmIndexes() const;
+
+ private:
+  friend class CqPlan;
+  PlanTemplate();
+
+  static StatusOr<std::unique_ptr<PlanTemplate>> PlanImpl(
+      const Database& db, Ucq q_abstracted, const EvalOptions& opts);
+
+  Ucq q_;  // constants rewritten to slot ids
+  std::vector<Value> exemplar_slots_;
+  EvalOptions opts_;
+  std::vector<std::unique_ptr<class CqPlan>> plans_;  // one per disjunct
+};
 
 }  // namespace mvdb
 

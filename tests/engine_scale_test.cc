@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/engine.h"
@@ -121,6 +122,25 @@ TEST(EngineScaleTest, BuildStatsCoverEveryPipelinePhase) {
   EXPECT_GT(stats.block_tasks, 0u);
   EXPECT_GT(stats.blocks, 0u);
   EXPECT_GT(stats.flat_nodes, 0u);
+  EXPECT_GT(stats.plan_templates, 0u);
+  EXPECT_GT(stats.template_blocks, 0u);
+  EXPECT_LE(stats.template_plan_seconds, stats.compile_seconds);
+
+  // The six phases partition the build: no phase double-counted, none
+  // omitted. Every instruction of QueryEngine::Compile runs inside exactly
+  // one phase window, so (a) the sum can never exceed the end-to-end wall
+  // time, and (b) it must reproduce it up to clock-read noise and
+  // scheduler preemption between adjacent windows. The slack is generous
+  // (sanitizer jobs run this test on loaded CI runners) but still
+  // catches phase-sized omissions like the unattributed full-chain Not()
+  // and container teardown the audit removed.
+  const double phase_sum = stats.translate_seconds + stats.order_seconds +
+                           stats.partition_seconds + stats.compile_seconds +
+                           stats.stitch_seconds + stats.import_seconds;
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_LE(phase_sum, stats.total_seconds + 1e-6);
+  EXPECT_NEAR(phase_sum, stats.total_seconds,
+              std::max(0.15, 0.15 * stats.total_seconds));
 
   // Compiling through an already-translated MVDB reports a zero translate
   // phase (nothing ran) but still times the rest.

@@ -31,13 +31,30 @@ IsProbFn IsProbOf(const Database& db) {
 }
 
 /// Task lists must agree exactly: count, keys, and the (pretty-printed)
-/// substituted subqueries.
-void ExpectIdenticalTasks(const std::vector<BlockTask>& a,
-                          const std::vector<BlockTask>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].key, b[i].key) << "task " << i;
-    EXPECT_EQ(ToString(a[i].query), ToString(b[i].query)) << "task " << i;
+/// grounded subqueries the tasks materialize to.
+void ExpectIdenticalTasks(const PartitionResult& a, const PartitionResult& b) {
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].key, b.tasks[i].key) << "task " << i;
+    EXPECT_EQ(ToString(MaterializeTaskQuery(a, a.tasks[i])),
+              ToString(MaterializeTaskQuery(b, b.tasks[i])))
+        << "task " << i;
+  }
+}
+
+/// The fast-path signature computed from (shape, binding) must agree with
+/// the signature of the materialized grounded query — the template store
+/// keys on the former, so any drift would silently mis-share plans.
+void ExpectGroundedSignaturesMatch(const PartitionResult& p) {
+  for (const BlockTask& task : p.tasks) {
+    if (task.shape < 0) continue;
+    const BlockShape& shape = p.shapes[static_cast<size_t>(task.shape)];
+    const UcqSignature fast = ComputeGroundedSignature(
+        shape.query, shape.sep_var_of_disjunct, task.binding);
+    const UcqSignature full =
+        ComputeUcqSignature(MaterializeTaskQuery(p, task));
+    EXPECT_EQ(fast.key, full.key) << "task " << task.key;
+    EXPECT_EQ(fast.slots, full.slots) << "task " << task.key;
   }
 }
 
@@ -58,6 +75,7 @@ TEST_P(PartitionParityTest, ParallelPartitionMatchesSerialOnRandomMvdbs) {
     ExpectIdenticalTasks(serial,
                          PartitionBlocks(db, mvdb->W(), is_prob, threads));
   }
+  ExpectGroundedSignaturesMatch(serial);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, PartitionParityTest,
@@ -74,11 +92,13 @@ TEST(PartitionTest, ParallelPartitionMatchesSerialOnDblp) {
   const auto is_prob = IsProbOf(db);
 
   const auto serial = PartitionBlocks(db, (*mvdb)->W(), is_prob, 1);
-  ASSERT_GT(serial.size(), 1u);  // DBLP decomposes on the aid separator
+  ASSERT_GT(serial.tasks.size(), 1u);  // DBLP decomposes on the aid separator
+  ASSERT_GT(serial.shapes.size(), 0u);
   for (int threads : {2, 8, 0}) {  // 0 = one per hardware thread
     ExpectIdenticalTasks(serial,
                          PartitionBlocks(db, (*mvdb)->W(), is_prob, threads));
   }
+  ExpectGroundedSignaturesMatch(serial);
 }
 
 TEST(PartitionTest, EmptyAndUndecomposableQueries) {
@@ -86,7 +106,7 @@ TEST(PartitionTest, EmptyAndUndecomposableQueries) {
   const auto is_prob = IsProbOf(*db);
   // Empty W: no tasks.
   Ucq empty;
-  EXPECT_TRUE(PartitionBlocks(*db, empty, is_prob, 4).empty());
+  EXPECT_TRUE(PartitionBlocks(*db, empty, is_prob, 4).tasks.empty());
   // A query with no separator still yields its per-group tasks, identically
   // at any thread count.
   Ucq q = testing_util::MustParse("Q :- R(x), S(y,x).", &db->dict());
