@@ -103,10 +103,47 @@ Status QueryEngine::Compile(const CompileOptions& options) {
 StatusOr<const Lineage*> QueryEngine::WLineage() {
   MVDB_RETURN_NOT_OK(Compile());
   if (!w_lineage_.has_value()) {
-    MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(mvdb_->db(), mvdb_->W()));
+    MVDB_ASSIGN_OR_RETURN(Lineage lin, CachedEvalBoolean(mvdb_->W()));
     w_lineage_ = std::move(lin);
   }
   return &*w_lineage_;
+}
+
+StatusOr<std::unique_ptr<Server>> QueryEngine::Serve(
+    const ServeOptions& options) {
+  MVDB_RETURN_NOT_OK(Compile());
+  return std::make_unique<Server>(&mvdb_->db(), index_.get(), options);
+}
+
+void QueryEngine::EnablePlanCache(size_t capacity) {
+  if (plan_cache_ == nullptr || plan_cache_->stats().capacity != capacity) {
+    plan_cache_ = std::make_unique<PlanCache>(capacity);
+  }
+}
+
+Status QueryEngine::CachedEval(const Ucq& q, AnswerMap* out) {
+  if (plan_cache_ == nullptr) {
+    return Eval(mvdb_->db(), q, EvalOptions{}, out);
+  }
+  const UcqSignature sig = ComputeUcqSignature(q);
+  auto tmpl = plan_cache_->GetOrPlan(mvdb_->db(), q, sig, EvalOptions{});
+  MVDB_RETURN_NOT_OK(tmpl.status());
+  EvalScratch scratch;
+  // Execute with the query's own slot binding: bit-identical to Eval(q)
+  // (the PR-5 template invariant), so caching never changes answers.
+  return (*tmpl)->Execute(sig.slots, &scratch, out);
+}
+
+StatusOr<Lineage> QueryEngine::CachedEvalBoolean(const Ucq& q) {
+  if (plan_cache_ == nullptr) return EvalBoolean(mvdb_->db(), q);
+  if (!q.IsBoolean()) {
+    return Status::InvalidArgument("EvalBoolean requires a Boolean query");
+  }
+  AnswerMap answers;
+  MVDB_RETURN_NOT_OK(CachedEval(q, &answers));
+  if (answers.empty()) return Lineage();
+  MVDB_CHECK_EQ(answers.size(), 1u);
+  return answers.begin()->second.lineage;
 }
 
 StatusOr<ScaledDouble> QueryEngine::Numerator(const Lineage& q_lineage,
@@ -152,7 +189,7 @@ StatusOr<std::vector<AnswerProb>> QueryEngine::Query(const Ucq& q,
                                                      Backend backend) {
   MVDB_RETURN_NOT_OK(Compile());
   AnswerMap answers;
-  MVDB_RETURN_NOT_OK(Eval(mvdb_->db(), q, EvalOptions{}, &answers));
+  MVDB_RETURN_NOT_OK(CachedEval(q, &answers));
   const ScaledDouble denom = index_->ProbNotWScaled();
   if (denom.IsZero()) {
     return Status::Internal("P0(NOT W) = 0: the MVDB admits no possible world");
@@ -186,8 +223,8 @@ StatusOr<double> QueryEngine::ConditionalBoolean(const Ucq& q1, const Ucq& q2,
     return Status::InvalidArgument("ConditionalBoolean requires Boolean queries");
   }
   MVDB_RETURN_NOT_OK(Compile());
-  MVDB_ASSIGN_OR_RETURN(Lineage lin1, EvalBoolean(mvdb_->db(), q1));
-  MVDB_ASSIGN_OR_RETURN(Lineage lin2, EvalBoolean(mvdb_->db(), q2));
+  MVDB_ASSIGN_OR_RETURN(Lineage lin1, CachedEvalBoolean(q1));
+  MVDB_ASSIGN_OR_RETURN(Lineage lin2, CachedEvalBoolean(q2));
   // Numerators share the denominator P0(NOT W), which cancels:
   // P(Q1 | Q2) = P0(Q1 ^ Q2 ^ !W) / P0(Q2 ^ !W).
   const NodeId b1 = mgr_->FromLineageSynthesis(lin1);
@@ -218,7 +255,7 @@ StatusOr<double> QueryEngine::ConditionalBoolean(const Ucq& q1, const Ucq& q2,
 StatusOr<QueryEngine::Explanation> QueryEngine::Explain(const Ucq& q) {
   MVDB_RETURN_NOT_OK(Compile());
   AnswerMap answers;
-  MVDB_RETURN_NOT_OK(Eval(mvdb_->db(), q, EvalOptions{}, &answers));
+  MVDB_RETURN_NOT_OK(CachedEval(q, &answers));
   Explanation out{};
   out.index_blocks = index_->blocks().size();
   std::vector<VarId> all_vars;
@@ -269,7 +306,7 @@ StatusOr<double> QueryEngine::QueryBoolean(const Ucq& q, Backend backend) {
     return Status::InvalidArgument("QueryBoolean requires a Boolean query");
   }
   MVDB_RETURN_NOT_OK(Compile());
-  MVDB_ASSIGN_OR_RETURN(Lineage lin, EvalBoolean(mvdb_->db(), q));
+  MVDB_ASSIGN_OR_RETURN(Lineage lin, CachedEvalBoolean(q));
   const ScaledDouble denom = index_->ProbNotWScaled();
   if (denom.IsZero()) {
     return Status::Internal("P0(NOT W) = 0: the MVDB admits no possible world");

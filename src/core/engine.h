@@ -34,6 +34,8 @@
 #include "obdd/manager.h"
 #include "obdd/order.h"
 #include "query/eval.h"
+#include "serve/plan_cache.h"
+#include "serve/server.h"
 #include "util/status.h"
 
 namespace mvdb {
@@ -45,11 +47,6 @@ enum class Backend {
   kMvIndex,      ///< MV-index, top-down MVIntersect
   kMvIndexCC,    ///< MV-index, cache-conscious forward sweep
   kSafePlan,     ///< lifted inference on Q v W and W (safe queries only)
-};
-
-struct AnswerProb {
-  std::vector<Value> head;
-  double prob;
 };
 
 /// Offline compilation options (Section 4's index build). The MV-index
@@ -115,6 +112,22 @@ class QueryEngine {
   const MvIndex& index() const { return *index_; }
   BddManager& manager() { return *mgr_; }
 
+  /// Builds an online serving layer over the compiled index (compiling
+  /// first if needed): plan cache, bounded-queue scheduler with deadlines
+  /// and shedding, batched CC sweep. The engine must outlive the server.
+  StatusOr<std::unique_ptr<Server>> Serve(const ServeOptions& options = {});
+
+  /// Routes this engine's own query-side Eval calls (Query, QueryBoolean,
+  /// ConditionalBoolean, Explain, WLineage) through a plan cache, so
+  /// repeated query shapes skip the cost-based planner. Results are
+  /// bit-identical with the cache on or off (plan_cache_test asserts it).
+  void EnablePlanCache(size_t capacity = 128);
+  void DisablePlanCache() { plan_cache_.reset(); }
+  /// Zeroed stats when the cache is disabled.
+  PlanCacheStats plan_cache_stats() const {
+    return plan_cache_ != nullptr ? plan_cache_->stats() : PlanCacheStats{};
+  }
+
   /// Lineage of W (computed lazily; large — Fig. 4 measures its size).
   StatusOr<const Lineage*> WLineage();
 
@@ -127,6 +140,10 @@ class QueryEngine {
   StatusOr<ScaledDouble> Numerator(const Lineage& q_lineage,
                                    const Ucq& q_grounded_or_w, Backend backend);
 
+  /// Eval / EvalBoolean, via the plan cache when enabled (bit-identical).
+  Status CachedEval(const Ucq& q, AnswerMap* out);
+  StatusOr<Lineage> CachedEvalBoolean(const Ucq& q);
+
   Mvdb* mvdb_;
   OrderSpec order_spec_;
   bool w_inversion_free_ = false;
@@ -134,6 +151,7 @@ class QueryEngine {
   std::unique_ptr<MvIndex> index_;
   std::vector<double> var_probs_;
   std::optional<Lineage> w_lineage_;
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace mvdb

@@ -414,14 +414,16 @@ void MvIndex::FastForward(int32_t q_first_level, ScaledDouble* prefix,
   *start = kFlatTrue;
 }
 
-double MvIndex::ProbQ(NodeId q, std::unordered_map<NodeId, double>* memo) const {
+double MvIndex::ProbQ(const BddManager& qmgr, NodeId q,
+                      std::unordered_map<NodeId, double>* memo) const {
   if (q == BddManager::kFalse) return 0.0;
   if (q == BddManager::kTrue) return 1.0;
   auto it = memo->find(q);
   if (it != memo->end()) return it->second;
-  const BddNode& n = mgr_->node(q);
+  const BddNode& n = qmgr.node(q);
   const double p = flat_->prob_at_level(n.level);
-  const double r = (1.0 - p) * ProbQ(n.lo, memo) + p * ProbQ(n.hi, memo);
+  const double r =
+      (1.0 - p) * ProbQ(qmgr, n.lo, memo) + p * ProbQ(qmgr, n.hi, memo);
   memo->emplace(q, r);
   return r;
 }
@@ -442,7 +444,9 @@ ScaledDouble MvIndex::MVIntersectScaled(NodeId q_root) const {
   ScaledDouble prefix;
   FlatId start;
   FastForward(mgr_->level(q_root), &prefix, &start);
-  if (start == kFlatTrue) return prefix * ScaledDouble(ProbQ(q_root, &qmemo));
+  if (start == kFlatTrue) {
+    return prefix * ScaledDouble(ProbQ(*mgr_, q_root, &qmemo));
+  }
   if (start == kFlatFalse) return ScaledDouble::Zero();
 
   std::unordered_map<uint64_t, ScaledDouble> memo;
@@ -450,7 +454,7 @@ ScaledDouble MvIndex::MVIntersectScaled(NodeId q_root) const {
   auto rec = [&](auto&& self, NodeId q, FlatId u) -> ScaledDouble {
     if (q == BddManager::kFalse || u == kFlatFalse) return ScaledDouble::Zero();
     if (q == BddManager::kTrue) return flat_->prob_under_scaled(u);
-    if (u == kFlatTrue) return ScaledDouble(ProbQ(q, &qmemo));
+    if (u == kFlatTrue) return ScaledDouble(ProbQ(*mgr_, q, &qmemo));
     const uint64_t key = PairKey(q, u);
     auto it = memo.find(key);
     if (it != memo.end()) return it->second;
@@ -479,100 +483,169 @@ ScaledDouble MvIndex::MVIntersectScaled(NodeId q_root) const {
 }
 
 ScaledDouble MvIndex::CCMVIntersectScaled(NodeId q_root) const {
-  if (q_root == BddManager::kFalse) return ScaledDouble::Zero();
-  if (q_root == BddManager::kTrue) return ProbNotWScaled();
-  std::unordered_map<NodeId, double> qmemo;
-  ScaledDouble prefix;
-  FlatId start;
-  FastForward(mgr_->level(q_root), &prefix, &start);
-  if (start == kFlatTrue) return prefix * ScaledDouble(ProbQ(q_root, &qmemo));
-  if (start == kFlatFalse) return ScaledDouble::Zero();
+  return CCMVIntersectScaled(CcQuery{mgr_, q_root}, &cc_scratch_);
+}
 
-  // Sequential sweep over the level-sorted node vector: edges only point
-  // forward, so one pass from `start` visits every reachable pairing. The
-  // per-node buckets are a reusable member; only touched entries are
-  // cleared afterwards.
-  if (cc_buckets_.size() < flat_->size()) cc_buckets_.resize(flat_->size());
-  ScaledDouble total;
-  std::vector<FlatId> touched;
-  size_t pending = 1;
-  cc_buckets_[static_cast<size_t>(start)].push_back({q_root, ScaledDouble::One()});
-  touched.push_back(start);
+ScaledDouble MvIndex::CCMVIntersectScaled(const CcQuery& q,
+                                          CcSweepScratch* scratch) const {
+  const std::vector<CcQuery> queries = {q};
+  std::vector<ScaledDouble> out;
+  CCMVIntersectBatchScaled(queries, scratch, &out);
+  return out[0];
+}
 
-  std::unordered_map<NodeId, ScaledDouble> merged;
-  std::unordered_map<NodeId, ScaledDouble> next_level;
-  for (FlatId u = start; pending > 0 && u < static_cast<FlatId>(flat_->size());
+void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
+                                       CcSweepScratch* scratch,
+                                       std::vector<ScaledDouble>* out) const {
+  const size_t n = queries.size();
+  out->assign(n, ScaledDouble::Zero());
+  if (n == 0) return;
+
+  // Per-root accumulation state. Everything a root's answer depends on —
+  // the merge/expand maps (whose iteration order is a function of the
+  // NodeIds inserted), the query-side memo, the running total — is private
+  // to the root, so each root sees exactly the operation sequence of the
+  // solo sweep regardless of what else shares the pass.
+  struct ItemState {
+    ScaledDouble prefix;
+    ScaledDouble total;
+    std::unordered_map<NodeId, double> qmemo;
+    std::unordered_map<NodeId, ScaledDouble> merged;
+    std::unordered_map<NodeId, ScaledDouble> next_level;
+    bool active = false;
+  };
+  std::vector<ItemState> items(n);
+
+  auto& buckets = scratch->buckets;
+  if (buckets.size() < flat_->size()) buckets.resize(flat_->size());
+  scratch->touched.clear();
+  size_t pending = 0;
+  FlatId first = static_cast<FlatId>(flat_->size());
+
+  for (size_t i = 0; i < n; ++i) {
+    const BddManager& qmgr = *queries[i].mgr;
+    const NodeId q_root = queries[i].root;
+    ItemState& st = items[i];
+    if (q_root == BddManager::kFalse) continue;  // stays Zero
+    if (q_root == BddManager::kTrue) {
+      (*out)[i] = ProbNotWScaled();
+      continue;
+    }
+    ScaledDouble prefix;
+    FlatId start;
+    FastForward(qmgr.level(q_root), &prefix, &start);
+    if (start == kFlatTrue) {
+      (*out)[i] = prefix * ScaledDouble(ProbQ(qmgr, q_root, &st.qmemo));
+      continue;
+    }
+    if (start == kFlatFalse) continue;  // stays Zero
+    st.prefix = prefix;
+    st.active = true;
+    auto& b = buckets[static_cast<size_t>(start)];
+    if (b.empty()) scratch->touched.push_back(start);
+    b.push_back({static_cast<uint32_t>(i), q_root, ScaledDouble::One()});
+    ++pending;
+    first = std::min(first, start);
+  }
+
+  auto& per_item = scratch->per_item;
+  if (per_item.size() < n) per_item.resize(n);
+  std::vector<uint32_t> items_here;  // roots with entries at this flat node
+
+  // One forward sweep over the level-sorted node vector: edges only point
+  // forward, so a single pass from the earliest entry visits every
+  // reachable (root, flat node) pairing for every root in the batch.
+  for (FlatId u = first; pending > 0 && u < static_cast<FlatId>(flat_->size());
        ++u) {
-    auto& bucket = cc_buckets_[static_cast<size_t>(u)];
+    auto& bucket = buckets[static_cast<size_t>(u)];
     if (bucket.empty()) continue;
     pending -= bucket.size();
     const int32_t lu = flat_->level(u);
     const double pu = flat_->prob_at_level(lu);
 
-    // Merge duplicate query nodes, then expand query-only levels below lu
-    // one level at a time (merging keeps the set bounded by the query OBDD
-    // width, not the number of paths).
-    merged.clear();
-    for (const auto& [q, w] : bucket) merged[q] += w;
+    // Distribute the root-tagged entries to per-root lists. push_back keeps
+    // each root's entry order identical to its solo-sweep bucket order.
+    items_here.clear();
+    for (const auto& e : bucket) {
+      auto& list = per_item[e.item];
+      if (list.empty()) items_here.push_back(e.item);
+      list.push_back({e.q, e.w});
+    }
     bucket.clear();
-    while (true) {
-      int32_t min_level = BddManager::kSinkLevel;
-      for (const auto& [q, w] : merged) {
-        if (!mgr_->IsSink(q)) min_level = std::min(min_level, mgr_->level(q));
+
+    for (const uint32_t item : items_here) {
+      ItemState& st = items[item];
+      const BddManager& qmgr = *queries[item].mgr;
+      auto& list = per_item[item];
+
+      // Merge duplicate query nodes, then expand query-only levels below lu
+      // one level at a time (merging keeps the set bounded by the query
+      // OBDD width, not the number of paths).
+      st.merged.clear();
+      for (const auto& [q, w] : list) st.merged[q] += w;
+      list.clear();
+      while (true) {
+        int32_t min_level = BddManager::kSinkLevel;
+        for (const auto& [q, w] : st.merged) {
+          if (!qmgr.IsSink(q)) min_level = std::min(min_level, qmgr.level(q));
+        }
+        if (min_level >= lu) break;
+        st.next_level.clear();
+        const double p = flat_->prob_at_level(min_level);
+        for (const auto& [q, w] : st.merged) {
+          if (q == BddManager::kFalse) continue;
+          if (q == BddManager::kTrue) {
+            st.total += w * flat_->prob_under_scaled(u);
+            continue;
+          }
+          if (qmgr.level(q) == min_level) {
+            const BddNode& nn = qmgr.node(q);
+            st.next_level[nn.lo] += w * ScaledDouble(1.0 - p);
+            st.next_level[nn.hi] += w * ScaledDouble(p);
+          } else {
+            st.next_level[q] += w;
+          }
+        }
+        st.merged.swap(st.next_level);
       }
-      if (min_level >= lu) break;
-      next_level.clear();
-      const double p = flat_->prob_at_level(min_level);
-      for (const auto& [q, w] : merged) {
+
+      auto emit = [&](FlatId next_u, NodeId next_q, const ScaledDouble& w) {
+        if (next_q == BddManager::kFalse || next_u == kFlatFalse) return;
+        if (next_u == kFlatTrue) {
+          st.total += w * ScaledDouble(ProbQ(qmgr, next_q, &st.qmemo));
+          return;
+        }
+        if (next_q == BddManager::kTrue) {
+          st.total += w * flat_->prob_under_scaled(next_u);
+          return;
+        }
+        auto& b = buckets[static_cast<size_t>(next_u)];
+        if (b.empty()) scratch->touched.push_back(next_u);
+        b.push_back({item, next_q, w});
+        ++pending;
+      };
+      for (const auto& [q, w] : st.merged) {
         if (q == BddManager::kFalse) continue;
         if (q == BddManager::kTrue) {
-          total += w * flat_->prob_under_scaled(u);
+          st.total += w * flat_->prob_under_scaled(u);
           continue;
         }
-        if (mgr_->level(q) == min_level) {
-          const BddNode& n = mgr_->node(q);
-          next_level[n.lo] += w * ScaledDouble(1.0 - p);
-          next_level[n.hi] += w * ScaledDouble(p);
-        } else {
-          next_level[q] += w;
+        NodeId q0 = q, q1 = q;
+        if (qmgr.level(q) == lu) {
+          const BddNode& nn = qmgr.node(q);
+          q0 = nn.lo;
+          q1 = nn.hi;
         }
+        emit(flat_->lo(u), q0, w * ScaledDouble(1.0 - pu));
+        emit(flat_->hi(u), q1, w * ScaledDouble(pu));
       }
-      merged.swap(next_level);
-    }
-
-    auto emit = [&](FlatId next_u, NodeId next_q, const ScaledDouble& w) {
-      if (next_q == BddManager::kFalse || next_u == kFlatFalse) return;
-      if (next_u == kFlatTrue) {
-        total += w * ScaledDouble(ProbQ(next_q, &qmemo));
-        return;
-      }
-      if (next_q == BddManager::kTrue) {
-        total += w * flat_->prob_under_scaled(next_u);
-        return;
-      }
-      auto& b = cc_buckets_[static_cast<size_t>(next_u)];
-      if (b.empty()) touched.push_back(next_u);
-      b.push_back({next_q, w});
-      ++pending;
-    };
-    for (const auto& [q, w] : merged) {
-      if (q == BddManager::kFalse) continue;
-      if (q == BddManager::kTrue) {
-        total += w * flat_->prob_under_scaled(u);
-        continue;
-      }
-      NodeId q0 = q, q1 = q;
-      if (mgr_->level(q) == lu) {
-        const BddNode& n = mgr_->node(q);
-        q0 = n.lo;
-        q1 = n.hi;
-      }
-      emit(flat_->lo(u), q0, w * ScaledDouble(1.0 - pu));
-      emit(flat_->hi(u), q1, w * ScaledDouble(pu));
     }
   }
-  for (FlatId t : touched) cc_buckets_[static_cast<size_t>(t)].clear();
-  return prefix * total;
+  for (FlatId t : scratch->touched) buckets[static_cast<size_t>(t)].clear();
+  scratch->touched.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (items[i].active) (*out)[i] = items[i].prefix * items[i].total;
+  }
 }
 
 }  // namespace mvdb

@@ -22,8 +22,11 @@
 #ifndef MVDB_MVINDEX_MV_INDEX_H_
 #define MVDB_MVINDEX_MV_INDEX_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "mvindex/flat_obdd.h"
@@ -34,6 +37,35 @@
 #include "util/status.h"
 
 namespace mvdb {
+
+/// One query root for the (batched) cache-conscious sweep, paired with the
+/// manager its nodes live in. The manager must share the index's VarOrder;
+/// it is read, never written.
+struct CcQuery {
+  const BddManager* mgr = nullptr;
+  NodeId root = BddManager::kFalse;
+};
+
+/// Reusable per-thread scratch for the CC sweep: the per-flat-node weight
+/// buckets of the forward pass. Contents are cleared (capacity kept)
+/// between calls; treat as opaque.
+class CcSweepScratch {
+ public:
+  CcSweepScratch() = default;
+
+ private:
+  friend class MvIndex;
+  struct Entry {
+    uint32_t item;   ///< index into the batch
+    NodeId q;        ///< query node reaching this flat node
+    ScaledDouble w;  ///< accumulated path weight
+  };
+  std::vector<std::vector<Entry>> buckets;
+  std::vector<FlatId> touched;
+  /// Per-item distribution lists reused across flat nodes (keeps the batch
+  /// sweep's per-item entry order identical to the solo sweep's bucket).
+  std::vector<std::vector<std::pair<NodeId, ScaledDouble>>> per_item;
+};
 
 /// One variable-disjoint block of the compiled NOT W chain.
 struct MvBlock {
@@ -160,6 +192,24 @@ class MvIndex {
     return CCMVIntersectScaled(q_root).ToDouble();
   }
 
+  /// Thread-safe CC sweep: the query root lives in `q.mgr` (any manager
+  /// sharing the index's variable order — serving workers synthesize query
+  /// OBDDs into private managers), and all mutable sweep state lives in the
+  /// caller-owned scratch, so concurrent calls on one index are pure reads
+  /// of the flat chain.
+  ScaledDouble CCMVIntersectScaled(const CcQuery& q,
+                                   CcSweepScratch* scratch) const;
+
+  /// Batched CC sweep: evaluates every root in ONE forward pass over the
+  /// flat chain (concurrent in-flight queries share the pass; Section 4.3's
+  /// sweep is root-oblivious). Per-root accumulation state is fully
+  /// isolated and ordered exactly as in the solo sweep, so
+  /// (*out)[i] is bit-identical to CCMVIntersectScaled(queries[i], scratch)
+  /// — batching changes wall time, never bits.
+  void CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
+                                CcSweepScratch* scratch,
+                                std::vector<ScaledDouble>* out) const;
+
   const FlatObdd& flat() const { return *flat_; }
   const std::vector<MvBlock>& blocks() const { return blocks_; }
   const BddManager& manager() const { return *mgr_; }
@@ -183,7 +233,9 @@ class MvIndex {
   void FastForward(int32_t q_first_level, ScaledDouble* prefix, FlatId* start) const;
 
   /// P(query sub-OBDD) with per-call memo (used when the W side exhausts).
-  double ProbQ(NodeId q, std::unordered_map<NodeId, double>* memo) const;
+  /// `qmgr` is the manager holding the query nodes.
+  double ProbQ(const BddManager& qmgr, NodeId q,
+               std::unordered_map<NodeId, double>* memo) const;
 
   BddManager* mgr_ = nullptr;
   std::unique_ptr<FlatObdd> flat_;
@@ -192,10 +244,9 @@ class MvIndex {
   NodeId not_w_root_ = BddManager::kTrue;
   MvIndexBuildStats build_stats_;
 
-  // Reusable scratch for the CC sweep: one bucket per flat node, cleared
-  // after each query (touched entries only), so queries allocate nothing
-  // beyond their span.
-  mutable std::vector<std::vector<std::pair<NodeId, ScaledDouble>>> cc_buckets_;
+  // Scratch backing the legacy single-manager CCMVIntersectScaled(NodeId)
+  // entry point (not thread-safe; concurrent callers pass their own).
+  mutable CcSweepScratch cc_scratch_;
 };
 
 }  // namespace mvdb

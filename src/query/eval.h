@@ -55,6 +55,13 @@ struct AnswerInfo {
 /// Answers keyed by head tuple (deterministic order for reproducibility).
 using AnswerMap = std::map<std::vector<Value>, AnswerInfo>;
 
+/// One fully evaluated answer: head tuple plus its Eq. 5 probability. The
+/// end product of the engine's Query() and of the serving layer.
+struct AnswerProb {
+  std::vector<Value> head;
+  double prob;
+};
+
 /// Join-order / probe strategy (see file comment).
 enum class EvalStrategy {
   kPlanned,     ///< cost-based order, selective probes, parallelizable

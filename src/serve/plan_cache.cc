@@ -1,0 +1,53 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+namespace mvdb {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  stats_.capacity = capacity_;
+}
+
+StatusOr<std::shared_ptr<const PlanTemplate>> PlanCache::GetOrPlan(
+    const Database& db, const Ucq& q, const UcqSignature& sig,
+    const EvalOptions& opts, bool* was_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sig.key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    if (was_hit != nullptr) *was_hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    return it->second->tmpl;
+  }
+
+  ++stats_.misses;
+  if (was_hit != nullptr) *was_hit = false;
+  auto planned = PlanTemplate::Plan(db, q, opts);
+  if (!planned.ok()) {
+    ++stats_.plan_failures;
+    return planned.status();
+  }
+  // Warm now, under the mutex: every later Execute against this template —
+  // from any worker — then only reads shared table indexes.
+  (*planned)->WarmIndexes();
+  std::shared_ptr<const PlanTemplate> tmpl = std::move(planned).value();
+
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{sig.key, tmpl});
+  index_.emplace(lru_.front().key, lru_.begin());
+  return tmpl;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats out = stats_;
+  out.size = lru_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+}  // namespace mvdb

@@ -1,0 +1,81 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Online plan cache: PlanTemplates keyed by structural UCQ signature
+// (query/analysis.h). PR 5 compiled one template per *block* shape offline;
+// this is the serving-side counterpart — repeated query shapes skip the
+// cost-based planner entirely and bind their constants into a shared
+// immutable template. Correctness leans on the PR-5 invariant that
+// Eval(q) == Plan(shape) + Execute(slots) bit-for-bit, so a cache hit can
+// never change an answer, only the planning cost.
+
+#ifndef MVDB_SERVE_PLAN_CACHE_H_
+#define MVDB_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "query/analysis.h"
+#include "query/ast.h"
+#include "query/eval.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+/// Counters for the cache's whole lifetime. A snapshot, not a live view.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          ///< lookups that had to plan
+  uint64_t evictions = 0;       ///< LRU entries dropped at capacity
+  uint64_t plan_failures = 0;   ///< failed plans (never cached)
+  size_t size = 0;
+  size_t capacity = 0;
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Thread-safe LRU cache of compiled PlanTemplates keyed by UcqSignature::key
+/// (the structural shape: constants abstracted into slots, so
+/// StudentsOfAdvisor("Ullman") and StudentsOfAdvisor("Widom") share one
+/// entry). Planning happens under the cache mutex — at most one thread plans
+/// a given shape and every other requester reuses the result; execution
+/// (PlanTemplate::Execute with per-thread scratch) happens outside, fully
+/// concurrent. Plans depend on table statistics, so one cache serves one
+/// immutable post-compile Database.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity);
+
+  /// Returns the template for `sig.key`, planning q's abstracted shape on a
+  /// miss. `opts` is consulted only when planning (callers of one cache must
+  /// agree on it). `was_hit`, if non-null, reports whether this lookup hit.
+  /// Failed plans are not cached and count as plan_failures.
+  StatusOr<std::shared_ptr<const PlanTemplate>> GetOrPlan(
+      const Database& db, const Ucq& q, const UcqSignature& sig,
+      const EvalOptions& opts, bool* was_hit = nullptr);
+
+  PlanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const PlanTemplate> tmpl;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,293 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "query/analysis.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+/// Clamps values that are within floating-point noise of [0, 1] (same rule
+/// as the engine's Query path — serving must emit the same bits).
+double ClampProb(double p) {
+  if (p < 0.0 && p > -1e-9) return 0.0;
+  if (p > 1.0 && p < 1.0 + 1e-9) return 1.0;
+  return p;
+}
+
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+int NumWorkers(int requested) {
+  return requested > 0
+             ? requested
+             : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+Server::Server(const Database* db, const MvIndex* index,
+               const ServeOptions& options)
+    : db_(db),
+      index_(index),
+      options_(options),
+      order_(index->manager().order()),
+      denom_(index->ProbNotWScaled()) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  max_inflight_ =
+      options_.max_inflight > 0
+          ? options_.max_inflight
+          : options_.queue_capacity + static_cast<size_t>(NumWorkers(
+                                          options_.num_threads)) *
+                                          options_.max_batch;
+  if (options_.use_plan_cache) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity);
+  }
+  // Every lazy table index the eval path can probe becomes a pure read
+  // before any worker exists.
+  db_->WarmIndexes();
+  if (options_.start_workers) Start();
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopping_) return;
+    started_ = true;
+  }
+  const int n = NumWorkers(options_.num_threads);
+  pool_.Start(n);
+  for (int i = 0; i < n; ++i) {
+    pool_.Submit([this] { WorkerLoop(); });
+  }
+}
+
+std::future<ServeResult> Server::Submit(ServeRequest req) {
+  Pending p;
+  p.req = std::move(req);
+  p.submitted_at = Clock::now();
+  const double ms = p.req.deadline_ms < 0.0 ? options_.default_deadline_ms
+                                            : p.req.deadline_ms;
+  if (ms > 0.0) {
+    p.has_deadline = true;
+    p.deadline = p.submitted_at +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(ms));
+  }
+  std::future<ServeResult> fut = p.promise.get_future();
+
+  Status reject = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.rejected_shutdown;
+      reject = Status::Unavailable("server is shutting down");
+    } else if (p.has_deadline && Clock::now() >= p.deadline) {
+      ++stats_.deadline_exceeded;
+      reject = Status::DeadlineExceeded("deadline expired before admission");
+    } else if (inflight_ >= max_inflight_) {
+      ++stats_.shed_inflight;
+      reject = Status::Unavailable("inflight limit reached");
+    } else if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.shed_queue_full;
+      reject = Status::Unavailable("request queue full");
+    } else {
+      ++inflight_;
+      queue_.push_back(std::move(p));
+      stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    }
+  }
+  if (!reject.ok()) {
+    ServeResult res;
+    res.status = reject;
+    p.promise.set_value(std::move(res));
+    return fut;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+ServeResult Server::Execute(const ServeRequest& req) {
+  WorkerState state;
+  std::vector<Pending> batch(1);
+  batch[0].req = req;
+  batch[0].submitted_at = Clock::now();
+  std::future<ServeResult> fut = batch[0].promise.get_future();
+  ExecuteBatch(&batch, &state, /*admitted=*/false);
+  return fut.get();
+}
+
+void Server::WorkerLoop() {
+  WorkerState state;
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ExecuteBatch(&batch, &state);
+  }
+}
+
+void Server::EvalRequest(const Ucq& q, WorkerState* state, EvalOutcome* out) {
+  AnswerMap answers;
+  const EvalOptions eopts{};  // serial per request; concurrency across requests
+  if (plan_cache_ != nullptr) {
+    const UcqSignature sig = ComputeUcqSignature(q);
+    bool hit = false;
+    auto tmpl = plan_cache_->GetOrPlan(*db_, q, sig, eopts, &hit);
+    if (!tmpl.ok()) {
+      out->status = tmpl.status();
+      return;
+    }
+    out->cache_hit = hit;
+    // PR-5 invariant: Plan + Execute(own slots) is bit-identical to Eval,
+    // so the cache can only change planning cost, never answers.
+    out->status = (*tmpl)->Execute(sig.slots, &state->eval, &answers);
+  } else {
+    out->status = Eval(*db_, q, eopts, &answers);
+  }
+  if (!out->status.ok()) return;
+
+  // Fresh per-request manager sharing the immutable VarOrder: NodeIds (and
+  // with them every downstream hash-map iteration order in the CC sweep)
+  // depend only on this request's canonical lineages — the serving
+  // bit-identity invariant.
+  out->qmgr = std::make_unique<BddManager>(order_);
+  out->heads.reserve(answers.size());
+  out->roots.reserve(answers.size());
+  for (const auto& [head, info] : answers) {
+    out->heads.push_back(head);
+    out->roots.push_back(out->qmgr->FromLineageSynthesis(info.lineage));
+  }
+}
+
+void Server::ExecuteBatch(std::vector<Pending>* batch, WorkerState* state,
+                          bool admitted) {
+  const Clock::time_point dequeued_at = Clock::now();
+  const size_t n = batch->size();
+  std::vector<EvalOutcome> outcomes(n);
+  std::vector<CcQuery> roots;
+
+  // Phase 1: deadline check + relational eval + per-request OBDD synthesis.
+  for (size_t i = 0; i < n; ++i) {
+    Pending& p = (*batch)[i];
+    if (p.has_deadline && Clock::now() >= p.deadline) {
+      outcomes[i].status =
+          Status::DeadlineExceeded("deadline expired before execution");
+      continue;
+    }
+    EvalRequest(p.req.query, state, &outcomes[i]);
+    if (outcomes[i].status.ok()) {
+      for (const NodeId r : outcomes[i].roots) {
+        roots.push_back(CcQuery{outcomes[i].qmgr.get(), r});
+      }
+    }
+  }
+
+  // Phase 2: one batched CC sweep answers every tuple of every request.
+  std::vector<ScaledDouble> nums;
+  if (!roots.empty()) {
+    index_->CCMVIntersectBatchScaled(roots, &state->sweep, &nums);
+  }
+
+  // Phase 3: assemble Eq. 5 ratios.
+  const Clock::time_point done_at = Clock::now();
+  uint64_t completed = 0, failed = 0, deadline_exceeded = 0;
+  size_t cursor = 0;
+  std::vector<ServeResult> results(n);
+  for (size_t i = 0; i < n; ++i) {
+    EvalOutcome& oc = outcomes[i];
+    ServeResult& res = results[i];
+    res.status = oc.status;
+    res.plan_cache_hit = oc.cache_hit;
+    res.queue_ms = MsBetween((*batch)[i].submitted_at, dequeued_at);
+    res.exec_ms = MsBetween(dequeued_at, done_at);
+    if (oc.status.ok()) {
+      if (denom_.IsZero()) {
+        res.status = Status::Internal(
+            "P0(NOT W) = 0: the MVDB admits no possible world");
+      } else {
+        res.answers.reserve(oc.heads.size());
+        for (size_t j = 0; j < oc.heads.size(); ++j) {
+          res.answers.push_back(AnswerProb{
+              std::move(oc.heads[j]),
+              ClampProb((nums[cursor + j] / denom_).ToDouble())});
+        }
+        cursor += oc.heads.size();
+      }
+    }
+    if (res.status.ok()) {
+      ++completed;
+    } else if (res.status.code() == StatusCode::kDeadlineExceeded) {
+      ++deadline_exceeded;
+    } else {
+      ++failed;
+    }
+  }
+
+  // Account BEFORE completing the promises, so a caller that observed a
+  // future complete sees stats that already include it.
+  if (admitted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ -= n;
+    ++stats_.batches;
+    if (n > 1) stats_.batched_requests += n;
+    stats_.completed += completed;
+    stats_.failed += failed;
+    stats_.deadline_exceeded += deadline_exceeded;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    (*batch)[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+void Server::Shutdown() {
+  std::deque<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (!started_) orphans.swap(queue_);
+  }
+  cv_.notify_all();
+  // Workers drain the remaining queue (the wait predicate admits work until
+  // it is empty), then exit; the pool joins them.
+  pool_.Shutdown();
+  if (!orphans.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ -= orphans.size();
+    stats_.rejected_shutdown += orphans.size();
+  }
+  for (Pending& p : orphans) {
+    ServeResult res;
+    res.status = Status::Unavailable("server shut down before execution");
+    p.promise.set_value(std::move(res));
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+PlanCacheStats Server::plan_cache_stats() const {
+  return plan_cache_ != nullptr ? plan_cache_->stats() : PlanCacheStats{};
+}
+
+}  // namespace mvdb

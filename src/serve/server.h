@@ -1,0 +1,186 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Online serving layer over a compiled MV-index. The index's flat chain is
+// immutable at serve time, so concurrent reads need no locks; everything
+// mutable is per-request or per-worker:
+//
+//   plan cache    — repeated query shapes skip the cost-based planner
+//                   (serve/plan_cache.h);
+//   scheduler     — a fixed-size worker pool (util/parallel.h ThreadPool)
+//                   behind a bounded queue, with per-request deadlines, an
+//                   inflight limiter, and queue-full shedding that returns
+//                   typed Status (kDeadlineExceeded / kUnavailable) instead
+//                   of blocking the caller;
+//   batched sweep — a worker drains up to max_batch requests at once and
+//                   answers all of their tuples in ONE CC-MVIntersect pass
+//                   over the flat chain (MvIndex::CCMVIntersectBatchScaled).
+//
+// Bit-identity invariant: every request's query OBDDs are synthesized into
+// a fresh private BddManager (sharing the index's immutable VarOrder), so
+// the NodeIds — and hence every hash-map iteration order downstream in the
+// sweep — depend only on the request itself, never on scheduling, batching,
+// or cache state. serve_concurrency_test pins this with golden hashes.
+
+#ifndef MVDB_SERVE_SERVER_H_
+#define MVDB_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mvindex/mv_index.h"
+#include "obdd/manager.h"
+#include "query/ast.h"
+#include "query/eval.h"
+#include "relational/database.h"
+#include "serve/plan_cache.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace mvdb {
+
+struct ServeOptions {
+  /// Worker threads executing requests. <= 0 = one per hardware thread.
+  int num_threads = 4;
+  /// Admission bound on queued (not yet dequeued) requests; submits beyond
+  /// it are shed with kUnavailable.
+  size_t queue_capacity = 1024;
+  /// Admission bound on requests admitted but not yet completed. 0 derives
+  /// queue_capacity + worker slots (i.e. only the queue bound sheds).
+  size_t max_inflight = 0;
+  /// Max requests one worker drains per dequeue; their answer tuples share
+  /// one batched CC sweep. 1 disables cross-request batching.
+  size_t max_batch = 8;
+  /// Escape hatch mirroring MvIndexBuildOptions::use_plan_templates: off
+  /// re-plans every request. Results are bit-identical either way.
+  bool use_plan_cache = true;
+  size_t plan_cache_capacity = 128;
+  /// Deadline applied to requests that don't carry their own. 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Tests set false to control worker startup (Server::Start) explicitly —
+  /// e.g. to fill the queue deterministically before any dequeue.
+  bool start_workers = true;
+};
+
+struct ServeRequest {
+  /// Pre-parsed query. Parsing interns constants into the Database dict, so
+  /// requests must be built before concurrent submission.
+  Ucq query;
+  /// Relative deadline from Submit(). < 0 = use ServeOptions default;
+  /// 0 = no deadline. Checked at admission and again at dequeue — an
+  /// expired request completes with kDeadlineExceeded without executing.
+  double deadline_ms = -1.0;
+};
+
+struct ServeResult {
+  Status status;
+  std::vector<AnswerProb> answers;  ///< Eq. 5 probability per answer tuple
+  bool plan_cache_hit = false;
+  double queue_ms = 0.0;  ///< admission -> dequeue
+  double exec_ms = 0.0;   ///< dequeue -> completion (shared batch time)
+};
+
+/// Lifetime counters (snapshot). Every submitted request lands in exactly
+/// one of completed / failed / deadline_exceeded / shed_* / rejected_shutdown.
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;           ///< finished with OK status
+  uint64_t failed = 0;              ///< finished with a non-OK eval status
+  uint64_t deadline_exceeded = 0;   ///< expired at admission or dequeue
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_inflight = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t batches = 0;             ///< worker dequeues
+  uint64_t batched_requests = 0;    ///< requests sharing a multi-request batch
+  size_t max_queue_depth = 0;
+};
+
+/// One serving instance over a compiled index. `db` and `index` must
+/// outlive the server and must not be mutated while it serves (the engine's
+/// Serve() warms all table indexes first, making the eval path read-only).
+class Server {
+ public:
+  Server(const Database* db, const MvIndex* index, const ServeOptions& options);
+  ~Server();  // Shutdown()
+
+  /// Spawns the worker pool. Idempotent; called from the constructor unless
+  /// options.start_workers was false.
+  void Start();
+
+  /// Enqueues a request; never blocks. The future always completes: with
+  /// answers, or with a typed error (kUnavailable when shed or shut down,
+  /// kDeadlineExceeded when expired).
+  std::future<ServeResult> Submit(ServeRequest req);
+
+  /// Synchronous in-caller execution — the serial reference path. Bypasses
+  /// the queue, deadlines, and admission; runs as a batch of one, which by
+  /// the batching invariant is bit-identical to any concurrent schedule.
+  ServeResult Execute(const ServeRequest& req);
+
+  /// Stops admission, drains every queued request (workers finish them; if
+  /// none were started, queued requests complete with kUnavailable), joins.
+  /// Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+  /// Zeroed stats when the cache is disabled.
+  PlanCacheStats plan_cache_stats() const;
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    ServeRequest req;
+    Clock::time_point submitted_at;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    std::promise<ServeResult> promise;
+  };
+
+  /// Per-worker reusable state: eval scratch + sweep scratch.
+  struct WorkerState {
+    EvalScratch eval;
+    CcSweepScratch sweep;
+  };
+
+  /// Relational eval + per-request OBDD synthesis (no sweep yet).
+  struct EvalOutcome {
+    Status status;
+    bool cache_hit = false;
+    std::unique_ptr<BddManager> qmgr;  ///< fresh per-request manager
+    std::vector<std::vector<Value>> heads;
+    std::vector<NodeId> roots;  ///< one per head, in qmgr
+  };
+
+  void EvalRequest(const Ucq& q, WorkerState* state, EvalOutcome* out);
+  void ExecuteBatch(std::vector<Pending>* batch, WorkerState* state,
+                    bool admitted = true);
+  void WorkerLoop();
+
+  const Database* db_;
+  const MvIndex* index_;
+  ServeOptions options_;
+  size_t max_inflight_;
+  std::shared_ptr<const VarOrder> order_;
+  ScaledDouble denom_;  ///< P0(NOT W), shared by every request
+  std::unique_ptr<PlanCache> plan_cache_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  size_t inflight_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+  ServerStats stats_;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_SERVE_SERVER_H_

@@ -12,8 +12,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mvdb {
@@ -70,6 +75,90 @@ void ParallelForChunked(int num_threads, size_t n, size_t chunk, Fn&& fn) {
                 for (size_t i = lo; i < hi; ++i) fn(i);
               });
 }
+
+/// Persistent fixed-size worker pool, the long-lived complement of the
+/// fork/join ParallelFor above: ParallelFor spawns-and-joins per call (right
+/// for the offline build's few large phases), while a serving layer needs
+/// threads that outlive any one request. Tasks are arbitrary closures run in
+/// FIFO order by the first free worker. Start/Submit/Shutdown are
+/// thread-safe; Shutdown (and the destructor) drains every queued task
+/// before joining, so submitted work is never silently dropped.
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool() { Shutdown(); }
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Spawns `num_threads` workers (<= 0 = one per hardware thread). No-op if
+  /// already started.
+  void Start(int num_threads) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!workers_.empty() || stopping_) return;
+    const int n = num_threads > 0
+                      ? num_threads
+                      : static_cast<int>(
+                            std::max(1u, std::thread::hardware_concurrency()));
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Enqueues a task. Returns false (task dropped) after Shutdown began.
+  bool Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return false;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Stops accepting tasks, lets the workers drain the queue, and joins
+  /// them. Idempotent; safe to call with no workers started (queued tasks
+  /// are then run on the calling thread — nothing is dropped).
+  void Shutdown() {
+    std::deque<std::function<void()>> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      if (workers_.empty()) orphans.swap(tasks_);
+    }
+    cv_.notify_all();
+    for (std::function<void()>& t : orphans) t();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  size_t num_workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.size();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping_ && drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
 
 }  // namespace mvdb
 

@@ -13,6 +13,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kUnsafeQuery: return "UnsafeQuery";
     case StatusCode::kParseError: return "ParseError";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,8 @@ enum class StatusCode : uint8_t {
   kUnsafeQuery,    ///< Lifted inference failed: the query is provably unsafe.
   kParseError,     ///< Datalog parser rejected the input.
   kInternal,
+  kDeadlineExceeded,  ///< Request deadline passed before (or during) execution.
+  kUnavailable,       ///< Serving layer shed the request (queue full, shutdown).
 };
 
 /// Lightweight status object: OK is cheap (no allocation); errors carry a
@@ -54,6 +56,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

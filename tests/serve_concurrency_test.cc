@@ -1,0 +1,299 @@
+// Concurrency battery for the serving layer, extending the golden-hash
+// discipline of pipeline_golden_test to the READ path: N client threads
+// hammer Eval + CC-MVIntersect on one shared index through a Server, across
+// worker counts {1, 2, 8, 0}, with the plan cache on and off and batching
+// on and off — and every single result must be bit-identical to the serial
+// first-principles evaluation (Eval + fresh-manager synthesis + solo CC
+// sweep). The serial reference itself is pinned by a golden hash, so a
+// change that silently moves answer bits fails even with the concurrency
+// machinery agreeing with itself. Runs under the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "dblp/dblp.h"
+#include "mvindex/mv_index.h"
+#include "query/eval.h"
+#include "serve/server.h"
+#include "test_util.h"
+
+namespace mvdb {
+namespace {
+
+/// Same clamp rule as the engine/server (noise at the [0,1] borders).
+double ClampProb(double p) {
+  if (p < 0.0 && p > -1e-9) return 0.0;
+  if (p > 1.0 && p < 1.0 + 1e-9) return 1.0;
+  return p;
+}
+
+void FnvMix(uint64_t v, uint64_t* h) { *h = (*h ^ v) * 1099511628211ULL; }
+
+uint64_t HashAnswers(const std::vector<std::vector<AnswerProb>>& per_query) {
+  uint64_t h = 1469598103934665603ULL;
+  FnvMix(per_query.size(), &h);
+  for (const auto& answers : per_query) {
+    FnvMix(answers.size(), &h);
+    for (const AnswerProb& a : answers) {
+      for (const Value v : a.head) {
+        FnvMix(static_cast<uint64_t>(static_cast<int64_t>(v)), &h);
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &a.prob, sizeof(bits));
+      FnvMix(bits, &h);
+    }
+  }
+  return h;
+}
+
+bool BitEqual(const std::vector<AnswerProb>& a,
+              const std::vector<AnswerProb>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].head != b[i].head) return false;
+    if (std::memcmp(&a[i].prob, &b[i].prob, sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+/// The DBLP-400 workload (affiliation views on — same instance the
+/// template golden test pins), compiled once and shared: the serving layer
+/// treats it as immutable, which is exactly what this suite stresses.
+struct SharedWorkload {
+  std::unique_ptr<Mvdb> mvdb;
+  std::unique_ptr<QueryEngine> engine;
+  std::vector<Ucq> queries;
+  std::vector<std::vector<AnswerProb>> reference;  // serial answers, in order
+};
+
+SharedWorkload& Shared() {
+  static SharedWorkload* shared = [] {
+    auto* s = new SharedWorkload();
+    dblp::DblpConfig cfg;
+    cfg.num_authors = 400;
+    cfg.include_affiliation = true;
+    auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+    MVDB_CHECK(mvdb.ok());
+    s->mvdb = std::move(mvdb).value();
+    s->engine = std::make_unique<QueryEngine>(s->mvdb.get());
+    MVDB_CHECK(s->engine->Compile().ok());
+
+    // The Fig. 10/11 mix: students-of-advisor and affiliation-of-author
+    // queries (repeated shapes, different constants), plus an empty-answer
+    // query — all pre-parsed, since parsing interns into the shared dict.
+    const Table* advisor = s->mvdb->db().Find("Advisor");
+    MVDB_CHECK(advisor != nullptr && advisor->size() >= 6);
+    const size_t stride = advisor->size() / 6;
+    for (size_t i = 0; i < 6; ++i) {
+      const Value senior = advisor->At(static_cast<RowId>(i * stride), 1);
+      s->queries.push_back(dblp::StudentsOfAdvisorQuery(
+          s->mvdb.get(), dblp::AuthorName(static_cast<int>(senior))));
+    }
+    const Table* aff = s->mvdb->db().Find("Affiliation");
+    MVDB_CHECK(aff != nullptr && aff->size() >= 3);
+    for (size_t i = 0; i < 3; ++i) {
+      const Value aid = aff->At(static_cast<RowId>(i), 0);
+      s->queries.push_back(dblp::AffiliationOfAuthorQuery(
+          s->mvdb.get(), dblp::AuthorName(static_cast<int>(aid))));
+    }
+    s->queries.push_back(
+        dblp::StudentsOfAdvisorQuery(s->mvdb.get(), "no-such-author"));
+
+    // Serial first-principles reference: Eval, synthesize each answer's
+    // lineage into a FRESH manager (the serving bit-identity invariant),
+    // one SOLO CC sweep per root. No Server code involved.
+    const MvIndex& index = s->engine->index();
+    const ScaledDouble denom = index.ProbNotWScaled();
+    CcSweepScratch scratch;
+    for (const Ucq& q : s->queries) {
+      AnswerMap answers;
+      MVDB_CHECK(Eval(s->mvdb->db(), q, EvalOptions{}, &answers).ok());
+      BddManager qmgr(index.manager().order());
+      std::vector<AnswerProb> out;
+      for (const auto& [head, info] : answers) {
+        const NodeId root = qmgr.FromLineageSynthesis(info.lineage);
+        const ScaledDouble num =
+            index.CCMVIntersectScaled(CcQuery{&qmgr, root}, &scratch);
+        out.push_back(AnswerProb{head, ClampProb((num / denom).ToDouble())});
+      }
+      s->reference.push_back(std::move(out));
+    }
+    return s;
+  }();
+  return *shared;
+}
+
+// Golden hash of the serial reference answers on DBLP-400. If an
+// intentional pipeline change moves this value, re-pin it together with
+// the pipeline_golden_test / mvindex_template_test hashes.
+constexpr uint64_t kGoldenAnswers = 9559056201113213446ULL;
+
+TEST(ServeConcurrencyTest, SerialReferenceMatchesGoldenHash) {
+  SharedWorkload& s = Shared();
+  size_t nonempty = 0, total_answers = 0;
+  for (const auto& answers : s.reference) {
+    if (!answers.empty()) ++nonempty;
+    total_answers += answers.size();
+  }
+  EXPECT_EQ(nonempty, 9u);  // every query but the no-such-author one
+  EXPECT_TRUE(s.reference.back().empty());
+  EXPECT_GT(total_answers, 9u);
+  EXPECT_EQ(HashAnswers(s.reference), kGoldenAnswers);
+}
+
+TEST(ServeConcurrencyTest, SynchronousExecuteMatchesReferenceBitwise) {
+  SharedWorkload& s = Shared();
+  ServeOptions opts;
+  opts.start_workers = false;  // Execute() needs no workers
+  auto server = s.engine->Serve(opts);
+  ASSERT_TRUE(server.ok());
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    ServeRequest req;
+    req.query = s.queries[i];
+    const ServeResult res = (*server)->Execute(req);
+    ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+    EXPECT_TRUE(BitEqual(res.answers, s.reference[i])) << "query " << i;
+  }
+}
+
+/// Hammers one server config from `clients` threads, `reps` passes over the
+/// full query mix each, and verifies EVERY result bit-identical to the
+/// serial reference. Returns the number of verified results.
+size_t Hammer(Server* server, int clients, int reps) {
+  SharedWorkload& s = Shared();
+  const size_t nq = s.queries.size();
+  struct Slot {
+    size_t query = 0;
+    ServeResult result;
+  };
+  std::vector<std::vector<Slot>> per_client(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& slots = per_client[static_cast<size_t>(c)];
+      // Stagger each client's starting offset so concurrent batches mix
+      // different query shapes.
+      for (int r = 0; r < reps; ++r) {
+        for (size_t k = 0; k < nq; ++k) {
+          const size_t qi = (k + static_cast<size_t>(c)) % nq;
+          ServeRequest req;
+          req.query = s.queries[qi];
+          auto fut = server->Submit(req);
+          slots.push_back(Slot{qi, fut.get()});
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  size_t verified = 0;
+  for (const auto& slots : per_client) {
+    for (const Slot& slot : slots) {
+      EXPECT_TRUE(slot.result.status.ok()) << slot.result.status.ToString();
+      EXPECT_TRUE(BitEqual(slot.result.answers, s.reference[slot.query]))
+          << "query " << slot.query;
+      ++verified;
+    }
+  }
+  return verified;
+}
+
+TEST(ServeConcurrencyTest, BitIdenticalAcrossWorkerThreadCounts) {
+  SharedWorkload& s = Shared();
+  for (const int workers : {1, 2, 8, 0}) {  // 0 = one per hardware thread
+    ServeOptions opts;
+    opts.num_threads = workers;
+    opts.max_batch = 4;
+    auto server = s.engine->Serve(opts);
+    ASSERT_TRUE(server.ok());
+    const size_t verified = Hammer(server->get(), /*clients=*/4, /*reps=*/3);
+    EXPECT_EQ(verified, 4u * 3u * s.queries.size()) << "workers=" << workers;
+    (*server)->Shutdown();
+    const ServerStats stats = (*server)->stats();
+    EXPECT_EQ(stats.completed, verified) << "workers=" << workers;
+    EXPECT_EQ(stats.failed, 0u);
+    // The repeated shapes actually hit the cache under concurrency.
+    const PlanCacheStats cache = (*server)->plan_cache_stats();
+    EXPECT_GT(cache.hits, 0u);
+    EXPECT_GE(cache.misses, 2u);  // two distinct shapes in the mix
+  }
+}
+
+TEST(ServeConcurrencyTest, BitIdenticalWithCacheOffAndWithBatchingOff) {
+  SharedWorkload& s = Shared();
+  {
+    ServeOptions opts;
+    opts.num_threads = 8;
+    opts.use_plan_cache = false;  // the escape hatch: re-plan every request
+    auto server = s.engine->Serve(opts);
+    ASSERT_TRUE(server.ok());
+    Hammer(server->get(), 4, 2);
+    EXPECT_EQ((*server)->plan_cache_stats().misses, 0u);
+  }
+  {
+    ServeOptions opts;
+    opts.num_threads = 8;
+    opts.max_batch = 1;  // no cross-request batching
+    auto server = s.engine->Serve(opts);
+    ASSERT_TRUE(server.ok());
+    Hammer(server->get(), 4, 2);
+    (*server)->Shutdown();
+    EXPECT_EQ((*server)->stats().batched_requests, 0u);
+  }
+}
+
+TEST(ServeConcurrencyTest, BatchedSweepMatchesSoloSweepPerRoot) {
+  // Direct MvIndex-level check, independent of the Server: a batch of all
+  // reference roots in one pass must reproduce each solo sweep bit for bit
+  // (the batching invariant the serving layer is built on).
+  SharedWorkload& s = Shared();
+  const MvIndex& index = s.engine->index();
+  BddManager qmgr(index.manager().order());
+  std::vector<CcQuery> roots;
+  for (const Ucq& q : s.queries) {
+    AnswerMap answers;
+    MVDB_CHECK(Eval(s.mvdb->db(), q, EvalOptions{}, &answers).ok());
+    for (const auto& [head, info] : answers) {
+      roots.push_back(CcQuery{&qmgr, qmgr.FromLineageSynthesis(info.lineage)});
+    }
+  }
+  ASSERT_GT(roots.size(), 10u);
+
+  CcSweepScratch scratch;
+  std::vector<ScaledDouble> batched;
+  index.CCMVIntersectBatchScaled(roots, &scratch, &batched);
+  ASSERT_EQ(batched.size(), roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    const ScaledDouble solo = index.CCMVIntersectScaled(roots[i], &scratch);
+    const double a = batched[i].ToDouble();
+    const double b = solo.ToDouble();
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0) << "root " << i;
+  }
+}
+
+TEST(ServeConcurrencyTest, EngineQueryAgreesWithServingWithinTolerance) {
+  // The engine's own Query() path synthesizes into the big shared manager,
+  // whose NodeIds (and so accumulation orders) differ from the fresh
+  // per-request managers — agreement is to floating-point accuracy, not
+  // bitwise; both are pinned against the same mathematical value.
+  SharedWorkload& s = Shared();
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    auto engine_answers = s.engine->Query(s.queries[i], Backend::kMvIndexCC);
+    ASSERT_TRUE(engine_answers.ok());
+    ASSERT_EQ(engine_answers->size(), s.reference[i].size());
+    for (size_t j = 0; j < s.reference[i].size(); ++j) {
+      EXPECT_EQ((*engine_answers)[j].head, s.reference[i][j].head);
+      EXPECT_NEAR((*engine_answers)[j].prob, s.reference[i][j].prob, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvdb

@@ -116,6 +116,8 @@ class Shell {
       std::printf("error: %s\n", st.ToString().c_str());
       return true;
     }
+    // Every query from here on plans once per shape and reuses the template.
+    engine_->EnablePlanCache(64);
     std::printf("compiled in %.2f s: MV-index %zu nodes, %zu blocks, "
                 "P0(not W) log-magnitude %.2f\n",
                 t.Seconds(), engine_->index().size(),
@@ -143,6 +145,14 @@ class Shell {
     std::printf("  W inversion-free: %s\n",
                 engine_->w_inversion_free() ? "yes" : "no");
     std::printf("  W: %s\n", ToString(mvdb_->W()).c_str());
+    const PlanCacheStats pc = engine_->plan_cache_stats();
+    std::printf("  plan cache: %zu/%zu entries, %llu hits, %llu misses "
+                "(hit rate %.0f%%), %llu evictions\n",
+                pc.size, pc.capacity,
+                static_cast<unsigned long long>(pc.hits),
+                static_cast<unsigned long long>(pc.misses),
+                100.0 * pc.HitRate(),
+                static_cast<unsigned long long>(pc.evictions));
     return true;
   }
 
@@ -167,10 +177,12 @@ class Shell {
       std::printf("parse error: %s\n", q.status().ToString().c_str());
       return true;
     }
+    const PlanCacheStats before = engine_->plan_cache_stats();
     Timer t;
     auto answers = (k == 0) ? engine_->Query(*q, backend_)
                             : engine_->QueryTopK(*q, k, backend_);
     const double ms = t.Millis();
+    const PlanCacheStats after = engine_->plan_cache_stats();
     if (!answers.ok()) {
       std::printf("error: %s\n", answers.status().ToString().c_str());
       return true;
@@ -186,7 +198,11 @@ class Shell {
       }
       std::printf("  (%s)  P = %.6f\n", head.c_str(), a.prob);
     }
-    std::printf("%zu answer(s) in %.3f ms\n", answers->size(), ms);
+    const char* plan = after.hits > before.hits      ? "cached plan"
+                       : after.misses > before.misses ? "planned fresh"
+                                                      : "no cache";
+    std::printf("%zu answer(s) in %.3f ms (%s; cache hit rate %.0f%%)\n",
+                answers->size(), ms, plan, 100.0 * after.HitRate());
     return true;
   }
 
