@@ -16,7 +16,7 @@
 // parallelism too. Any MISMATCH makes the process exit non-zero.
 //
 // Usage: bench_build_scale [authors ...] [--threads=1,2,4] [--scale-sweep]
-//                          [--no-templates]
+//                          [--no-templates] [--repeat N]
 //   bench_build_scale                      # sweep {10000, 50000} x {1,2,4}
 //   bench_build_scale --scale-sweep        # {10000,50000,100000,200000,500000}
 //                                          # x {1,4}: the 1M-author trajectory
@@ -24,9 +24,21 @@
 //   bench_build_scale --no-templates       # classic per-block planning (the
 //                                          # CompileOptions escape hatch) for
 //                                          # template-on/off A-B runs
+//   bench_build_scale --classic-kernels    # all four hot-path kernel
+//                                          # hatches off (fused translate,
+//                                          # radix order, pre-sorted
+//                                          # synthesis, fast intersect) for
+//                                          # PR-7 A/B runs
+//   bench_build_scale --repeat 5           # build every cell 5 times; the
+//                                          # table and phase split show the
+//                                          # fastest run, the JSON adds
+//                                          # build_s_min / build_s_median,
+//                                          # and the parity gate also checks
+//                                          # repeat-to-repeat determinism
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -43,6 +55,11 @@ struct BuildResult {
   size_t blocks = 0;
   ScaledDouble prob_not_w;
   uint64_t layout_hash = 0;  ///< FNV-1a over the flat topology, node by node
+  // Timing spread across --repeat runs of this cell (equal to total_s when
+  // the cell ran once). The representative run is the fastest one.
+  int repeat = 1;
+  double total_min_s = 0;
+  double total_median_s = 0;
 };
 
 /// Hashes the stitched layout (levels, edges, root) so parity detects any
@@ -63,6 +80,8 @@ uint64_t HashLayout(const FlatObdd& flat) {
 
 bool g_parity_failed = false;
 bool g_use_templates = true;
+bool g_classic_kernels = false;
+int g_repeat = 1;
 
 /// Peak resident set of this process so far, in MiB (Linux ru_maxrss is in
 /// KiB). Monotone across cells; meaningful for the largest cell of a sweep.
@@ -84,6 +103,12 @@ BuildResult BuildOnce(int authors, int threads) {
   CompileOptions copts;
   copts.num_threads = threads;
   copts.use_plan_templates = g_use_templates;
+  if (g_classic_kernels) {
+    copts.use_fused_translate = false;
+    copts.use_radix_order = false;
+    copts.use_presorted_synthesis = false;
+    copts.use_fast_intersect = false;
+  }
   // The chain is ~14 nodes per author at this workload shape; hint the
   // shard managers so the unique tables do not rehash mid-build.
   copts.reserve_hint = static_cast<size_t>(authors) * 16;
@@ -95,6 +120,39 @@ BuildResult BuildOnce(int authors, int threads) {
   r.blocks = engine.index().blocks().size();
   r.prob_not_w = engine.index().ProbNotWScaled();
   r.layout_hash = HashLayout(engine.index().flat());
+  return r;
+}
+
+/// Builds the cell g_repeat times. Timing noise goes into min/median; the
+/// returned (fastest) run supplies the stats and phase split. Repeats must
+/// reproduce the serial-vs-threaded invariant run to run — any layout or
+/// probability drift across repeats is nondeterminism and fails the
+/// parity gate.
+BuildResult BuildRepeated(int authors, int threads) {
+  std::vector<BuildResult> runs;
+  runs.reserve(static_cast<size_t>(g_repeat));
+  for (int i = 0; i < g_repeat; ++i) runs.push_back(BuildOnce(authors, threads));
+  size_t best = 0;
+  std::vector<double> totals;
+  totals.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    totals.push_back(runs[i].total_s);
+    if (runs[i].total_s < runs[best].total_s) best = i;
+    if (runs[i].layout_hash != runs[0].layout_hash ||
+        runs[i].blocks != runs[0].blocks ||
+        !(runs[i].prob_not_w == runs[0].prob_not_w)) {
+      std::fprintf(stderr,
+                   "MISMATCH: repeat %zu of authors=%d threads=%d diverged "
+                   "from repeat 0\n",
+                   i, authors, threads);
+      g_parity_failed = true;
+    }
+  }
+  std::sort(totals.begin(), totals.end());
+  BuildResult r = runs[best];
+  r.repeat = g_repeat;
+  r.total_min_s = totals.front();
+  r.total_median_s = totals[totals.size() / 2];  // upper median for even N
   return r;
 }
 
@@ -135,6 +193,10 @@ void ReportCell(int authors, int threads, const BuildResult& r,
       r.stats.stitch_seconds + r.stats.import_seconds,
       r.stats.peak_manager_nodes, r.stats.flat_nodes, bytes_per_node,
       mgr_bytes_per_node, rss_mb, parity);
+  if (r.repeat > 1) {
+    std::printf("          repeat=%d  min=%.2fs  median=%.2fs\n", r.repeat,
+                r.total_min_s, r.total_median_s);
+  }
   JsonLine json("build_scale");
   json.Field("authors", authors)
       .Field("threads", threads)
@@ -147,6 +209,7 @@ void ReportCell(int authors, int threads, const BuildResult& r,
       .Field("stitch_s", r.stats.stitch_seconds)
       .Field("import_s", r.stats.import_seconds)
       .Field("use_templates", g_use_templates ? 1 : 0)
+      .Field("classic_kernels", g_classic_kernels ? 1 : 0)
       .Field("plan_templates", r.stats.plan_templates)
       .Field("template_blocks", r.stats.template_blocks)
       .Field("template_plan_s", r.stats.template_plan_seconds)
@@ -158,6 +221,11 @@ void ReportCell(int authors, int threads, const BuildResult& r,
       .Field("flat_nodes", r.stats.flat_nodes)
       .Field("bytes_per_node", bytes_per_node)
       .Field("peak_rss_mb", rss_mb);
+  if (r.repeat > 1) {
+    json.Field("repeat", r.repeat)
+        .Field("build_s_min", r.total_min_s)
+        .Field("build_s_median", r.total_median_s);
+  }
   if (!is_ref && serial_ref != nullptr) {
     json.Field("parity", std::strcmp(parity, "ok") == 0 ? 1 : 0);
   }
@@ -177,7 +245,7 @@ void RunSweep(const std::vector<int>& authors_sweep,
       // threads passes through untouched: 1 is the serial reference, <= 0
       // means one shard per hardware thread (MvIndexBuildOptions semantics);
       // the reported thread count is the shards actually used.
-      const BuildResult r = BuildOnce(authors, threads);
+      const BuildResult r = BuildRepeated(authors, threads);
       const bool is_ref = (threads == 1);
       if (is_ref) {
         serial = r;
@@ -213,12 +281,20 @@ int main(int argc, char** argv) {
       scale_sweep = true;
     } else if (std::strcmp(argv[i], "--no-templates") == 0) {
       mvdb::bench::g_use_templates = false;
+    } else if (std::strcmp(argv[i], "--classic-kernels") == 0) {
+      mvdb::bench::g_classic_kernels = true;
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      mvdb::bench::g_repeat = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc &&
+               argv[i + 1][0] != '-') {
+      mvdb::bench::g_repeat = std::atoi(argv[++i]);
     } else if (argv[i][0] != '-') {
       authors.push_back(std::atoi(argv[i]));
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: bench_build_scale [authors ...] "
-                   "[--threads=1,2,4] [--scale-sweep] [--no-templates]\n",
+                   "[--threads=1,2,4] [--scale-sweep] [--no-templates] "
+                   "[--classic-kernels] [--repeat N]\n",
                    argv[i]);
       return 2;
     }
@@ -237,6 +313,7 @@ int main(int argc, char** argv) {
   }
   if (authors.empty()) authors = {10000, 50000};
   if (threads.empty()) threads = {1, 2, 4};
+  if (mvdb::bench::g_repeat < 1) mvdb::bench::g_repeat = 1;
   mvdb::bench::PrintFigureHeader(
       "Build scale", "sharded MV-index compilation, authors x threads");
   mvdb::bench::RunSweep(authors, threads);

@@ -7,11 +7,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+
 #include "bench_common.h"
 
 namespace mvdb {
 namespace bench {
 namespace {
+
+/// --classic-intersect: run the sweeps with the branch-light fast walk
+/// disabled (MvIndex::set_use_fast_intersect(false)) for A/B numbers on the
+/// same binary. Results are bit-identical either way; only timing moves.
+bool g_classic_intersect = false;
 
 /// A query lineage of ~20 Advisor tuples spaced evenly across the index's
 /// variable range — the paper's "worst case scenario: it forced the system
@@ -36,6 +43,7 @@ void PrintSeries() {
               "agree");
   for (int n : AidDomainSweep()) {
     Workload w = MakeWorkload(SweepConfig(n));
+    w.engine->mutable_index().set_use_fast_intersect(!g_classic_intersect);
     const Lineage q = WorstCaseLineage(*w.mvdb);
     const NodeId qb = w.engine->manager().FromLineageSynthesis(q);
 
@@ -88,6 +96,7 @@ void PrintSeries() {
 
 void BM_MVIntersect(benchmark::State& state) {
   Workload w = MakeWorkload(SweepConfig(static_cast<int>(state.range(0))));
+  w.engine->mutable_index().set_use_fast_intersect(!g_classic_intersect);
   const Lineage q = WorstCaseLineage(*w.mvdb);
   const NodeId qb = w.engine->manager().FromLineageSynthesis(q);
   for (auto _ : state) {
@@ -98,6 +107,7 @@ BENCHMARK(BM_MVIntersect)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
 
 void BM_CCMVIntersect(benchmark::State& state) {
   Workload w = MakeWorkload(SweepConfig(static_cast<int>(state.range(0))));
+  w.engine->mutable_index().set_use_fast_intersect(!g_classic_intersect);
   const Lineage q = WorstCaseLineage(*w.mvdb);
   const NodeId qb = w.engine->manager().FromLineageSynthesis(q);
   for (auto _ : state) {
@@ -112,6 +122,7 @@ BENCHMARK(BM_CCMVIntersect)->Arg(1000)->Arg(10000)
 /// 8x BM_CCMVIntersect at the same Arg to read the amortization.
 void BM_CCMVIntersectBatch8(benchmark::State& state) {
   Workload w = MakeWorkload(SweepConfig(static_cast<int>(state.range(0))));
+  w.engine->mutable_index().set_use_fast_intersect(!g_classic_intersect);
   const Lineage q = WorstCaseLineage(*w.mvdb);
   const NodeId qb = w.engine->manager().FromLineageSynthesis(q);
   const std::vector<CcQuery> batch(8, CcQuery{&w.engine->manager(), qb});
@@ -130,6 +141,15 @@ BENCHMARK(BM_CCMVIntersectBatch8)->Arg(1000)->Arg(10000)
 }  // namespace mvdb
 
 int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--classic-intersect") {
+      mvdb::bench::g_classic_intersect = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   mvdb::bench::PrintFigureHeader(
       "Figure 9", "MVIntersect vs CC-MVIntersect, worst-case query");
   mvdb::bench::PrintSeries();

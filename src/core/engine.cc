@@ -33,7 +33,10 @@ Status QueryEngine::Compile(const CompileOptions& options) {
   Timer timer;
   double translate_seconds = 0.0;  // stays 0 when already translated
   if (!mvdb_->translated()) {
-    MVDB_RETURN_NOT_OK(mvdb_->Translate(TranslateOptions{options.num_threads}));
+    TranslateOptions topts;
+    topts.num_threads = options.num_threads;
+    topts.fused_weights = options.use_fused_translate;
+    MVDB_RETURN_NOT_OK(mvdb_->Translate(topts));
     translate_seconds = timer.Seconds();
   }
   timer.Restart();
@@ -84,8 +87,9 @@ Status QueryEngine::Compile(const CompileOptions& options) {
     }
   }
 
-  mgr_ = std::make_unique<BddManager>(
-      BuildVariableOrder(db, order_spec_, options.num_threads));
+  mgr_ = std::make_unique<BddManager>(BuildVariableOrder(
+      db, order_spec_, options.num_threads, options.use_radix_order));
+  mgr_->set_scratch_synthesis(options.use_presorted_synthesis);
   // The per-VarId probability snapshot belongs to the order phase: at 1M
   // authors it walks every tuple variable once.
   var_probs_ = db.VarProbs();

@@ -110,6 +110,9 @@ class QueryEngine {
 
   /// The compiled MV-index (stats, block layout).
   const MvIndex& index() const { return *index_; }
+  /// Mutable access for post-build A/B toggles (e.g.
+  /// MvIndex::set_use_fast_intersect in kernel parity tests and benches).
+  MvIndex& mutable_index() { return *index_; }
   BddManager& manager() { return *mgr_; }
 
   /// Builds an online serving layer over the compiled index (compiling

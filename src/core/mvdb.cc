@@ -83,34 +83,56 @@ Status Mvdb::Translate(const TranslateOptions& options) {
     opts.num_threads = options.num_threads;
     MVDB_RETURN_NOT_OK(Eval(db_, view.definition(), opts, &answers));
 
-    // Gather tuples in answer (head) order, then fan the per-tuple weight
-    // computation out — each weight lands in its tuple's slot, so the
-    // result is independent of scheduling.
     std::vector<ViewTuple>& tuples = view_tuples_[i];
     tuples.reserve(answers.size());
-    std::vector<int64_t> counts;
-    counts.reserve(answers.size());
-    for (auto& [head, info] : answers) {
-      counts.push_back(static_cast<int64_t>(info.count_values.size()));
-      tuples.push_back(ViewTuple{head, 0.0, std::move(info.lineage), kNoVar});
-    }
-    ParallelForChunked(options.num_threads, tuples.size(), 1024, [&](size_t t) {
-      tuples[t].weight = view.Weight(tuples[t].head, counts[t]);
-    });
-
-    // Serial validation pass: weight sanity and pure-denial detection.
-    bool all_denial = !tuples.empty();
-    for (const ViewTuple& t : tuples) {
-      const double w = t.weight;
-      if (std::isinf(w)) {
-        return Status::InvalidArgument("view '" + view.name() +
-                                       "' produced an infinite weight");
+    bool all_denial = !answers.empty();
+    if (options.fused_weights) {
+      // Fused gather: one pass touches each materialized tuple exactly once
+      // — the weight, its sanity check and the pure-denial detection ride
+      // the same loop that moves the lineage out of the answer map. Same
+      // weights, same first-error, same denial verdict as the staged path.
+      for (auto& [head, info] : answers) {
+        const double w =
+            view.Weight(head, static_cast<int64_t>(info.count_values.size()));
+        if (std::isinf(w)) {
+          return Status::InvalidArgument("view '" + view.name() +
+                                         "' produced an infinite weight");
+        }
+        if (w < 0.0 || std::isnan(w)) {
+          return Status::InvalidArgument("view '" + view.name() +
+                                         "' produced an invalid weight");
+        }
+        if (w != 0.0) all_denial = false;
+        tuples.push_back(ViewTuple{head, w, std::move(info.lineage), kNoVar});
       }
-      if (w < 0.0 || std::isnan(w)) {
-        return Status::InvalidArgument("view '" + view.name() +
-                                       "' produced an invalid weight");
+    } else {
+      // Staged path: gather tuples in answer (head) order, fan the
+      // per-tuple weight computation out — each weight lands in its
+      // tuple's slot, so the result is independent of scheduling — then
+      // validate serially.
+      std::vector<int64_t> counts;
+      counts.reserve(answers.size());
+      for (auto& [head, info] : answers) {
+        counts.push_back(static_cast<int64_t>(info.count_values.size()));
+        tuples.push_back(ViewTuple{head, 0.0, std::move(info.lineage), kNoVar});
       }
-      if (w != 0.0) all_denial = false;
+      ParallelForChunked(options.num_threads, tuples.size(), 1024,
+                         [&](size_t t) {
+                           tuples[t].weight = view.Weight(tuples[t].head,
+                                                          counts[t]);
+                         });
+      for (const ViewTuple& t : tuples) {
+        const double w = t.weight;
+        if (std::isinf(w)) {
+          return Status::InvalidArgument("view '" + view.name() +
+                                         "' produced an infinite weight");
+        }
+        if (w < 0.0 || std::isnan(w)) {
+          return Status::InvalidArgument("view '" + view.name() +
+                                         "' produced an invalid weight");
+        }
+        if (w != 0.0) all_denial = false;
+      }
     }
 
     if (tuples.empty()) continue;  // empty view: no features, no W disjunct

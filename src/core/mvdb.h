@@ -51,6 +51,12 @@ struct TranslateOptions {
   /// 1 = serial; <= 0 = one per hardware thread. Weight callbacks must be
   /// pure functions (the shipped views' are) — they may run concurrently.
   int num_threads = 1;
+  /// Compute each tuple's weight (and validate it) inside the gather loop
+  /// that materializes the view, touching every tuple once, instead of the
+  /// staged gather / parallel-weights / validate passes. Output is
+  /// bit-identical either way (translate parity tests pin it); the hatch
+  /// exists for A/B comparison.
+  bool fused_weights = true;
 };
 
 class Mvdb {

@@ -124,6 +124,12 @@ class FlatObdd {
   FlatId lo(FlatId id) const { return edges_[static_cast<size_t>(id)].lo; }
   FlatId hi(FlatId id) const { return edges_[static_cast<size_t>(id)].hi; }
 
+  /// Raw SoA array bases, for software prefetch in the online sweep
+  /// (read-only; indexed by non-sink FlatId).
+  const int32_t* levels_data() const { return levels_.data(); }
+  const FlatEdges* edges_data() const { return edges_.data(); }
+  const ScaledDouble* prob_under_data() const { return prob_under_.data(); }
+
   /// Marginal probability of the variable branched on at `level`.
   double prob_at_level(int32_t level) const {
     return level_probs_[static_cast<size_t>(level)];

@@ -299,6 +299,7 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
       static_cast<size_t>(shards));
   for (auto& m : shard_mgrs) {
     m = std::make_unique<BddManager>(mgr->order());
+    m->set_scratch_synthesis(options.use_presorted_synthesis);
     if (options.reserve_hint > 0) {
       const size_t per_shard =
           options.reserve_hint / static_cast<size_t>(shards) + 1;
@@ -394,24 +395,43 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   stats.blocks = index->blocks_.size();
   stats.flat_nodes = index->flat_->size();
   stats.flat_bytes = index->flat_->MemoryBytes();
+  index->use_fast_intersect_ = options.use_fast_intersect;
+  // Hoisted FastForward state: prefix products of the per-block P(NOT W_b)
+  // factors, accumulated left-to-right exactly like the old per-call linear
+  // scan so the binary-searched fast-forward stays bit-identical.
+  index->block_prefix_.resize(index->blocks_.size() + 1);
+  index->block_prefix_[0] = ScaledDouble::One();
+  for (size_t i = 0; i < index->blocks_.size(); ++i) {
+    ScaledDouble p = index->block_prefix_[i];
+    p *= index->blocks_[i].prob;
+    index->block_prefix_[i + 1] = p;
+  }
   return index;
 }
 
 void MvIndex::FastForward(int32_t q_first_level, ScaledDouble* prefix,
                           FlatId* start) const {
-  *prefix = ScaledDouble::One();
   if (blocks_.empty()) {
+    *prefix = ScaledDouble::One();
     *start = flat_->root();
     return;
   }
-  for (const MvBlock& b : blocks_) {
-    if (b.last_level >= q_first_level) {
-      *start = b.chain_root;
-      return;
+  // The chain is strictly level-ordered, so last_level ascends across
+  // blocks_: binary-search the first block the query can touch instead of
+  // rescanning (and re-multiplying) the whole prefix on every call. The
+  // skipped blocks' probability product is precomputed in block_prefix_.
+  size_t lo = 0;
+  size_t hi = blocks_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (blocks_[mid].last_level >= q_first_level) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
     }
-    *prefix *= b.prob;
   }
-  *start = kFlatTrue;
+  *prefix = block_prefix_[lo];
+  *start = lo < blocks_.size() ? blocks_[lo].chain_root : kFlatTrue;
 }
 
 double MvIndex::ProbQ(const BddManager& qmgr, NodeId q,
@@ -551,12 +571,33 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
   auto& per_item = scratch->per_item;
   if (per_item.size() < n) per_item.resize(n);
   std::vector<uint32_t> items_here;  // roots with entries at this flat node
+  std::vector<ScaledDouble> credits;  // fast-walk sink credits, in add order
+
+  // Hoisted bases for the sweep: the outer bucket vector is never resized
+  // inside the loop (emit only appends to existing buckets), and the flat
+  // SoA arrays are immutable, so raw pointers are safe to cache and cheap
+  // to software-prefetch a few nodes ahead of the scan.
+  const bool fast = use_fast_intersect_;
+  const FlatId fsize = static_cast<FlatId>(flat_->size());
+  const int32_t* const flat_levels = flat_->levels_data();
+  const FlatEdges* const flat_edges = flat_->edges_data();
+  const ScaledDouble* const flat_under = flat_->prob_under_data();
+  const auto* const bucket_base = buckets.data();
 
   // One forward sweep over the level-sorted node vector: edges only point
   // forward, so a single pass from the earliest entry visits every
   // reachable (root, flat node) pairing for every root in the batch.
-  for (FlatId u = first; pending > 0 && u < static_cast<FlatId>(flat_->size());
-       ++u) {
+  for (FlatId u = first; pending > 0 && u < fsize; ++u) {
+    if (fast && u + 8 < fsize) {
+      // The sweep's access pattern is a strided forward scan with
+      // unpredictable bucket occupancy; prefetch the upcoming bucket
+      // headers and SoA entries so the occupancy test and level read
+      // don't stall the walk.
+      __builtin_prefetch(&bucket_base[u + 8]);
+      __builtin_prefetch(&flat_levels[u + 8]);
+      __builtin_prefetch(&flat_edges[u + 8]);
+      __builtin_prefetch(&flat_under[u + 8]);
+    }
     auto& bucket = buckets[static_cast<size_t>(u)];
     if (bucket.empty()) continue;
     pending -= bucket.size();
@@ -577,6 +618,89 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
       ItemState& st = items[item];
       const BddManager& qmgr = *queries[item].mgr;
       auto& list = per_item[item];
+
+      auto emit = [&](FlatId next_u, NodeId next_q, const ScaledDouble& w) {
+        if (next_q == BddManager::kFalse || next_u == kFlatFalse) return;
+        if (next_u == kFlatTrue) {
+          st.total += w * ScaledDouble(ProbQ(qmgr, next_q, &st.qmemo));
+          return;
+        }
+        if (next_q == BddManager::kTrue) {
+          st.total += w * flat_->prob_under_scaled(next_u);
+          return;
+        }
+        auto& b = buckets[static_cast<size_t>(next_u)];
+        if (b.empty()) scratch->touched.push_back(next_u);
+        b.push_back({item, next_q, w});
+        ++pending;
+      };
+
+      // Fast walk: a single-entry bucket (the common case — most queries
+      // keep a one-node front through each block) never widens until a
+      // query node has two live successors, so the expand loop's hash maps
+      // are pure overhead. Walk the query chain in registers, buffering
+      // sink credits so they apply to st.total in exactly the classic
+      // pass order. Any case whose classic handling depends on map
+      // iteration order — a widening node, or a true sink deferred to the
+      // order-sensitive final loop — bails to the classic code below with
+      // the entry list untouched, so the per-item map state (including
+      // hash-table bucket-count history) evolves exactly as in the classic
+      // sweep and parity stays bit-identical.
+      if (fast && list.size() == 1 && !qmgr.IsSink(list[0].first)) {
+        NodeId q = list[0].first;
+        ScaledDouble w = list[0].second;
+        credits.clear();
+        bool bail = false;
+        bool done = false;
+        while (qmgr.level(q) < lu) {
+          const BddNode& nn = qmgr.node(q);
+          const bool lo_sink = qmgr.IsSink(nn.lo);
+          const bool hi_sink = qmgr.IsSink(nn.hi);
+          if (!lo_sink && !hi_sink) {
+            bail = true;  // front widens: classic map processing required
+            break;
+          }
+          const double p = flat_->prob_at_level(qmgr.level(q));
+          const ScaledDouble wlo = w * ScaledDouble(1.0 - p);
+          const ScaledDouble whi = w * ScaledDouble(p);
+          if (lo_sink && hi_sink) {
+            // Reduced OBDD: {lo, hi} is {kFalse, kTrue} in some order.
+            credits.push_back((nn.lo == BddManager::kTrue ? wlo : whi) *
+                              flat_->prob_under_scaled(u));
+            done = true;
+            break;
+          }
+          const NodeId sink = lo_sink ? nn.lo : nn.hi;
+          const NodeId surv = lo_sink ? nn.hi : nn.lo;
+          if (sink == BddManager::kTrue) {
+            if (qmgr.level(surv) >= lu) {
+              // Classic credits this sink in the final loop, interleaved
+              // with the survivor's emits in map order — bail.
+              bail = true;
+              break;
+            }
+            credits.push_back((lo_sink ? wlo : whi) *
+                              flat_->prob_under_scaled(u));
+          }
+          q = surv;
+          w = lo_sink ? whi : wlo;
+        }
+        if (!bail) {
+          list.clear();
+          for (const ScaledDouble& c : credits) st.total += c;
+          if (!done) {
+            NodeId q0 = q, q1 = q;
+            if (qmgr.level(q) == lu) {
+              const BddNode& nn = qmgr.node(q);
+              q0 = nn.lo;
+              q1 = nn.hi;
+            }
+            emit(flat_->lo(u), q0, w * ScaledDouble(1.0 - pu));
+            emit(flat_->hi(u), q1, w * ScaledDouble(pu));
+          }
+          continue;
+        }
+      }
 
       // Merge duplicate query nodes, then expand query-only levels below lu
       // one level at a time (merging keeps the set bounded by the query
@@ -609,21 +733,6 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
         st.merged.swap(st.next_level);
       }
 
-      auto emit = [&](FlatId next_u, NodeId next_q, const ScaledDouble& w) {
-        if (next_q == BddManager::kFalse || next_u == kFlatFalse) return;
-        if (next_u == kFlatTrue) {
-          st.total += w * ScaledDouble(ProbQ(qmgr, next_q, &st.qmemo));
-          return;
-        }
-        if (next_q == BddManager::kTrue) {
-          st.total += w * flat_->prob_under_scaled(next_u);
-          return;
-        }
-        auto& b = buckets[static_cast<size_t>(next_u)];
-        if (b.empty()) scratch->touched.push_back(next_u);
-        b.push_back({item, next_q, w});
-        ++pending;
-      };
       for (const auto& [q, w] : st.merged) {
         if (q == BddManager::kFalse) continue;
         if (q == BddManager::kTrue) {

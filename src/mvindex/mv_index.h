@@ -96,6 +96,23 @@ struct MvIndexBuildOptions {
   /// bit-identical either way — the escape hatch exists for A/B parity
   /// tests and benchmarks, not because the paths may diverge.
   bool use_plan_templates = true;
+  /// Hot-path kernel hatches (see DESIGN.md "Hot-path kernels"). Each
+  /// selects a faster kernel whose output is pinned bit-identical to the
+  /// classic one by parity tests; false falls back to the classic path.
+  /// Fuse per-tuple weight computation into view materialization
+  /// (Mvdb::Translate touches each tuple once).
+  bool use_fused_translate = true;
+  /// LSD radix/counting sort in BuildVariableOrder instead of the bucketed
+  /// comparison sort.
+  bool use_radix_order = true;
+  /// Scratch-reusing, pre-sorted clause synthesis in the per-shard
+  /// BddManagers (FromLineageSynthesis / ConcatOr stop reallocating and
+  /// re-sorting per clause).
+  bool use_presorted_synthesis = true;
+  /// Branch-light, software-prefetched CC-MVIntersect walk over the flat
+  /// SoA arrays; carried onto the built index (MvIndex::set_use_fast_intersect
+  /// flips it after the fact for A/B tests).
+  bool use_fast_intersect = true;
 };
 
 /// What the offline build did — the numbers bench_build_scale reports.
@@ -225,6 +242,13 @@ class MvIndex {
   /// once via Not() for index-less evaluation baselines).
   NodeId not_w_manager_root() const { return not_w_root_; }
 
+  /// Toggles the branch-light, software-prefetched CC sweep walk after the
+  /// fact (normally inherited from MvIndexBuildOptions::use_fast_intersect).
+  /// Results are bit-identical either way — intersect_kernel_test pins the
+  /// parity; the setter exists for A/B comparisons on one built index.
+  void set_use_fast_intersect(bool on) { use_fast_intersect_ = on; }
+  bool use_fast_intersect() const { return use_fast_intersect_; }
+
  private:
   MvIndex() = default;
 
@@ -243,6 +267,13 @@ class MvIndex {
   std::vector<double> var_probs_;
   NodeId not_w_root_ = BddManager::kTrue;
   MvIndexBuildStats build_stats_;
+  bool use_fast_intersect_ = true;
+
+  /// block_prefix_[i] = product of blocks_[0..i).prob, accumulated
+  /// left-to-right in the same multiply order the per-call linear scan used,
+  /// so FastForward's binary search returns bit-identical prefixes. Size is
+  /// blocks_.size() + 1; the last entry is P0(NOT W) as a block product.
+  std::vector<ScaledDouble> block_prefix_;
 
   // Scratch backing the legacy single-manager CCMVIntersectScaled(NodeId)
   // entry point (not thread-safe; concurrent callers pass their own).

@@ -100,6 +100,23 @@ class BddManager {
   /// comparator in Fig. 8.
   NodeId FromLineageSynthesis(const Lineage& lineage);
 
+  /// FromLineageSynthesis that additionally widens *min_level / *max_level
+  /// by the level of every literal the lineage mentions (contradictory
+  /// clauses included), during the same pass over the clauses. The ConObdd
+  /// builder needs that range for concatenation eligibility; a separate
+  /// walk re-derived it per block.
+  NodeId FromLineageSynthesisRanged(const Lineage& lineage, int32_t* min_level,
+                                    int32_t* max_level);
+
+  /// Selects scratch-reusing, pre-sorted clause synthesis: FromSignedClause
+  /// fills a member literal buffer (skipping the per-clause sort when the
+  /// emitted literals are already level-sorted — the common case, since
+  /// lineage clauses come out of ordered scans) and ConcatOr/ConcatAnd
+  /// reuse a member memo instead of allocating one per call. Results are
+  /// bit-identical either way; the hatch exists for A/B parity tests.
+  void set_scratch_synthesis(bool on) { scratch_synthesis_ = on; }
+  bool scratch_synthesis() const { return scratch_synthesis_; }
+
   /// P(f) by memoized Shannon expansion; probs indexed by VarId. Valid for
   /// probabilities outside [0,1]. Computed in extended-range arithmetic —
   /// with negative probabilities, per-node values routinely leave double
@@ -169,6 +186,10 @@ class BddManager {
   NodeId Apply(OpKind op, NodeId f, NodeId g);
   NodeId ConcatRec(NodeId f, NodeId g, NodeId sink_to_replace,
                    std::unordered_map<NodeId, NodeId>* memo);
+  /// The scratch-path clause build; when min_level/max_level are non-null
+  /// they are widened by every literal's level.
+  NodeId FromSignedClauseScratch(const Clause& pos, const Clause& neg,
+                                 int32_t* min_level, int32_t* max_level);
 
   std::shared_ptr<const VarOrder> order_;
   std::vector<BddNode> nodes_;
@@ -179,6 +200,11 @@ class BddManager {
   DirectMappedCache op_cache_;
   size_t apply_steps_ = 0;
   size_t cache_bytes_freed_ = 0;
+  bool scratch_synthesis_ = true;
+  /// Per-clause literal buffer of the scratch synthesis path.
+  std::vector<std::pair<int32_t, bool>> lits_scratch_;
+  /// Concat memo reused across ConcatOr/ConcatAnd calls (cleared per call).
+  std::unordered_map<NodeId, NodeId> concat_memo_;
 };
 
 }  // namespace mvdb

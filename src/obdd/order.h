@@ -50,8 +50,13 @@ struct OrderSpec {
 /// no variables and do not participate. `num_threads` fans the per-table key
 /// extraction and the per-bucket sorts out (1 = serial, <= 0 = hardware
 /// concurrency); the resulting order is identical for every thread count.
+/// `use_radix_sort` (default) routes bucket slices large enough to amortize
+/// the histogram passes through the LSD counting-sort kernel over the flat
+/// POD keys, keeping std::sort for the small ones; false is pure comparison
+/// sort everywhere. Both produce bit-identical orders (order_test pins it).
 std::vector<VarId> BuildVariableOrder(const Database& db, const OrderSpec& spec,
-                                      int num_threads = 1);
+                                      int num_threads = 1,
+                                      bool use_radix_sort = true);
 
 /// Convenience: identity permutations, no grouping.
 std::vector<VarId> BuildDefaultOrder(const Database& db);

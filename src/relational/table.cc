@@ -6,15 +6,26 @@
 
 namespace mvdb {
 
+namespace {
+
+/// Insert displacement past which the fast build doubles the slot table
+/// instead of probing on — the hybrid-hash bounded-probe partitioning rule.
+/// At load factor <= 1/2 a cluster this long means pathological hashing,
+/// not ordinary collisions.
+constexpr uint32_t kProbeLimit = 64;
+
+}  // namespace
+
 uint32_t Table::ColumnIndex::Find(Value v) const {
   if (slots.empty()) return kEmptySlot;
   uint32_t pos = static_cast<uint32_t>(Mix64(static_cast<uint64_t>(v))) & mask;
-  while (true) {
+  for (uint32_t d = 0; d <= max_probe; ++d) {
     const uint32_t s = slots[pos];
     if (s == kEmptySlot) return kEmptySlot;
     if (slot_values[s] == v) return s;
     pos = (pos + 1) & mask;
   }
+  return kEmptySlot;
 }
 
 const Table::ColumnIndex& Table::EnsureIndex(size_t col) const {
@@ -22,6 +33,16 @@ const Table::ColumnIndex& Table::EnsureIndex(size_t col) const {
   if (indexes_[col] != nullptr) return *indexes_[col];
   indexes_[col] = std::make_unique<ColumnIndex>();
   ColumnIndex& idx = *indexes_[col];
+  if (use_fast_index_build_) {
+    BuildIndexFast(&idx, col);
+  } else {
+    BuildIndexLegacy(&idx, col);
+  }
+  return idx;
+}
+
+void Table::BuildIndexLegacy(ColumnIndex* out, size_t col) const {
+  ColumnIndex& idx = *out;
   const size_t n = size();
 
   // Open-addressed capacity: power of two, load factor <= 1/2.
@@ -29,6 +50,9 @@ const Table::ColumnIndex& Table::EnsureIndex(size_t col) const {
   while (cap < 2 * n) cap <<= 1;
   idx.slots.assign(cap, ColumnIndex::kEmptySlot);
   idx.mask = static_cast<uint32_t>(cap - 1);
+  // The legacy path never tracked displacements; the whole table is the
+  // (trivially correct) probe bound.
+  idx.max_probe = idx.mask;
 
   // Pass 1: assign each distinct value a slot (first-occurrence order) and
   // count group sizes into `starts` (shifted by one for the exclusive scan).
@@ -71,7 +95,105 @@ const Table::ColumnIndex& Table::EnsureIndex(size_t col) const {
   for (size_t r = 0; r < n; ++r) {
     idx.row_ids[cursor[slot_of_row[r]]++] = static_cast<RowId>(r);
   }
-  return idx;
+}
+
+void Table::BuildIndexFast(ColumnIndex* out, size_t col) const {
+  ColumnIndex& idx = *out;
+  const size_t n = size();
+
+  size_t cap = 16;
+  while (cap < 2 * n) cap <<= 1;
+  idx.slots.assign(cap, ColumnIndex::kEmptySlot);
+  idx.mask = static_cast<uint32_t>(cap - 1);
+
+  std::vector<uint32_t>& counts = idx.starts;
+  counts.clear();
+  counts.reserve(n / 4 + 2);
+  counts.push_back(0);
+  const size_t stride = arity();
+  const Value* column = data_.data() + col;
+
+  // Counting scratch reused across columns and rebuilds; the only per-build
+  // allocation left is the index's own storage.
+  std::vector<uint32_t>& slot_of_row = index_scratch_;
+  slot_of_row.resize(n);
+
+  // Repositions every assigned slot in a doubled table. Slot ids (and with
+  // them starts/row_ids, i.e. everything Probe returns) are untouched —
+  // only the value -> slot positions move.
+  auto grow = [&idx]() {
+    const size_t cap2 = (static_cast<size_t>(idx.mask) + 1) * 2;
+    idx.slots.assign(cap2, ColumnIndex::kEmptySlot);
+    idx.mask = static_cast<uint32_t>(cap2 - 1);
+    idx.max_probe = 0;
+    for (uint32_t s = 0; s < idx.slot_values.size(); ++s) {
+      uint32_t pos = static_cast<uint32_t>(
+                         Mix64(static_cast<uint64_t>(idx.slot_values[s]))) &
+                     idx.mask;
+      uint32_t d = 0;
+      while (idx.slots[pos] != ColumnIndex::kEmptySlot) {
+        pos = (pos + 1) & idx.mask;
+        ++d;
+      }
+      idx.slots[pos] = s;
+      if (d > idx.max_probe) idx.max_probe = d;
+    }
+  };
+
+  // Run cache: skewed/sorted columns repeat one value in long stretches —
+  // the dominant DBLP translate-join shape — and skip the hash entirely.
+  Value prev_v = 0;
+  uint32_t prev_s = ColumnIndex::kEmptySlot;
+  idx.max_probe = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const Value v = column[r * stride];
+    if (prev_s != ColumnIndex::kEmptySlot && v == prev_v) {
+      ++counts[prev_s + 1];
+      slot_of_row[r] = prev_s;
+      continue;
+    }
+    uint32_t assigned = 0;
+    while (true) {
+      uint32_t pos = static_cast<uint32_t>(Mix64(static_cast<uint64_t>(v))) &
+                     idx.mask;
+      uint32_t d = 0;
+      bool done = false;
+      while (d <= kProbeLimit) {
+        const uint32_t s = idx.slots[pos];
+        if (s == ColumnIndex::kEmptySlot) {
+          const uint32_t fresh = static_cast<uint32_t>(idx.slot_values.size());
+          idx.slots[pos] = fresh;
+          idx.slot_values.push_back(v);
+          counts.push_back(1);
+          assigned = fresh;
+          if (d > idx.max_probe) idx.max_probe = d;
+          done = true;
+          break;
+        }
+        if (idx.slot_values[s] == v) {
+          ++counts[s + 1];
+          assigned = s;
+          done = true;
+          break;
+        }
+        pos = (pos + 1) & idx.mask;
+        ++d;
+      }
+      if (done) break;
+      grow();  // cluster past the probe bound: repartition at 2x capacity
+    }
+    slot_of_row[r] = assigned;
+    prev_v = v;
+    prev_s = assigned;
+  }
+
+  for (size_t s = 1; s < counts.size(); ++s) counts[s] += counts[s - 1];
+
+  idx.row_ids.resize(n);
+  std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+  for (size_t r = 0; r < n; ++r) {
+    idx.row_ids[cursor[slot_of_row[r]]++] = static_cast<RowId>(r);
+  }
 }
 
 std::span<const RowId> Table::Probe(size_t col, Value v) const {
