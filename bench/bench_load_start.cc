@@ -1,0 +1,169 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Serve-start bench: how fast can a server go from "process started" to
+// "first answer served" when the MV-index is loaded from the persistent
+// format (mvindex/index_io.*) instead of recompiled?
+//
+// For each scale it stands the engine up three ways over the same
+// translated MVDB and times each:
+//
+//   rebuild — QueryEngine::Compile: the full offline pipeline (the only
+//             option before the persistent format existed);
+//   load    — OpenIndex{mapped=false, verify=true}: read + checksum the
+//             whole file, copy the arrays into owned storage;
+//   mmap    — OpenIndex{mapped=true, verify=false}: map the file PROT_READ
+//             and serve straight off the page cache (the instant-start
+//             path; integrity is the writer's checksums + dump_index
+//             --verify in CI).
+//
+// Each mode then answers one students-of-advisor query so the row captures
+// first-query latency too (for mmap this includes the page faults the lazy
+// start deferred). The three answers must agree bit for bit — any mismatch
+// exits non-zero. One BENCH_JSON line per (scale, mode) cell; the summary
+// line reports the mmap-vs-rebuild speedup that BENCHMARKS.md tracks.
+//
+// Usage: bench_load_start [scale ...] [--threads=N]   # build shards, default 4
+//   bench_load_start                  # sweep {10000, 50000, 200000}
+//   bench_load_start 1000000          # the paper-scale 1M-author index
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "mvindex/index_io.h"
+
+namespace mvdb {
+namespace bench {
+namespace {
+
+int g_threads = 4;
+
+struct StartCell {
+  const char* mode;
+  double start_s = 0;       ///< engine stand-up: Compile or OpenIndex
+  double first_query_ms = 0;
+  double answer = 0;        ///< probability bits, compared across modes
+};
+
+double FirstAnswer(QueryEngine* engine, const Ucq& q) {
+  auto rows = Unwrap(engine->Query(q));
+  MVDB_CHECK(!rows.empty());
+  return rows[0].prob;
+}
+
+StartCell RunMode(const char* mode, Mvdb* mvdb, const Ucq& q,
+                  const std::string& path) {
+  StartCell cell;
+  cell.mode = mode;
+  auto engine = std::make_unique<QueryEngine>(mvdb);
+  Timer t;
+  if (std::strcmp(mode, "rebuild") == 0) {
+    CompileOptions copts;
+    copts.num_threads = g_threads;
+    Die(engine->Compile(copts));
+  } else {
+    QueryEngine::OpenIndexOptions oopts;
+    oopts.mapped = std::strcmp(mode, "mmap") == 0;
+    oopts.verify_checksums = !oopts.mapped;
+    Die(engine->OpenIndex(path, oopts));
+  }
+  cell.start_s = t.Seconds();
+  Timer q_t;
+  cell.answer = FirstAnswer(engine.get(), q);
+  cell.first_query_ms = q_t.Seconds() * 1e3;
+  return cell;
+}
+
+void RunScale(int scale) {
+  PrintFigureHeader("serve-start", "persistent index vs rebuild");
+  dblp::DblpConfig cfg;
+  cfg.num_authors = scale;
+  cfg.include_affiliation = true;
+  cfg.num_threads = g_threads;
+  auto mvdb = Unwrap(dblp::BuildDblpMvdb(cfg, nullptr));
+  Timer translate_t;
+  Die(mvdb->Translate());
+  const double translate_s = translate_t.Seconds();
+
+  const Value senior = SomeAdvisorPair(*mvdb).advisor;
+  const Ucq q = dblp::StudentsOfAdvisorQuery(
+      mvdb.get(), dblp::AuthorName(static_cast<int>(senior)));
+
+  // One compile to produce the index file (also the "rebuild" timing would
+  // measure a warm allocator; run rebuild first so every mode is warm-ish
+  // and the comparison is start-path work, not malloc noise).
+  const std::string path = "/tmp/bench_load_start_" + std::to_string(scale) +
+                           ".mvidx";
+  StartCell rebuild = RunMode("rebuild", mvdb.get(), q, path);
+  {
+    QueryEngine saver(mvdb.get());
+    CompileOptions copts;
+    copts.num_threads = g_threads;
+    Timer save_t;
+    Die(saver.SaveIndex(path, copts));
+    std::printf("  save %.3fs\n", save_t.Seconds());
+  }
+  uint64_t file_bytes = 0;
+  {
+    auto reader = IndexFileReader::OpenMapped(path);
+    Die(reader.status());
+    file_bytes = reader->header().file_bytes;
+  }
+
+  StartCell load = RunMode("load", mvdb.get(), q, path);
+  StartCell mmap = RunMode("mmap", mvdb.get(), q, path);
+
+  std::printf("  scale %d translate %.3fs file %.1f MB\n", scale, translate_s,
+              file_bytes / (1024.0 * 1024.0));
+  for (const StartCell& c : {rebuild, load, mmap}) {
+    std::printf("  %-7s start %8.3fs  first-query %7.3fms\n", c.mode,
+                c.start_s, c.first_query_ms);
+    JsonLine("load_start")
+        .Field("scale", scale)
+        .Field("mode", std::string(c.mode))
+        .Field("start_s", c.start_s)
+        .Field("first_query_ms", c.first_query_ms)
+        .Field("file_mb", file_bytes / (1024.0 * 1024.0))
+        .Field("threads", g_threads)
+        .Emit();
+  }
+  const double speedup = rebuild.start_s / (mmap.start_s > 0 ? mmap.start_s
+                                                             : 1e-9);
+  std::printf("  mmap start is %.0fx faster than rebuild\n", speedup);
+  JsonLine("load_start_speedup")
+      .Field("scale", scale)
+      .Field("speedup", speedup)
+      .Emit();
+
+  // The whole point is bit-identical serving: all three stand-up paths must
+  // produce the same probability for the same query.
+  if (std::memcmp(&rebuild.answer, &load.answer, sizeof(double)) != 0 ||
+      std::memcmp(&rebuild.answer, &mmap.answer, sizeof(double)) != 0) {
+    std::fprintf(stderr, "MISMATCH: answers differ across start modes\n");
+    std::exit(1);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mvdb
+
+int main(int argc, char** argv) {
+  using namespace mvdb::bench;
+  g_threads = ParseThreadsFlag(&argc, argv);
+  std::vector<int> scales;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      scales.push_back(std::atoi(argv[i]));
+    } else {
+      std::fprintf(stderr, "usage: bench_load_start [scale ...] [--threads=N]\n");
+      return 2;
+    }
+  }
+  if (scales.empty()) scales = {10000, 50000, 200000};
+  for (int scale : scales) RunScale(scale);
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "mvindex/index_io.h"
 #include "prob/brute_force.h"
 #include "query/analysis.h"
 #include "safeplan/lifted.h"
@@ -104,6 +106,89 @@ Status QueryEngine::Compile(const CompileOptions& options) {
   return Status::OK();
 }
 
+Status QueryEngine::SaveIndex(const std::string& path) {
+  return SaveIndex(path, CompileOptions{});
+}
+
+Status QueryEngine::SaveIndex(const std::string& path,
+                              const CompileOptions& options) {
+  MVDB_RETURN_NOT_OK(Compile(options));
+  return index_->Save(path);
+}
+
+Status QueryEngine::OpenIndex(const std::string& path) {
+  return OpenIndex(path, OpenIndexOptions{});
+}
+
+Status QueryEngine::OpenIndex(const std::string& path,
+                              const OpenIndexOptions& options) {
+  if (compiled()) {
+    return Status::InvalidArgument(
+        "engine already holds a compiled index; OpenIndex must run first");
+  }
+  // The index file replaces the compile phase, not the front-end: serving
+  // still needs the INDB relations (query evaluation) and the per-variable
+  // marginals (the consistency gate below).
+  if (!mvdb_->translated()) {
+    TranslateOptions topts;
+    topts.num_threads = options.num_threads;
+    MVDB_RETURN_NOT_OK(mvdb_->Translate(topts));
+  }
+  var_probs_ = mvdb_->db().VarProbs();
+
+  // Reconstruct the variable order from the file — but vet it against this
+  // database before handing it to VarOrder, whose constructor CHECK-fails
+  // on malformed input (a corrupt or foreign file must surface as a typed
+  // Status, never an abort).
+  MVDB_ASSIGN_OR_RETURN(std::vector<VarId> order, ReadIndexVarOrder(path));
+  if (order.size() != var_probs_.size()) {
+    return Status::InvalidArgument(
+        "index file orders " + std::to_string(order.size()) +
+        " variables but this database has " +
+        std::to_string(var_probs_.size()));
+  }
+  std::vector<char> seen(var_probs_.size(), 0);
+  for (const VarId v : order) {
+    if (v < 0 || static_cast<size_t>(v) >= var_probs_.size() ||
+        seen[static_cast<size_t>(v)] != 0) {
+      return Status::InvalidArgument(
+          "index file variable order is not a permutation of this "
+          "database's variables");
+    }
+    seen[static_cast<size_t>(v)] = 1;
+  }
+  mgr_ = std::make_unique<BddManager>(std::move(order));
+
+  IndexLoadOptions lopts;
+  lopts.verify_checksums = options.verify_checksums;
+  auto loaded = options.mapped ? MvIndex::LoadMapped(path, mgr_.get(), lopts)
+                               : MvIndex::Load(path, mgr_.get(), lopts);
+  if (!loaded.ok()) {
+    mgr_.reset();
+    return loaded.status();
+  }
+  std::unique_ptr<MvIndex> index = std::move(loaded).value();
+
+  // Bind the file to THIS database: every per-level probability in the
+  // index must equal the freshly translated marginal bit for bit. A stale
+  // index (same schema, different data) passes the order-digest check but
+  // fails here.
+  const FlatObdd& flat = index->flat();
+  for (size_t l = 0; l < flat.num_levels(); ++l) {
+    const double file_p = flat.prob_at_level(static_cast<int32_t>(l));
+    const double db_p = var_probs_[static_cast<size_t>(
+        mgr_->var_at_level(static_cast<int32_t>(l)))];
+    if (std::memcmp(&file_p, &db_p, sizeof(double)) != 0) {
+      mgr_.reset();
+      return Status::InvalidArgument(
+          "index file probabilities disagree with this database at level " +
+          std::to_string(l) + " (stale index? rebuild with SaveIndex)");
+    }
+  }
+  index_ = std::move(index);
+  return Status::OK();
+}
+
 StatusOr<const Lineage*> QueryEngine::WLineage() {
   MVDB_RETURN_NOT_OK(Compile());
   if (!w_lineage_.has_value()) {
@@ -160,7 +245,8 @@ StatusOr<ScaledDouble> QueryEngine::Numerator(const Lineage& q_lineage,
     }
     case Backend::kObddReuse: {
       const NodeId qb = mgr_->FromLineageSynthesis(q_lineage);
-      const NodeId not_w = index_->not_w_manager_root();
+      // Loaded indexes defer the chain import; materialize it on first use.
+      const NodeId not_w = index_->EnsureChainImported();
       return mgr_->ProbScaled(mgr_->And(qb, not_w), var_probs_);
     }
     case Backend::kMvIndex: {
@@ -245,7 +331,7 @@ StatusOr<double> QueryEngine::ConditionalBoolean(const Ucq& q1, const Ucq& q2,
       den = index_->CCMVIntersectScaled(b2);
       break;
     default: {
-      const NodeId not_w = index_->not_w_manager_root();
+      const NodeId not_w = index_->EnsureChainImported();
       num = mgr_->ProbScaled(mgr_->And(joint, not_w), var_probs_);
       den = mgr_->ProbScaled(mgr_->And(b2, not_w), var_probs_);
     }

@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/mvdb.h"
@@ -68,6 +69,37 @@ class QueryEngine {
   Status Compile(const CompileOptions& options);
 
   bool compiled() const { return index_ != nullptr; }
+
+  /// Persists the compiled index (compiling first if needed) in the
+  /// versioned on-disk format of mvindex/index_io.*.
+  Status SaveIndex(const std::string& path);
+  Status SaveIndex(const std::string& path, const CompileOptions& options);
+
+  /// Knobs for OpenIndex.
+  struct OpenIndexOptions {
+    /// Bind the flat arrays to a read-only mmap of the file (startup cost
+    /// independent of index size; N processes share the pages) instead of
+    /// copying them into owned memory.
+    bool mapped = true;
+    /// Verify every section checksum before serving (faults in the whole
+    /// file; `dump_index --verify` covers this out of band).
+    bool verify_checksums = false;
+    /// Thread budget for the MVDB -> INDB translation that OpenIndex still
+    /// runs (the index file replaces compilation, not translation).
+    int num_threads = 1;
+  };
+
+  /// Stands the engine up from a persisted index instead of compiling:
+  /// translates the MVDB if needed, reconstructs the variable order and
+  /// manager from the file, loads (or maps) the index against it, and
+  /// cross-checks the file against this database — the order digest must
+  /// match and every per-level probability must equal the translated
+  /// marginal bit for bit, so serving a stale or foreign index fails with a
+  /// typed Status instead of returning silently wrong answers. After
+  /// success, compiled() is true and Query/Serve behave exactly as after
+  /// Compile() (kObddReuse lazily imports the chain on first use).
+  Status OpenIndex(const std::string& path, const OpenIndexOptions& options);
+  Status OpenIndex(const std::string& path);
 
   /// Evaluates a (possibly non-Boolean) UCQ over the MVDB relations,
   /// returning one probability per answer tuple.

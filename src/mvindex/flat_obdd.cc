@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -93,22 +94,23 @@ namespace {
 
 /// Bottom-up rebuild of a level-sorted flat array inside `mgr`: children sit
 /// at larger indexes, so one reverse pass suffices. Shared by ImportBlock
-/// (local block arrays) and ImportInto (the stitched chain).
-NodeId ImportNodes(BddManager* mgr, const std::vector<int32_t>& levels,
-                   const std::vector<FlatEdges>& edges, FlatId root) {
+/// (local block arrays) and ImportInto (the stitched chain, in either
+/// storage mode — hence raw bases, not vectors).
+NodeId ImportNodes(BddManager* mgr, const int32_t* levels,
+                   const FlatEdges* edges, size_t num_nodes, FlatId root) {
   if (root == kFlatTrue) return BddManager::kTrue;
   if (root == kFlatFalse) return BddManager::kFalse;
-  // Reserve ahead: the import appends at most levels.size() fresh nodes, so
+  // Reserve ahead: the import appends at most num_nodes fresh nodes, so
   // sizing the node vector and unique table once up front turns the rebuild
   // into a bulk append with no mid-import growth or rehash.
-  mgr->ReserveNodes(mgr->num_created() + levels.size());
-  std::vector<NodeId> ids(levels.size());
+  mgr->ReserveNodes(mgr->num_created() + num_nodes);
+  std::vector<NodeId> ids(num_nodes);
   auto node_of = [&](FlatId u) -> NodeId {
     if (u == kFlatFalse) return BddManager::kFalse;
     if (u == kFlatTrue) return BddManager::kTrue;
     return ids[static_cast<size_t>(u)];
   };
-  for (size_t i = levels.size(); i-- > 0;) {
+  for (size_t i = num_nodes; i-- > 0;) {
     ids[i] = mgr->Mk(levels[i], node_of(edges[i].lo), node_of(edges[i].hi));
   }
   return ids[static_cast<size_t>(root)];
@@ -117,22 +119,24 @@ NodeId ImportNodes(BddManager* mgr, const std::vector<int32_t>& levels,
 }  // namespace
 
 NodeId FlatObdd::ImportBlock(BddManager* mgr, const Block& block) {
-  return ImportNodes(mgr, block.levels, block.edges, block.root);
+  return ImportNodes(mgr, block.levels.data(), block.edges.data(),
+                     block.size(), block.root);
 }
 
 NodeId FlatObdd::ImportInto(BddManager* mgr) const {
-  return ImportNodes(mgr, levels_, edges_, root_);
+  return ImportNodes(mgr, levels_, edges_, num_nodes_, root_);
 }
 
 FlatObdd::FlatObdd(const BddManager& mgr, NodeId root,
                    const std::vector<double>& var_probs) {
-  level_probs_.resize(mgr.num_levels());
+  level_probs_store_.resize(mgr.num_levels());
   for (size_t l = 0; l < mgr.num_levels(); ++l) {
-    level_probs_[l] = var_probs[static_cast<size_t>(mgr.var_at_level(static_cast<int32_t>(l)))];
+    level_probs_store_[l] =
+        var_probs[static_cast<size_t>(mgr.var_at_level(static_cast<int32_t>(l)))];
   }
   Block block = FlattenBlock(mgr, root);
-  levels_ = std::move(block.levels);
-  edges_ = std::move(block.edges);
+  levels_store_ = std::move(block.levels);
+  edges_store_ = std::move(block.edges);
   root_ = block.root;
   ComputeAnnotations();
 }
@@ -141,7 +145,7 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
     const std::vector<Block>& blocks, std::vector<double> level_probs,
     std::vector<FlatId>* chain_roots) {
   std::unique_ptr<FlatObdd> flat(new FlatObdd());
-  flat->level_probs_ = std::move(level_probs);
+  flat->level_probs_store_ = std::move(level_probs);
 
   size_t total = 0;
   bool chain_false = false;
@@ -165,8 +169,8 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
   // Emit back to front so each block knows its successor's stitched root.
   // Positions are final (offsets are fixed by the block sizes), so emission
   // order is an implementation detail; we fill the arrays directly.
-  flat->levels_.resize(total);
-  flat->edges_.resize(total);
+  flat->levels_store_.resize(total);
+  flat->edges_store_.resize(total);
   FlatId next_root = kFlatTrue;  // chain suffix after the last block
   size_t offset = total;
   for (size_t i = blocks.size(); i-- > 0;) {
@@ -185,8 +189,8 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
         if (u == kFlatFalse) return kFlatFalse;
         return base + u;
       };
-      flat->levels_[offset + k] = b.levels[k];
-      flat->edges_[offset + k] =
+      flat->levels_store_[offset + k] = b.levels[k];
+      flat->edges_store_[offset + k] =
           FlatEdges{remap(b.edges[k].lo), remap(b.edges[k].hi)};
     }
     next_root = base + b.root;
@@ -197,47 +201,107 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
   return flat;
 }
 
+std::unique_ptr<FlatObdd> FlatObdd::FromOwnedStorage(
+    std::vector<int32_t> levels, std::vector<FlatEdges> edges,
+    std::vector<ScaledDouble> prob_under, std::vector<ScaledDouble> reach,
+    std::vector<double> level_probs, FlatId root) {
+  MVDB_CHECK_EQ(levels.size(), edges.size());
+  MVDB_CHECK_EQ(levels.size(), prob_under.size());
+  MVDB_CHECK_EQ(levels.size(), reach.size());
+  std::unique_ptr<FlatObdd> flat(new FlatObdd());
+  flat->levels_store_ = std::move(levels);
+  flat->edges_store_ = std::move(edges);
+  flat->prob_under_store_ = std::move(prob_under);
+  flat->reach_store_ = std::move(reach);
+  flat->level_probs_store_ = std::move(level_probs);
+  flat->root_ = root;
+  flat->BindOwned();
+  return flat;
+}
+
+std::unique_ptr<FlatObdd> FlatObdd::FromMappedStorage(
+    const int32_t* levels, const FlatEdges* edges,
+    const ScaledDouble* prob_under, const ScaledDouble* reach,
+    const double* level_probs, size_t num_nodes, size_t num_levels,
+    FlatId root, std::shared_ptr<const MmapFile> mapping) {
+  MVDB_CHECK(mapping != nullptr);
+  std::unique_ptr<FlatObdd> flat(new FlatObdd());
+  flat->levels_ = levels;
+  flat->edges_ = edges;
+  flat->prob_under_ = prob_under;
+  flat->reach_ = reach;
+  flat->level_probs_ = level_probs;
+  flat->num_nodes_ = num_nodes;
+  flat->num_levels_ = num_levels;
+  flat->root_ = root;
+  flat->mapping_ = std::move(mapping);
+  return flat;
+}
+
+void FlatObdd::BindOwned() {
+  levels_ = levels_store_.data();
+  edges_ = edges_store_.data();
+  prob_under_ = prob_under_store_.data();
+  reach_ = reach_store_.data();
+  level_probs_ = level_probs_store_.data();
+  num_nodes_ = levels_store_.size();
+  num_levels_ = level_probs_store_.size();
+}
+
 void FlatObdd::ComputeAnnotations() {
   // probUnder: children always sit at larger indexes (levels strictly grow
   // along edges), so a single reverse pass suffices.
-  prob_under_.resize(levels_.size());
-  for (size_t i = levels_.size(); i-- > 0;) {
-    const double p = level_probs_[static_cast<size_t>(levels_[i])];
-    prob_under_[i] = ScaledDouble(1.0 - p) * prob_under_scaled(edges_[i].lo) +
-                     ScaledDouble(p) * prob_under_scaled(edges_[i].hi);
+  const size_t n = levels_store_.size();
+  prob_under_store_.resize(n);
+  auto under_of = [&](FlatId u) {
+    if (u == kFlatFalse) return ScaledDouble::Zero();
+    if (u == kFlatTrue) return ScaledDouble::One();
+    return prob_under_store_[static_cast<size_t>(u)];
+  };
+  for (size_t i = n; i-- > 0;) {
+    const double p =
+        level_probs_store_[static_cast<size_t>(levels_store_[i])];
+    prob_under_store_[i] =
+        ScaledDouble(1.0 - p) * under_of(edges_store_[i].lo) +
+        ScaledDouble(p) * under_of(edges_store_[i].hi);
   }
 
   // reachability: forward pass from the root.
-  reach_.assign(levels_.size(), ScaledDouble::Zero());
-  if (root_ < 0) return;
-  reach_[static_cast<size_t>(root_)] = ScaledDouble::One();
-  for (size_t i = 0; i < levels_.size(); ++i) {
-    const FlatEdges& e = edges_[i];
-    const double p = level_probs_[static_cast<size_t>(levels_[i])];
-    if (e.lo >= 0) {
-      reach_[static_cast<size_t>(e.lo)] += reach_[i] * ScaledDouble(1.0 - p);
-    }
-    if (e.hi >= 0) {
-      reach_[static_cast<size_t>(e.hi)] += reach_[i] * ScaledDouble(p);
+  reach_store_.assign(n, ScaledDouble::Zero());
+  if (root_ >= 0) {
+    reach_store_[static_cast<size_t>(root_)] = ScaledDouble::One();
+    for (size_t i = 0; i < n; ++i) {
+      const FlatEdges& e = edges_store_[i];
+      const double p =
+          level_probs_store_[static_cast<size_t>(levels_store_[i])];
+      if (e.lo >= 0) {
+        reach_store_[static_cast<size_t>(e.lo)] +=
+            reach_store_[i] * ScaledDouble(1.0 - p);
+      }
+      if (e.hi >= 0) {
+        reach_store_[static_cast<size_t>(e.hi)] +=
+            reach_store_[i] * ScaledDouble(p);
+      }
     }
   }
+  BindOwned();
 }
 
 size_t FlatObdd::MemoryBytes() const {
-  // Per-node arrays only: level_probs_ scales with the variable count, not
-  // the layout, and would skew the bytes/node trajectory metric.
-  return levels_.capacity() * sizeof(int32_t) +
-         edges_.capacity() * sizeof(FlatEdges) +
-         prob_under_.capacity() * sizeof(ScaledDouble) +
-         reach_.capacity() * sizeof(ScaledDouble);
+  // Per-node arrays only: the level-probability table scales with the
+  // variable count, not the layout, and would skew the bytes/node
+  // trajectory metric. Count-based, so owned and mapped modes report the
+  // same figure for the same index.
+  return num_nodes_ * (sizeof(int32_t) + sizeof(FlatEdges) +
+                       2 * sizeof(ScaledDouble));
 }
 
 size_t FlatObdd::Width() const {
   size_t width = 0;
   size_t i = 0;
-  while (i < levels_.size()) {
+  while (i < num_nodes_) {
     size_t j = i;
-    while (j < levels_.size() && levels_[j] == levels_[i]) ++j;
+    while (j < num_nodes_ && levels_[j] == levels_[i]) ++j;
     width = std::max(width, j - i);
     i = j;
   }
@@ -245,10 +309,11 @@ size_t FlatObdd::Width() const {
 }
 
 std::pair<FlatId, FlatId> FlatObdd::NodesAtLevel(int32_t level) const {
-  auto lower = std::lower_bound(levels_.begin(), levels_.end(), level);
-  auto upper = std::upper_bound(levels_.begin(), levels_.end(), level);
-  return {static_cast<FlatId>(lower - levels_.begin()),
-          static_cast<FlatId>(upper - levels_.begin())};
+  const int32_t* begin = levels_;
+  const int32_t* end = levels_ + num_nodes_;
+  const int32_t* lower = std::lower_bound(begin, end, level);
+  const int32_t* upper = std::upper_bound(begin, end, level);
+  return {static_cast<FlatId>(lower - begin), static_cast<FlatId>(upper - begin)};
 }
 
 }  // namespace mvdb

@@ -23,6 +23,13 @@
 // to the next block's root. Because blocks occupy disjoint, ascending level
 // ranges, the stitched array is level-sorted and bit-identical to flattening
 // the concatenated chain in one piece.
+//
+// Storage comes in two modes. The build paths own their arrays as vectors;
+// the persistent-index loader (mvindex/index_io.*) can instead bind the SoA
+// bases to spans inside a read-only mmap'd index file, so a serve process
+// starts without copying (or even faulting) the node arrays and N processes
+// share one physical copy through the page cache. Every accessor reads
+// through the same base pointers in both modes.
 
 #ifndef MVDB_MVINDEX_FLAT_OBDD_H_
 #define MVDB_MVINDEX_FLAT_OBDD_H_
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "obdd/manager.h"
+#include "util/mmap_file.h"
 #include "util/scaled_double.h"
 
 namespace mvdb {
@@ -110,6 +118,25 @@ class FlatObdd {
                                                std::vector<double> level_probs,
                                                std::vector<FlatId>* chain_roots);
 
+  /// Assembles a FlatObdd from deserialized owned arrays (MvIndex::Load).
+  /// The annotations are part of the persisted image and are NOT recomputed
+  /// — the round-trip is bit-exact by construction.
+  static std::unique_ptr<FlatObdd> FromOwnedStorage(
+      std::vector<int32_t> levels, std::vector<FlatEdges> edges,
+      std::vector<ScaledDouble> prob_under, std::vector<ScaledDouble> reach,
+      std::vector<double> level_probs, FlatId root);
+
+  /// Non-owning span-backed storage mode (MvIndex::LoadMapped): the SoA
+  /// bases point into `mapping` — read-only PROT_READ pages of the index
+  /// file — which is kept alive for the lifetime of this FlatObdd. The
+  /// caller (index_io) has already bounds-checked every span against the
+  /// file size.
+  static std::unique_ptr<FlatObdd> FromMappedStorage(
+      const int32_t* levels, const FlatEdges* edges,
+      const ScaledDouble* prob_under, const ScaledDouble* reach,
+      const double* level_probs, size_t num_nodes, size_t num_levels,
+      FlatId root, std::shared_ptr<const MmapFile> mapping);
+
   /// Rebuilds the whole flat chain inside `mgr` bottom-up and returns its
   /// root (kTrue/kFalse for sink roots). Lets the online manager hold the
   /// compiled NOT W without retaining any offline build state.
@@ -117,18 +144,24 @@ class FlatObdd {
 
   /// Root as a flat id (may be a sink sentinel for constant functions).
   FlatId root() const { return root_; }
-  size_t size() const { return levels_.size(); }
+  size_t size() const { return num_nodes_; }
   bool IsSinkId(FlatId id) const { return id < 0; }
+  /// True when the SoA bases live in a read-only file mapping.
+  bool mapped() const { return mapping_ != nullptr; }
 
   int32_t level(FlatId id) const { return levels_[static_cast<size_t>(id)]; }
   FlatId lo(FlatId id) const { return edges_[static_cast<size_t>(id)].lo; }
   FlatId hi(FlatId id) const { return edges_[static_cast<size_t>(id)].hi; }
 
-  /// Raw SoA array bases, for software prefetch in the online sweep
-  /// (read-only; indexed by non-sink FlatId).
-  const int32_t* levels_data() const { return levels_.data(); }
-  const FlatEdges* edges_data() const { return edges_.data(); }
-  const ScaledDouble* prob_under_data() const { return prob_under_.data(); }
+  /// Raw SoA array bases, for software prefetch in the online sweep and for
+  /// the persistent-index writer (read-only; indexed by non-sink FlatId).
+  const int32_t* levels_data() const { return levels_; }
+  const FlatEdges* edges_data() const { return edges_; }
+  const ScaledDouble* prob_under_data() const { return prob_under_; }
+  const ScaledDouble* reach_data() const { return reach_; }
+  /// Per-level marginal probability table base; indexed by level.
+  const double* level_probs_data() const { return level_probs_; }
+  size_t num_levels() const { return num_levels_; }
 
   /// Marginal probability of the variable branched on at `level`.
   double prob_at_level(int32_t level) const {
@@ -157,10 +190,12 @@ class FlatObdd {
   ScaledDouble prob_root_scaled() const { return prob_under_scaled(root_); }
   double prob_root() const { return prob_root_scaled().ToDouble(); }
 
-  /// Resident bytes of the per-node flat arrays (topology + levels +
-  /// annotations; the per-level probability table is excluded since it
-  /// scales with the variable count, not the node count). The bytes/node
-  /// figure bench_build_scale reports is MemoryBytes()/size().
+  /// Bytes of the per-node flat arrays (topology + levels + annotations; the
+  /// per-level probability table is excluded since it scales with the
+  /// variable count, not the node count). In mapped mode this counts the
+  /// file spans the bases point into — shared, demand-paged bytes rather
+  /// than private resident ones. The bytes/node figure bench_build_scale
+  /// reports is MemoryBytes()/size().
   size_t MemoryBytes() const;
 
   /// Maximum number of nodes on one level (the OBDD width of Section 4.1).
@@ -174,15 +209,34 @@ class FlatObdd {
   FlatObdd() = default;
 
   /// The two linear annotation passes (probUnder reverse, reachability
-  /// forward) over the already-populated topology arrays.
+  /// forward) over the already-populated topology stores; ends by binding
+  /// the read-side bases to the owned vectors.
   void ComputeAnnotations();
 
-  std::vector<int32_t> levels_;
-  std::vector<FlatEdges> edges_;
-  std::vector<ScaledDouble> prob_under_;
-  std::vector<ScaledDouble> reach_;
-  std::vector<double> level_probs_;
+  /// Points the read-side bases at the owned vectors (build/Load paths).
+  void BindOwned();
+
+  // Owned backing arrays (build and Load paths). In the span-backed mmap
+  // mode these stay empty and the bases below point into `mapping_`.
+  std::vector<int32_t> levels_store_;
+  std::vector<FlatEdges> edges_store_;
+  std::vector<ScaledDouble> prob_under_store_;
+  std::vector<ScaledDouble> reach_store_;
+  std::vector<double> level_probs_store_;
+
+  // Read-side SoA bases: every accessor reads through these, whichever
+  // storage mode backs them.
+  const int32_t* levels_ = nullptr;
+  const FlatEdges* edges_ = nullptr;
+  const ScaledDouble* prob_under_ = nullptr;
+  const ScaledDouble* reach_ = nullptr;
+  const double* level_probs_ = nullptr;
+  size_t num_nodes_ = 0;
+  size_t num_levels_ = 0;
   FlatId root_ = kFlatFalse;
+
+  /// Keeps the mapped index file alive while any base points into it.
+  std::shared_ptr<const MmapFile> mapping_;
 };
 
 }  // namespace mvdb

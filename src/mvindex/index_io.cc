@@ -1,0 +1,461 @@
+#include "mvindex/index_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "mvindex/mv_index.h"
+#include "util/hash64.h"
+#include "util/logging.h"
+
+namespace mvdb {
+namespace {
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kIndexSectionAlign - 1) & ~(kIndexSectionAlign - 1);
+}
+
+const char* SectionName(IndexSection s) {
+  switch (s) {
+    case kSecVarOrder: return "var_order";
+    case kSecLevelProbs: return "level_probs";
+    case kSecLevels: return "levels";
+    case kSecEdges: return "edges";
+    case kSecProbUnder: return "prob_under";
+    case kSecReach: return "reach";
+    case kSecBlockDir: return "block_dir";
+    case kSecKeyBlob: return "key_blob";
+    default: return "?";
+  }
+}
+
+/// Element size of each section's array (key blob is a byte stream).
+uint64_t ElemSize(IndexSection s) {
+  switch (s) {
+    case kSecVarOrder: return sizeof(VarId);
+    case kSecLevelProbs: return sizeof(double);
+    case kSecLevels: return sizeof(int32_t);
+    case kSecEdges: return sizeof(FlatEdges);
+    case kSecProbUnder: return sizeof(ScaledDouble);
+    case kSecReach: return sizeof(ScaledDouble);
+    case kSecBlockDir: return sizeof(IndexBlockRecord);
+    case kSecKeyBlob: return 1;
+    default: return 1;
+  }
+}
+
+/// Expected element count of a section given the header (key blob is free-
+/// length; returned as ~0 to skip the count check).
+uint64_t ExpectedCount(IndexSection s, const IndexFileHeader& h) {
+  switch (s) {
+    case kSecVarOrder: return h.num_levels;
+    case kSecLevelProbs: return h.num_levels;
+    case kSecLevels: return h.num_nodes;
+    case kSecEdges: return h.num_nodes;
+    case kSecProbUnder: return h.num_nodes;
+    case kSecReach: return h.num_nodes;
+    case kSecBlockDir: return h.num_blocks;
+    default: return std::numeric_limits<uint64_t>::max();
+  }
+}
+
+uint64_t HeaderChecksum(IndexFileHeader h) {
+  h.header_checksum = 0;
+  return Hash64(&h, sizeof(h));
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("index file corrupt: " + what);
+}
+
+}  // namespace
+
+StatusOr<IndexFileReader> IndexFileReader::Validate(IndexFileReader r) {
+  // Order of checks matters: nothing past the fixed header is dereferenced
+  // until the header itself proves intact, and no payload base is formed
+  // until its bounds check out against the real file size.
+  constexpr size_t kTableBytes = kNumIndexSections * sizeof(SectionEntry);
+  if (r.size_ < sizeof(IndexFileHeader) + kTableBytes) {
+    return Corrupt("file shorter than header");
+  }
+  IndexFileHeader h;
+  std::memcpy(&h, r.data_, sizeof(h));
+  if (h.magic != kIndexMagic) {
+    // A foreign-endian writer scrambles the magic bytes too, so tell the
+    // two apart by checking the byte-swapped tag before giving up.
+    uint32_t tag_swapped;
+    std::memcpy(&tag_swapped, r.data_ + offsetof(IndexFileHeader, endian_tag),
+                sizeof(tag_swapped));
+    if (__builtin_bswap32(tag_swapped) == kIndexEndianTag) {
+      return Status::InvalidArgument(
+          "index file was written on a foreign-endian host; rebuild the "
+          "index on this machine");
+    }
+    return Corrupt("bad magic (not an MV-index file)");
+  }
+  if (h.endian_tag != kIndexEndianTag) {
+    return Status::InvalidArgument(
+        "index file was written on a foreign-endian host; rebuild the index "
+        "on this machine");
+  }
+  if (h.format_version != kIndexFormatVersion) {
+    return Status::InvalidArgument(
+        "index format version " + std::to_string(h.format_version) +
+        " not supported (reader expects " +
+        std::to_string(kIndexFormatVersion) + "); rebuild the index");
+  }
+  if (HeaderChecksum(h) != h.header_checksum) {
+    return Corrupt("header checksum mismatch");
+  }
+  if (h.file_bytes != r.size_) {
+    return Corrupt("file size " + std::to_string(r.size_) +
+                   " does not match header file_bytes " +
+                   std::to_string(h.file_bytes) + " (truncated?)");
+  }
+  if (Hash64(r.data_ + sizeof(IndexFileHeader), kTableBytes) !=
+      h.section_table_checksum) {
+    return Corrupt("section table checksum mismatch");
+  }
+  // Counts must fit the 32-bit id space the in-memory layout uses.
+  if (h.num_nodes > static_cast<uint64_t>(std::numeric_limits<FlatId>::max()) ||
+      h.num_levels >
+          static_cast<uint64_t>(std::numeric_limits<int32_t>::max()) ||
+      h.num_blocks >
+          static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    return Corrupt("counts exceed 32-bit id space");
+  }
+  if (h.root < static_cast<int64_t>(kFlatTrue) ||
+      h.root >= static_cast<int64_t>(h.num_nodes)) {
+    return Corrupt("root out of range");
+  }
+  for (uint32_t s = 0; s < kNumIndexSections; ++s) {
+    const auto sec = static_cast<IndexSection>(s);
+    const SectionEntry& e = r.section(sec);
+    // Overflow-safe bounds: offset and length are each checked against the
+    // file size before their sum is formed.
+    if (e.offset % kIndexSectionAlign != 0 || e.offset > r.size_ ||
+        e.length > r.size_ || e.offset + e.length > r.size_) {
+      return Corrupt(std::string("section ") + SectionName(sec) +
+                     " out of bounds");
+    }
+    const uint64_t elem = ElemSize(sec);
+    if (e.length % elem != 0) {
+      return Corrupt(std::string("section ") + SectionName(sec) +
+                     " length not a multiple of its element size");
+    }
+    const uint64_t expected = ExpectedCount(sec, h);
+    if (expected != std::numeric_limits<uint64_t>::max() &&
+        e.length / elem != expected) {
+      return Corrupt(std::string("section ") + SectionName(sec) +
+                     " length disagrees with header counts");
+    }
+  }
+  // Per-block referential integrity: chain entries and level ranges must
+  // land inside the arrays, and key spans inside the blob. Records are
+  // small (one cache line each), so this runs even in mapped mode.
+  const uint64_t blob_len = r.section(kSecKeyBlob).length;
+  const IndexBlockRecord* blocks = r.block_dir();
+  for (uint64_t b = 0; b < h.num_blocks; ++b) {
+    const IndexBlockRecord& rec = blocks[b];
+    if (rec.chain_root < kFlatTrue ||
+        rec.chain_root >= static_cast<int64_t>(h.num_nodes)) {
+      return Corrupt("block chain_root out of range");
+    }
+    if (rec.first_level < 0 || rec.last_level < rec.first_level ||
+        static_cast<uint64_t>(rec.last_level) >= h.num_levels) {
+      return Corrupt("block level range out of range");
+    }
+    if (rec.key_offset > blob_len || rec.key_len > blob_len ||
+        rec.key_offset + rec.key_len > blob_len) {
+      return Corrupt("block key span outside key blob");
+    }
+  }
+  return r;
+}
+
+StatusOr<IndexFileReader> IndexFileReader::OpenOwned(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  const std::streamoff size = in.tellg();
+  if (size <= 0) {
+    return Status::InvalidArgument("cannot read " + path + ": empty file");
+  }
+  IndexFileReader r;
+  r.owned_.resize(static_cast<size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(r.owned_.data()), size);
+  if (!in) {
+    return Status::InvalidArgument("short read on " + path);
+  }
+  r.data_ = r.owned_.data();
+  r.size_ = r.owned_.size();
+  return Validate(std::move(r));
+}
+
+StatusOr<IndexFileReader> IndexFileReader::OpenMapped(const std::string& path) {
+  MVDB_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  IndexFileReader r;
+  r.mapping_ = std::make_shared<const MmapFile>(std::move(file));
+  r.data_ = r.mapping_->data();
+  r.size_ = r.mapping_->size();
+  return Validate(std::move(r));
+}
+
+Status IndexFileReader::VerifyChecksums() const {
+  for (uint32_t s = 0; s < kNumIndexSections; ++s) {
+    const auto sec = static_cast<IndexSection>(s);
+    const SectionEntry& e = section(sec);
+    if (Hash64(data_ + e.offset, e.length) != e.checksum) {
+      return Corrupt(std::string("section ") + SectionName(sec) +
+                     " checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<VarId>> ReadIndexVarOrder(const std::string& path) {
+  // Mapped open: only the header, section table, block directory and the
+  // order section itself are faulted in.
+  MVDB_ASSIGN_OR_RETURN(IndexFileReader r, IndexFileReader::OpenMapped(path));
+  const VarId* order = r.var_order();
+  return std::vector<VarId>(order, order + r.header().num_levels);
+}
+
+// ---------------------------------------------------------------------------
+// Writer (MvIndex::Save)
+// ---------------------------------------------------------------------------
+
+Status MvIndex::Save(const std::string& path) const {
+  const FlatObdd& flat = *flat_;
+  const uint64_t num_nodes = flat.size();
+  const uint64_t num_levels = flat.num_levels();
+  const uint64_t num_blocks = blocks_.size();
+
+  // Assemble the block directory + key blob in memory (tiny next to the
+  // node arrays: one cache line per block).
+  std::string key_blob;
+  std::vector<IndexBlockRecord> block_dir(blocks_.size());
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    const MvBlock& blk = blocks_[b];
+    IndexBlockRecord& rec = block_dir[b];
+    rec.chain_root = blk.chain_root;
+    rec.first_level = blk.first_level;
+    rec.last_level = blk.last_level;
+    rec.reserved = 0;
+    rec.prob_mantissa_bits = blk.prob.mantissa_bits();
+    rec.prob_exponent = blk.prob.exponent_word();
+    rec.key_offset = key_blob.size();
+    rec.key_len = blk.key.size();
+    key_blob.append(blk.key);
+  }
+
+  const std::vector<VarId>& order = mgr_->order()->vars();
+  MVDB_CHECK_EQ(order.size(), num_levels);
+
+  struct SectionSource {
+    const void* data;
+    uint64_t length;
+  };
+  const SectionSource sources[kNumIndexSections] = {
+      {order.data(), num_levels * sizeof(VarId)},
+      {flat.level_probs_data(), num_levels * sizeof(double)},
+      {flat.levels_data(), num_nodes * sizeof(int32_t)},
+      {flat.edges_data(), num_nodes * sizeof(FlatEdges)},
+      {flat.prob_under_data(), num_nodes * sizeof(ScaledDouble)},
+      {flat.reach_data(), num_nodes * sizeof(ScaledDouble)},
+      {block_dir.data(), num_blocks * sizeof(IndexBlockRecord)},
+      {key_blob.data(), key_blob.size()},
+  };
+
+  SectionEntry table[kNumIndexSections];
+  uint64_t offset =
+      AlignUp(sizeof(IndexFileHeader) + sizeof(table));
+  for (uint32_t s = 0; s < kNumIndexSections; ++s) {
+    table[s].offset = offset;
+    table[s].length = sources[s].length;
+    table[s].checksum = Hash64(sources[s].data, sources[s].length);
+    offset = AlignUp(offset + sources[s].length);
+  }
+  const uint64_t file_bytes = offset;
+
+  IndexFileHeader h;
+  std::memset(&h, 0, sizeof(h));
+  h.magic = kIndexMagic;
+  h.format_version = kIndexFormatVersion;
+  h.endian_tag = kIndexEndianTag;
+  h.num_nodes = num_nodes;
+  h.num_levels = num_levels;
+  h.num_blocks = num_blocks;
+  h.root = flat.root();
+  h.var_order_digest = Hash64(order.data(), num_levels * sizeof(VarId));
+  h.file_bytes = file_bytes;
+  h.section_table_checksum = Hash64(table, sizeof(table));
+  h.header_checksum = HeaderChecksum(h);
+
+  // Write to a sibling temp file and rename into place: a crash mid-write
+  // never leaves a torn file at `path` (rename within one directory is
+  // atomic on POSIX filesystems).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot create " + tmp);
+    }
+    auto write_bytes = [&out](const void* data, uint64_t len) {
+      if (len == 0) return;  // empty sections (e.g. a 0-block chain)
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(len));
+    };
+    auto pad_to = [&](uint64_t target) {
+      static constexpr char kZeros[kIndexSectionAlign] = {};
+      const auto pos = static_cast<uint64_t>(out.tellp());
+      MVDB_CHECK_GE(target, pos);
+      write_bytes(kZeros, target - pos);
+    };
+    write_bytes(&h, sizeof(h));
+    write_bytes(table, sizeof(table));
+    for (uint32_t s = 0; s < kNumIndexSections; ++s) {
+      pad_to(table[s].offset);
+      write_bytes(sources[s].data, sources[s].length);
+    }
+    pad_to(file_bytes);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::InvalidArgument("write failed for " + tmp +
+                                     " (disk full?)");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Loaders (MvIndex::Load / LoadMapped)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Checks the manager's order against the file's digest. Binding by digest
+/// (not by re-reading the order array) keeps the check O(num_levels) bytes
+/// hashed once, and catches "right database, wrong permutation choice".
+Status CheckManagerOrder(const IndexFileReader& r, const BddManager& mgr) {
+  const IndexFileHeader& h = r.header();
+  const std::vector<VarId>& order = mgr.order()->vars();
+  if (order.size() != h.num_levels) {
+    return Status::InvalidArgument(
+        "manager variable order has " + std::to_string(order.size()) +
+        " levels but the index file has " + std::to_string(h.num_levels));
+  }
+  if (Hash64(order.data(), order.size() * sizeof(VarId)) !=
+      h.var_order_digest) {
+    return Status::InvalidArgument(
+        "manager variable order does not match the order the index was "
+        "built under (digest mismatch)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace internal {
+
+/// Loader backdoor (friend of MvIndex): assembles a loaded index field by
+/// field. The shared tail of both loaders — rebuilds the block vector from
+/// the directory and recomputes the FastForward prefix products in the
+/// exact left-to-right multiply order the build used, so skip prefixes
+/// stay bit-identical.
+struct IndexIoAccess {
+  static std::unique_ptr<MvIndex> Assemble(const IndexFileReader& r,
+                                           BddManager* mgr,
+                                           std::unique_ptr<FlatObdd> flat);
+};
+
+std::unique_ptr<MvIndex> IndexIoAccess::Assemble(const IndexFileReader& r,
+                                                 BddManager* mgr,
+                                                 std::unique_ptr<FlatObdd> flat) {
+  const IndexFileHeader& h = r.header();
+  std::unique_ptr<MvIndex> index(new MvIndex());
+  index->mgr_ = mgr;
+  index->flat_ = std::move(flat);
+  index->blocks_.resize(h.num_blocks);
+  const IndexBlockRecord* dir = r.block_dir();
+  const char* blob = r.key_blob();
+  for (uint64_t b = 0; b < h.num_blocks; ++b) {
+    const IndexBlockRecord& rec = dir[b];
+    MvBlock& blk = index->blocks_[b];
+    blk.key.assign(blob + rec.key_offset, rec.key_len);
+    blk.chain_root = rec.chain_root;
+    blk.first_level = rec.first_level;
+    blk.last_level = rec.last_level;
+    blk.prob = ScaledDouble::FromRaw(rec.prob_mantissa_bits, rec.prob_exponent);
+  }
+  index->block_prefix_.resize(index->blocks_.size() + 1);
+  index->block_prefix_[0] = ScaledDouble::One();
+  for (size_t i = 0; i < index->blocks_.size(); ++i) {
+    ScaledDouble p = index->block_prefix_[i];
+    p *= index->blocks_[i].prob;
+    index->block_prefix_[i + 1] = p;
+  }
+  // Stats reflect the loaded image, not the (absent) build.
+  index->build_stats_.blocks = index->blocks_.size();
+  index->build_stats_.flat_nodes = index->flat_->size();
+  index->build_stats_.flat_bytes = index->flat_->MemoryBytes();
+  // var_probs_ stays empty: it is a build-time input snapshot; every online
+  // path reads the per-level table inside the FlatObdd instead.
+  return index;
+}
+
+}  // namespace internal
+
+StatusOr<std::unique_ptr<MvIndex>> MvIndex::Load(
+    const std::string& path, BddManager* mgr, const IndexLoadOptions& options) {
+  MVDB_ASSIGN_OR_RETURN(IndexFileReader r, IndexFileReader::OpenOwned(path));
+  if (options.verify_checksums) {
+    MVDB_RETURN_NOT_OK(r.VerifyChecksums());
+  }
+  MVDB_RETURN_NOT_OK(CheckManagerOrder(r, *mgr));
+  const IndexFileHeader& h = r.header();
+  const size_t n = static_cast<size_t>(h.num_nodes);
+  std::vector<int32_t> levels(r.levels(), r.levels() + n);
+  std::vector<FlatEdges> edges(n);
+  std::memcpy(edges.data(), r.edges_raw(), n * sizeof(FlatEdges));
+  std::vector<ScaledDouble> prob_under(n);
+  std::memcpy(prob_under.data(), r.prob_under_raw(), n * sizeof(ScaledDouble));
+  std::vector<ScaledDouble> reach(n);
+  std::memcpy(reach.data(), r.reach_raw(), n * sizeof(ScaledDouble));
+  std::vector<double> level_probs(r.level_probs(),
+                                  r.level_probs() + h.num_levels);
+  auto flat = FlatObdd::FromOwnedStorage(
+      std::move(levels), std::move(edges), std::move(prob_under),
+      std::move(reach), std::move(level_probs), static_cast<FlatId>(h.root));
+  return internal::IndexIoAccess::Assemble(r, mgr, std::move(flat));
+}
+
+StatusOr<std::unique_ptr<MvIndex>> MvIndex::LoadMapped(
+    const std::string& path, BddManager* mgr, const IndexLoadOptions& options) {
+  MVDB_ASSIGN_OR_RETURN(IndexFileReader r, IndexFileReader::OpenMapped(path));
+  if (options.verify_checksums) {
+    MVDB_RETURN_NOT_OK(r.VerifyChecksums());
+  }
+  MVDB_RETURN_NOT_OK(CheckManagerOrder(r, *mgr));
+  const IndexFileHeader& h = r.header();
+  // The section bases are validated in-bounds and 64-byte aligned, so the
+  // reinterpret casts below are aligned loads of trivially copyable types.
+  auto flat = FlatObdd::FromMappedStorage(
+      r.levels(), static_cast<const FlatEdges*>(r.edges_raw()),
+      static_cast<const ScaledDouble*>(r.prob_under_raw()),
+      static_cast<const ScaledDouble*>(r.reach_raw()), r.level_probs(),
+      static_cast<size_t>(h.num_nodes), static_cast<size_t>(h.num_levels),
+      static_cast<FlatId>(h.root), r.mapping());
+  return internal::IndexIoAccess::Assemble(r, mgr, std::move(flat));
+}
+
+}  // namespace mvdb

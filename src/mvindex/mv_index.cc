@@ -391,6 +391,7 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   // (nodes + unique table sized up front, no mid-import rehash).
   timer.Restart();
   index->not_w_root_ = index->flat_->ImportInto(mgr);
+  index->chain_imported_ = true;
   stats.import_seconds = timer.Seconds();
   stats.blocks = index->blocks_.size();
   stats.flat_nodes = index->flat_->size();
@@ -407,6 +408,16 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
     index->block_prefix_[i + 1] = p;
   }
   return index;
+}
+
+NodeId MvIndex::EnsureChainImported() {
+  if (!chain_imported_) {
+    // Loaded indexes defer this bulk append: only the kObddReuse baseline
+    // needs the chain materialized inside the manager.
+    not_w_root_ = flat_->ImportInto(mgr_);
+    chain_imported_ = true;
+  }
+  return not_w_root_;
 }
 
 void MvIndex::FastForward(int32_t q_first_level, ScaledDouble* prefix,

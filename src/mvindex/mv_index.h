@@ -165,6 +165,20 @@ struct MvIndexBuildStats {
   double total_seconds = 0.0;
 };
 
+/// Loader knobs for MvIndex::Load / MvIndex::LoadMapped.
+struct IndexLoadOptions {
+  /// Verify the per-section checksums before trusting array contents.
+  /// Load's default argument turns this on (the copy touches every byte
+  /// anyway); LoadMapped's default leaves it off, because checksumming
+  /// would fault in every page and forfeit the instant start — run
+  /// `dump_index --verify` (or pass true) for the full integrity pass.
+  bool verify_checksums = true;
+};
+
+namespace internal {
+struct IndexIoAccess;  // defined in index_io.cc
+}  // namespace internal
+
 class MvIndex {
  public:
   /// Compiles W (the union of view constraint queries, Eq. 4) into an
@@ -188,6 +202,33 @@ class MvIndex {
       const Database& db, const Ucq& w, BddManager* mgr,
       const std::vector<double>& var_probs,
       const MvIndexBuildOptions& options = {});
+
+  /// Writes the compiled index to `path` in the versioned on-disk format of
+  /// mvindex/index_io.* (header + checksummed sections; written to a temp
+  /// file and renamed, so a crash never leaves a torn file at `path`).
+  /// Save -> Load round-trips bit-exactly: every probability is stored as
+  /// raw IEEE-754 words, never text.
+  Status Save(const std::string& path) const;
+
+  /// Reads an index written by Save into owned arrays. `mgr` must hold the
+  /// same variable order the index was built under (the file carries the
+  /// order's digest; mismatches are InvalidArgument). All failures —
+  /// missing file, truncation, corruption, version or endianness skew —
+  /// come back as typed Status, never a crash. The manager chain is NOT
+  /// imported: kMvIndex/kMvIndexCC work immediately, and kObddReuse
+  /// triggers the import lazily via EnsureChainImported().
+  static StatusOr<std::unique_ptr<MvIndex>> Load(
+      const std::string& path, BddManager* mgr,
+      const IndexLoadOptions& options = IndexLoadOptions{true});
+
+  /// Like Load, but binds the flat arrays to a read-only mmap of the file
+  /// (FlatObdd's span-backed mode): startup cost is independent of index
+  /// size, pages fault in on demand, and N processes opening the same file
+  /// share one physical copy. Checksums are skipped by default (see
+  /// IndexLoadOptions).
+  static StatusOr<std::unique_ptr<MvIndex>> LoadMapped(
+      const std::string& path, BddManager* mgr,
+      const IndexLoadOptions& options = IndexLoadOptions{false});
 
   /// P0(NOT W) — the denominator of Eq. 5 is 1 - P0(W) = P0(NOT W).
   /// Extended range: at DBLP scale this is a product of thousands of block
@@ -239,8 +280,21 @@ class MvIndex {
   size_t size() const { return flat_->size(); }
 
   /// Manager node of the compiled NOT W chain (e.g. to derive the W OBDD
-  /// once via Not() for index-less evaluation baselines).
+  /// once via Not() for index-less evaluation baselines). Only valid when
+  /// chain_imported(); loaded indexes import lazily via
+  /// EnsureChainImported().
   NodeId not_w_manager_root() const { return not_w_root_; }
+
+  /// Whether the flat chain has been imported into the manager (always true
+  /// after Build; false after Load/LoadMapped until a caller needs the
+  /// manager-side root). Serving's CC sweep never does — that is what makes
+  /// the mmap'd start instant.
+  bool chain_imported() const { return chain_imported_; }
+
+  /// Imports the chain into the manager on first use and returns its root.
+  /// Idempotent, but NOT thread-safe: call before handing the index to
+  /// concurrent readers (the engine does, on the first kObddReuse query).
+  NodeId EnsureChainImported();
 
   /// Toggles the branch-light, software-prefetched CC sweep walk after the
   /// fact (normally inherited from MvIndexBuildOptions::use_fast_intersect).
@@ -251,6 +305,10 @@ class MvIndex {
 
  private:
   MvIndex() = default;
+
+  // Loader backdoor: index_io.cc assembles a loaded MvIndex field by field
+  // (there is no public constructor that accepts pre-built annotations).
+  friend struct internal::IndexIoAccess;
 
   /// Shared fast-forward: skips blocks entirely above the query's first
   /// variable, returning their probability product and the chain entry.
@@ -268,6 +326,7 @@ class MvIndex {
   NodeId not_w_root_ = BddManager::kTrue;
   MvIndexBuildStats build_stats_;
   bool use_fast_intersect_ = true;
+  bool chain_imported_ = false;  ///< see EnsureChainImported()
 
   /// block_prefix_[i] = product of blocks_[0..i).prob, accumulated
   /// left-to-right in the same multiply order the per-call linear scan used,

@@ -8,12 +8,17 @@
 // entries, and the MV-index blocks are variable-disjoint by construction
 // (Section 4), so per-shard managers over the *same* order produce exactly
 // the OBDDs a single shared manager would.
+//
+// The level map is a dense array indexed by VarId (VarIds are allocated
+// 0..N-1 in tuple order by the translation), not a hash map: constructing
+// the order is then two linear passes, which is what lets a serve process
+// that LoadMapped's a persisted index stand up the order in milliseconds
+// instead of re-inserting millions of hash-map entries.
 
 #ifndef MVDB_OBDD_VAR_ORDER_H_
 #define MVDB_OBDD_VAR_ORDER_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "relational/types.h"
@@ -27,10 +32,17 @@ namespace mvdb {
 class VarOrder {
  public:
   explicit VarOrder(std::vector<VarId> order) : order_(std::move(order)) {
-    level_of_.reserve(order_.size());
+    VarId max_var = -1;
+    for (const VarId v : order_) {
+      MVDB_CHECK_GE(v, 0) << "negative variable in order";
+      if (v > max_var) max_var = v;
+    }
+    level_of_.assign(static_cast<size_t>(max_var) + 1, kAbsent);
     for (size_t l = 0; l < order_.size(); ++l) {
-      auto [it, inserted] = level_of_.emplace(order_[l], static_cast<int32_t>(l));
-      MVDB_CHECK(inserted) << "duplicate variable in order: " << order_[l];
+      int32_t& slot = level_of_[static_cast<size_t>(order_[l])];
+      MVDB_CHECK(slot == kAbsent) << "duplicate variable in order: "
+                                  << order_[l];
+      slot = static_cast<int32_t>(l);
     }
   }
 
@@ -40,16 +52,20 @@ class VarOrder {
   }
   /// Level of a variable; CHECK-fails if the variable is not in the order.
   int32_t level_of_var(VarId v) const {
-    auto it = level_of_.find(v);
-    MVDB_CHECK(it != level_of_.end()) << "variable " << v << " not in order";
-    return it->second;
+    MVDB_CHECK(has_var(v)) << "variable " << v << " not in order";
+    return level_of_[static_cast<size_t>(v)];
   }
-  bool has_var(VarId v) const { return level_of_.count(v) > 0; }
+  bool has_var(VarId v) const {
+    return v >= 0 && static_cast<size_t>(v) < level_of_.size() &&
+           level_of_[static_cast<size_t>(v)] != kAbsent;
+  }
   const std::vector<VarId>& vars() const { return order_; }
 
  private:
+  static constexpr int32_t kAbsent = -1;
+
   std::vector<VarId> order_;
-  std::unordered_map<VarId, int32_t> level_of_;
+  std::vector<int32_t> level_of_;  ///< indexed by VarId; kAbsent = not in Pi
 };
 
 }  // namespace mvdb

@@ -1,0 +1,111 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// Hash64: a 64-bit non-cryptographic hash (the XXH64 construction) used for
+// on-disk integrity checksums in the persistent MV-index format
+// (mvindex/index_io.*). The format stores one checksum per section plus a
+// header checksum, so truncation and bit flips are detected with a typed
+// Status instead of a crash or a silently wrong answer.
+//
+// Stability contract: these checksums are persisted, so the function must
+// never change for a given kIndexFormatVersion — changing it IS a format
+// change and requires a version bump.
+
+#ifndef MVDB_UTIL_HASH64_H_
+#define MVDB_UTIL_HASH64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace mvdb {
+namespace hash_internal {
+
+inline constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+inline uint64_t Read64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl(acc, 31);
+  return acc * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  acc ^= Round(0, val);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace hash_internal
+
+/// XXH64 of `len` bytes at `data`. Byte-oriented: the result depends on the
+/// in-memory byte image, which is exactly what the index file stores (the
+/// loader refuses foreign-endian files, so no per-field swapping is needed).
+inline uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0) {
+  using namespace hash_internal;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + len;
+  uint64_t h;
+  if (len >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const uint8_t* const limit = end - 32;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = Rotl(v1, 1) + Rotl(v2, 7) + Rotl(v3, 12) + Rotl(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+  h += static_cast<uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = Rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Read32(p)) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = Rotl(h, 11) * kPrime1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace mvdb
+
+#endif  // MVDB_UTIL_HASH64_H_

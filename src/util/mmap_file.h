@@ -1,0 +1,100 @@
+// Copyright 2026 The MarkoView Authors.
+//
+// MmapFile: RAII read-only memory mapping of a whole file. The persistent
+// MV-index loader (mvindex/index_io.*) maps the index file PROT_READ /
+// MAP_SHARED, so N serving processes opening the same index share one
+// physical copy of the pages through the kernel page cache — the
+// specialized-engines-over-shared-data split the serving layer is built
+// around. The mapping is immutable for its lifetime; FlatObdd's span-backed
+// storage mode points its SoA bases straight into it.
+
+#ifndef MVDB_UTIL_MMAP_FILE_H_
+#define MVDB_UTIL_MMAP_FILE_H_
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mvdb {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Fails with NotFound when the file does not
+  /// exist and InvalidArgument for anything unmappable (empty file,
+  /// directory, permission problems) — loaders surface these as typed
+  /// Status, never aborting.
+  static StatusOr<MmapFile> Open(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      const int err = errno;
+      if (err == ENOENT) {
+        return Status::NotFound("cannot open " + path + ": " +
+                                std::strerror(err));
+      }
+      return Status::InvalidArgument("cannot open " + path + ": " +
+                                     std::strerror(err));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+      ::close(fd);
+      return Status::InvalidArgument("cannot map " + path +
+                                     ": not a non-empty regular file");
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    void* data = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    // The mapping pins the pages; the descriptor is no longer needed.
+    ::close(fd);
+    if (data == MAP_FAILED) {
+      return Status::InvalidArgument("mmap failed for " + path + ": " +
+                                     std::strerror(errno));
+    }
+    return MmapFile(data, size);
+  }
+
+  MmapFile(MmapFile&& o) noexcept : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  MmapFile& operator=(MmapFile&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      std::swap(data_, o.data_);
+      std::swap(size_, o.size_);
+    }
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile() { Reset(); }
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void Reset() {
+    if (data_ != nullptr) {
+      ::munmap(data_, size_);
+      data_ = nullptr;
+      size_ = 0;
+    }
+  }
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace mvdb
+
+#endif  // MVDB_UTIL_MMAP_FILE_H_

@@ -22,7 +22,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <type_traits>
 
 namespace mvdb {
 
@@ -109,6 +111,23 @@ class ScaledDouble {
     return std::to_string(mantissa_) + "*2^" + std::to_string(exponent_);
   }
 
+  /// Raw IEEE-754 mantissa bits + scale word, for bit-exact serialization
+  /// (mvindex/index_io.*). The normalized representation is canonical, so
+  /// FromRaw(mantissa_bits(), exponent_word()) reproduces the value bit for
+  /// bit — no text conversion, no re-normalization, no rounding anywhere.
+  uint64_t mantissa_bits() const {
+    uint64_t bits;
+    std::memcpy(&bits, &mantissa_, sizeof(bits));
+    return bits;
+  }
+  int64_t exponent_word() const { return exponent_; }
+  static ScaledDouble FromRaw(uint64_t mantissa_bits, int64_t exponent) {
+    ScaledDouble r;
+    std::memcpy(&r.mantissa_, &mantissa_bits, sizeof(r.mantissa_));
+    r.exponent_ = exponent;
+    return r;
+  }
+
  private:
   void Normalize() {
     if (mantissa_ == 0.0 || !std::isfinite(mantissa_)) {
@@ -123,6 +142,12 @@ class ScaledDouble {
   double mantissa_ = 0.0;   // 0 or magnitude in [0.5, 1)
   int64_t exponent_ = 0;    // binary exponent
 };
+
+// The persistent index format memcpy's / maps whole ScaledDouble arrays as
+// raw {IEEE-754 mantissa, scale word} pairs; pin the layout those sections
+// depend on (a change here is a format change — bump kIndexFormatVersion).
+static_assert(std::is_trivially_copyable_v<ScaledDouble>);
+static_assert(sizeof(ScaledDouble) == 16);
 
 }  // namespace mvdb
 

@@ -15,6 +15,8 @@
 // mvdb_shell script.mv
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,6 +32,28 @@ namespace {
 
 class Shell {
  public:
+  /// Startup actions from CLI flags, executed before the REPL: generate the
+  /// DBLP instance, then open a persisted index and/or save one.
+  bool Startup(int dblp_authors, const std::string& load_path,
+               const std::string& save_path) {
+    if (dblp_authors > 0) {
+      Load("dblp " + std::to_string(dblp_authors));
+    }
+    if (mvdb_ == nullptr && (!load_path.empty() || !save_path.empty())) {
+      std::printf("--load/--save need a database; pass --dblp=N too\n");
+      return false;
+    }
+    if (!load_path.empty()) {
+      LoadIndex(load_path);
+      if (!engine_->compiled()) return false;  // surface startup failures
+    }
+    if (!save_path.empty()) {
+      SaveCmd(save_path);
+      if (!engine_->compiled()) return false;
+    }
+    return true;
+  }
+
   int Run(std::istream& in, bool interactive) {
     std::string line;
     if (interactive) std::printf("mvdb shell — 'help' for commands\n");
@@ -59,6 +83,7 @@ class Shell {
     if (cmd == "help") return Help();
     if (cmd == "load") return Load(rest);
     if (cmd == "compile") return CompileCmd();
+    if (cmd == "save") return SaveCmd(rest);
     if (cmd == "tables") return Tables();
     if (cmd == "stats") return Stats();
     if (cmd == "backend") return SetBackend(rest);
@@ -72,6 +97,8 @@ class Shell {
     std::printf(
         "  load dblp <n>      generate the synthetic DBLP MVDB (n authors)\n"
         "  compile            translate views and build the MV-index\n"
+        "  save <path>        persist the compiled MV-index (compiles first)\n"
+        "  load index <path>  open a persisted MV-index (mmap'd; instant)\n"
         "  tables             list tables with cardinalities\n"
         "  stats              MV-index statistics\n"
         "  backend <b>        cc | topdown | reuse | brute | safeplan\n"
@@ -84,10 +111,16 @@ class Shell {
   bool Load(const std::string& args) {
     std::istringstream is(args);
     std::string what;
+    is >> what;
+    if (what == "index") {
+      std::string path;
+      is >> path;
+      return LoadIndex(path);
+    }
     int n = 1000;
-    is >> what >> n;
+    is >> n;
     if (what != "dblp") {
-      std::printf("only 'load dblp <n>' is supported\n");
+      std::printf("usage: load dblp <n>  |  load index <path>\n");
       return true;
     }
     dblp::DblpConfig cfg;
@@ -123,6 +156,52 @@ class Shell {
                 t.Seconds(), engine_->index().size(),
                 engine_->index().blocks().size(),
                 engine_->index().ProbNotWScaled().LogMagnitude());
+    return true;
+  }
+
+  bool SaveCmd(const std::string& path) {
+    if (path.empty()) {
+      std::printf("usage: save <path>\n");
+      return true;
+    }
+    if (!Ready(true)) return true;
+    Timer t;
+    const Status st = engine_->SaveIndex(path);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return true;
+    }
+    std::printf("saved MV-index (%zu nodes, %zu blocks) to %s in %.2f s\n",
+                engine_->index().size(), engine_->index().blocks().size(),
+                path.c_str(), t.Seconds());
+    return true;
+  }
+
+  bool LoadIndex(const std::string& path) {
+    if (path.empty()) {
+      std::printf("usage: load index <path>\n");
+      return true;
+    }
+    if (mvdb_ == nullptr) {
+      std::printf("load the database first (the index file holds the "
+                  "compilation, not the data); try 'load dblp 1000'\n");
+      return true;
+    }
+    if (engine_->compiled()) {
+      // OpenIndex stands up a fresh engine; replace the compiled one.
+      engine_ = std::make_unique<QueryEngine>(mvdb_.get());
+    }
+    Timer t;
+    const Status st = engine_->OpenIndex(path);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return true;
+    }
+    engine_->EnablePlanCache(64);
+    std::printf("opened MV-index %s (mmap'd): %zu nodes, %zu blocks in "
+                "%.3f s\n",
+                path.c_str(), engine_->index().size(),
+                engine_->index().blocks().size(), t.Seconds());
     return true;
   }
 
@@ -240,10 +319,33 @@ class Shell {
 
 int main(int argc, char** argv) {
   mvdb::Shell shell;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  // Flags handle index persistence non-interactively:
+  //   mvdb_shell --dblp=1000 --save=dblp.mvidx      # compile once, persist
+  //   mvdb_shell --dblp=1000 --load=dblp.mvidx      # instant mmap'd start
+  std::string script;
+  int dblp_authors = 0;
+  std::string load_path, save_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dblp=", 7) == 0) {
+      dblp_authors = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--load=", 7) == 0) {
+      load_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--save=", 7) == 0) {
+      save_path = argv[i] + 7;
+    } else if (argv[i][0] != '-') {
+      script = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: mvdb_shell [script.mv] [--dblp=N] "
+                   "[--save=PATH] [--load=PATH]\n");
+      return 2;
+    }
+  }
+  if (!shell.Startup(dblp_authors, load_path, save_path)) return 1;
+  if (!script.empty()) {
+    std::ifstream file(script);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", script.c_str());
       return 1;
     }
     return shell.Run(file, /*interactive=*/false);
