@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "mvindex/index_io.h"
+#include "mvindex/partition.h"
 #include "prob/brute_force.h"
 #include "query/analysis.h"
 #include "safeplan/lifted.h"
@@ -42,6 +43,27 @@ Status QueryEngine::Compile(const CompileOptions& options) {
     translate_seconds = timer.Seconds();
   }
   timer.Restart();
+  const Database& db = mvdb_->db();
+  ComputeOrderSpec();
+
+  mgr_ = std::make_unique<BddManager>(BuildVariableOrder(
+      db, order_spec_, options.num_threads, options.use_radix_order));
+  mgr_->set_scratch_synthesis(options.use_presorted_synthesis);
+  // The per-VarId probability snapshot belongs to the order phase: at 1M
+  // authors it walks every tuple variable once.
+  var_probs_ = db.VarProbs();
+  const double order_seconds = timer.Seconds();
+  MVDB_ASSIGN_OR_RETURN(
+      index_, MvIndex::Build(db, mvdb_->W(), mgr_.get(), var_probs_, options));
+  // Phase 2 bookkeeping: Build timed partition/compile/stitch/import; the
+  // engine owns the front-end phases it ran above.
+  index_->mutable_build_stats().translate_seconds = translate_seconds;
+  index_->mutable_build_stats().order_seconds = order_seconds;
+  index_->mutable_build_stats().total_seconds = total_timer.Seconds();
+  return Status::OK();
+}
+
+void QueryEngine::ComputeOrderSpec() {
   const Database& db = mvdb_->db();
   const Ucq& w = mvdb_->W();
   auto is_prob = [&db](const std::string& rel) {
@@ -88,22 +110,6 @@ Status QueryEngine::Compile(const CompileOptions& options) {
       order_spec_.component_rank.emplace(name, static_cast<int>(groups.size()));
     }
   }
-
-  mgr_ = std::make_unique<BddManager>(BuildVariableOrder(
-      db, order_spec_, options.num_threads, options.use_radix_order));
-  mgr_->set_scratch_synthesis(options.use_presorted_synthesis);
-  // The per-VarId probability snapshot belongs to the order phase: at 1M
-  // authors it walks every tuple variable once.
-  var_probs_ = db.VarProbs();
-  const double order_seconds = timer.Seconds();
-  MVDB_ASSIGN_OR_RETURN(
-      index_, MvIndex::Build(db, w, mgr_.get(), var_probs_, options));
-  // Phase 2 bookkeeping: Build timed partition/compile/stitch/import; the
-  // engine owns the front-end phases it ran above.
-  index_->mutable_build_stats().translate_seconds = translate_seconds;
-  index_->mutable_build_stats().order_seconds = order_seconds;
-  index_->mutable_build_stats().total_seconds = total_timer.Seconds();
-  return Status::OK();
 }
 
 Status QueryEngine::SaveIndex(const std::string& path) {
@@ -135,6 +141,11 @@ Status QueryEngine::OpenIndex(const std::string& path,
     MVDB_RETURN_NOT_OK(mvdb_->Translate(topts));
   }
   var_probs_ = mvdb_->db().VarProbs();
+  // The file carries the order itself, but the engine still derives the
+  // order *spec*: structural deltas splice new variables at the positions
+  // the spec dictates. SaveIndex wrote BuildVariableOrder(db, spec), so the
+  // recomputed spec describes the loaded order exactly.
+  ComputeOrderSpec();
 
   // Reconstruct the variable order from the file — but vet it against this
   // database before handing it to VarOrder, whose constructor CHECK-fails
@@ -186,6 +197,86 @@ Status QueryEngine::OpenIndex(const std::string& path,
     }
   }
   index_ = std::move(index);
+  return Status::OK();
+}
+
+Status QueryEngine::ApplyDelta(const std::vector<DeltaOp>& ops,
+                               Server* server) {
+  if (!compiled()) {
+    return Status::FailedPrecondition(
+        "ApplyDelta requires a compiled or opened index");
+  }
+  DeltaEffects effects;
+  const Status applied = mvdb_->ApplyBaseDelta(ops, &effects);
+  // Even when a later op failed, the applied prefix already mutated the
+  // database — maintain the index for it regardless, or the chain would
+  // silently serve answers for a database that no longer exists.
+  if (effects.changed_weight_vars.empty() && effects.new_vars.empty()) {
+    return applied;
+  }
+  if (server != nullptr) server->Pause();
+  const Status maintained = MaintainIndex(effects);
+  if (server != nullptr) {
+    if (effects.structural()) server->InvalidatePlans();
+    server->Resume();
+  }
+  MVDB_RETURN_NOT_OK(applied);
+  return maintained;
+}
+
+Status QueryEngine::MaintainIndex(const DeltaEffects& effects) {
+  const Database& db = mvdb_->db();
+  // Refresh the marginal snapshot incrementally: db.var_prob is the same
+  // WeightToProb the VarProbs walk applies, so the entries stay bit-equal
+  // to a from-scratch snapshot.
+  for (const VarId v : effects.changed_weight_vars) {
+    var_probs_[static_cast<size_t>(v)] = db.var_prob(v);
+  }
+  if (!effects.structural()) {
+    // Weight-only: lineages, plans, and W's structure are untouched —
+    // w_lineage_ and the plan cache stay warm by design.
+    return index_->ApplyWeightDelta(effects.changed_weight_vars, var_probs_);
+  }
+
+  // Structural: new variables exist. They were allocated sequentially, so
+  // the snapshot grows by appending in VarId order.
+  for (const VarId v : effects.new_vars) {
+    MVDB_CHECK_EQ(static_cast<size_t>(v), var_probs_.size());
+    var_probs_.push_back(db.var_prob(v));
+  }
+  const Ucq& w = mvdb_->W();
+  auto is_prob = [&db](const std::string& rel) {
+    const Table* t = db.Find(rel);
+    return t != nullptr && t->probabilistic();
+  };
+  // Dirty blocks: every new tuple, plus existing tuples whose weight moved
+  // in the same batch — recompiling their blocks sidesteps any staleness
+  // in a reused block's interior annotations.
+  std::vector<TupleRef> touched;
+  touched.reserve(effects.new_vars.size() +
+                  effects.changed_weight_vars.size());
+  for (const VarId v : effects.new_vars) touched.push_back(db.var_tuple(v));
+  for (const VarId v : effects.changed_weight_vars) {
+    touched.push_back(db.var_tuple(v));
+  }
+  const std::vector<std::string> dirty = DirtyBlockKeys(db, w, is_prob, touched);
+
+  // Splice the new variables into the order and rebind to a fresh manager.
+  // The old manager must stay alive until the index has migrated — the
+  // delta reads it for the old level layout — hence the swap at the end.
+  auto new_mgr = std::make_unique<BddManager>(
+      InsertVarsIntoOrder(db, order_spec_, mgr_->order()->vars(),
+                          effects.new_vars));
+  new_mgr->set_scratch_synthesis(mgr_->scratch_synthesis());
+  MVDB_RETURN_NOT_OK(
+      index_->ApplyStructuralDelta(db, w, new_mgr.get(), var_probs_, dirty));
+  mgr_ = std::move(new_mgr);
+  // W's lineage gained derivations; cached plans were costed against the
+  // old table statistics. Both rebuild lazily.
+  w_lineage_.reset();
+  if (plan_cache_ != nullptr) {
+    plan_cache_ = std::make_unique<PlanCache>(plan_cache_->stats().capacity);
+  }
   return Status::OK();
 }
 

@@ -101,6 +101,30 @@ class QueryEngine {
   Status OpenIndex(const std::string& path, const OpenIndexOptions& options);
   Status OpenIndex(const std::string& path);
 
+  /// Applies a batch of base-table delta operations end to end: mutates the
+  /// MVDB (Mvdb::ApplyBaseDelta maintains the views and the NV relations),
+  /// then incrementally maintains the compiled index. Weight-only deltas
+  /// (updates, deletes) repair the chain annotations in place
+  /// (MvIndex::ApplyWeightDelta); inserts splice the new variables into the
+  /// order and recompile only the dirty blocks (ApplyStructuralDelta). Both
+  /// paths leave the engine bit-identical to a from-scratch Compile over
+  /// the mutated database (delta_maintenance_test pins it).
+  ///
+  /// When `server` is non-null it must be a live Server over this engine's
+  /// index: it is paused around the index mutation and resumed with a
+  /// refreshed snapshot (order, Eq. 5 denominator, warm table indexes);
+  /// its plan cache is invalidated only when the delta is structural —
+  /// plans are value-independent, so weight moves keep it warm. The
+  /// engine-side caches follow the same rule (w_lineage_ and the query
+  /// plan cache survive weight-only deltas).
+  ///
+  /// On a non-OK return the database may hold an applied prefix of `ops`
+  /// while the index does not reflect it; the typed code says why
+  /// (Unimplemented = a W-shape transition outside the incremental
+  /// contract). Callers must then rebuild via a fresh engine + Compile
+  /// before trusting further answers.
+  Status ApplyDelta(const std::vector<DeltaOp>& ops, Server* server = nullptr);
+
   /// Evaluates a (possibly non-Boolean) UCQ over the MVDB relations,
   /// returning one probability per answer tuple.
   StatusOr<std::vector<AnswerProb>> Query(const Ucq& q,
@@ -172,6 +196,15 @@ class QueryEngine {
   bool w_inversion_free() const { return w_inversion_free_; }
 
  private:
+  /// Chooses order_spec_ (pi + component ranks) and w_inversion_free_ from
+  /// the translated MVDB. Pure analysis of W; shared by Compile and
+  /// OpenIndex (the structural delta path needs the spec to splice new
+  /// variables, and a loaded index predates this engine's spec).
+  void ComputeOrderSpec();
+
+  /// Index maintenance for an applied delta (ApplyDelta's second half).
+  Status MaintainIndex(const DeltaEffects& effects);
+
   StatusOr<ScaledDouble> Numerator(const Lineage& q_lineage,
                                    const Ucq& q_grounded_or_w, Backend backend);
 

@@ -1,6 +1,12 @@
 #include "core/mvdb.h"
 
 #include <cmath>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "query/eval.h"
 #include "util/logging.h"
@@ -163,6 +169,221 @@ Status Mvdb::Translate(const TranslateOptions& options) {
   }
 
   translated_ = true;
+  return Status::OK();
+}
+
+Status Mvdb::ApplyBaseDelta(const std::vector<DeltaOp>& ops,
+                            DeltaEffects* effects) {
+  *effects = DeltaEffects{};
+  if (!translated_) {
+    return Status::InvalidArgument(
+        "ApplyBaseDelta maintains the translated INDB; call Translate() first");
+  }
+  for (const DeltaOp& op : ops) {
+    MVDB_RETURN_NOT_OK(ApplyOneDelta(op, effects));
+  }
+  return Status::OK();
+}
+
+Status Mvdb::ApplyOneDelta(const DeltaOp& op, DeltaEffects* effects) {
+  Table* t = db_.FindMutable(op.table);
+  if (t == nullptr) {
+    return Status::NotFound("no such table: " + op.table);
+  }
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (op.table == NvTableName(i)) {
+      return Status::InvalidArgument(
+          "NV relations are maintained by the translation; mutate the base "
+          "tables instead: " + op.table);
+    }
+  }
+  if (!t->probabilistic()) {
+    return Status::Unimplemented(
+        "delta on deterministic table '" + op.table +
+        "': aggregate counts range over deterministic tables, so such a "
+        "change can reshape every view weight; rebuild instead");
+  }
+  if (op.values.size() != t->arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch for " + op.table + ": got " +
+        std::to_string(op.values.size()) + ", want " +
+        std::to_string(t->arity()));
+  }
+  const double w =
+      op.kind == DeltaOp::Kind::kDelete ? 0.0 : op.weight;
+  if (std::isnan(w) || std::isinf(w) || w < 0.0) {
+    return Status::InvalidArgument("invalid tuple weight for " + op.table);
+  }
+
+  if (op.kind != DeltaOp::Kind::kInsert) {
+    RowId row;
+    if (!t->FindRow(std::span<const Value>(op.values), &row)) {
+      return Status::NotFound("no such tuple in " + op.table);
+    }
+    const VarId v = t->var(row);
+    if (db_.var_weight(v) == w) return Status::OK();  // no-op
+    // Weight moves never touch view output: materialization, lineage and
+    // counts all range over I_poss (Section 2.4), and a tombstoned tuple
+    // stays *possible* — only its marginal drops to zero.
+    db_.set_var_weight(v, w);
+    effects->changed_weight_vars.push_back(v);
+    effects->touched_rows.emplace_back(op.table, row);
+    return Status::OK();
+  }
+
+  // Insert: the tuple must be new (upserts decompose into find + update).
+  {
+    RowId row;
+    if (t->FindRow(std::span<const Value>(op.values), &row)) {
+      return Status::AlreadyExists("tuple already exists in " + op.table +
+                                   "; use a weight update");
+    }
+  }
+  const VarId v =
+      db_.InsertProbabilistic(op.table, std::span<const Value>(op.values), w);
+  effects->new_vars.push_back(v);
+  effects->touched_rows.emplace_back(
+      op.table, static_cast<RowId>(t->size() - 1));
+  for (size_t i = 0; i < views_.size(); ++i) {
+    MVDB_RETURN_NOT_OK(MaintainViewForInsert(
+        i, op.table, std::span<const Value>(op.values), effects));
+  }
+  return Status::OK();
+}
+
+Status Mvdb::MaintainViewForInsert(size_t view_index, const std::string& table,
+                                   std::span<const Value> values,
+                                   DeltaEffects* effects) {
+  const MarkoView& view = views_[view_index];
+  const Ucq& def = view.definition();
+
+  // Stage 1: candidate discovery. Any head whose Q_i(t) derivations gained
+  // the new tuple uses it at some atom of some disjunct, with that atom's
+  // terms unifying against the tuple — so evaluating each such disjunct
+  // with the unification pinned by equality predicates enumerates a
+  // superset of the affected heads.
+  std::set<std::vector<Value>> candidates;
+  for (const ConjunctiveQuery& cq : def.disjuncts) {
+    for (const Atom& a : cq.atoms) {
+      if (a.relation != table) continue;
+      if (a.negated) {
+        return Status::Unimplemented(
+            "view '" + view.name() + "' reads " + table +
+            " under negation; deletions from derivations need a rebuild");
+      }
+      std::map<int, Value> binding;
+      bool match = true;
+      for (size_t k = 0; k < a.args.size() && match; ++k) {
+        const Term& arg = a.args[k];
+        if (!arg.is_var()) {
+          match = arg.constant == values[k];
+        } else {
+          const auto [it, inserted] = binding.emplace(arg.var, values[k]);
+          match = inserted || it->second == values[k];
+        }
+      }
+      if (!match) continue;
+      Ucq restricted;
+      restricted.name = def.name;
+      restricted.head_vars = def.head_vars;
+      restricted.var_names = def.var_names;
+      restricted.disjuncts.push_back(cq);
+      for (const auto& [var, value] : binding) {
+        restricted.disjuncts[0].comparisons.push_back(
+            Comparison{Term::Var(var), CmpOp::kEq, Term::Const(value)});
+      }
+      AnswerMap answers;
+      MVDB_RETURN_NOT_OK(Eval(db_, restricted, EvalOptions{}, &answers));
+      for (const auto& [head, info] : answers) candidates.insert(head);
+    }
+  }
+  if (candidates.empty()) return Status::OK();
+
+  std::vector<ViewTuple>& tuples = view_tuples_[view_index];
+  if (head_index_.size() < views_.size()) head_index_.resize(views_.size());
+  std::map<std::vector<Value>, size_t>& index = head_index_[view_index];
+  if (index.empty() && !tuples.empty()) {
+    for (size_t j = 0; j < tuples.size(); ++j) index.emplace(tuples[j].head, j);
+  }
+
+  const std::string nv_name = NvTableName(view_index);
+  const bool has_nv_table = db_.Find(nv_name) != nullptr;
+
+  // Stage 2: point-wise reconciliation, in the candidates' deterministic
+  // order. Each head is re-grounded over the full definition, yielding its
+  // updated lineage and distinct count, and the stored ViewTuple / NV
+  // weight is brought in line with what Translate() would now produce.
+  for (const std::vector<Value>& head : candidates) {
+    const Ucq grounded = GroundHead(def, head);
+    AnswerMap answers;
+    EvalOptions opts;
+    opts.count_var = view.count_var();
+    MVDB_RETURN_NOT_OK(Eval(db_, grounded, opts, &answers));
+    if (answers.empty()) continue;  // candidate superset: not derivable
+    AnswerInfo& info = answers.begin()->second;
+    const double w = view.Weight(
+        head, static_cast<int64_t>(info.count_values.size()));
+    if (std::isinf(w)) {
+      return Status::InvalidArgument("view '" + view.name() +
+                                     "' produced an infinite weight");
+    }
+    if (w < 0.0 || std::isnan(w)) {
+      return Status::InvalidArgument("view '" + view.name() +
+                                     "' produced an invalid weight");
+    }
+
+    const auto it = index.find(head);
+    if (it == index.end()) {
+      // New view tuple. An empty view has no W disjunct and an all-denial
+      // view has no NV relation — a first tuple (or a weighted tuple in a
+      // denial view) would change W's shape, not just its tables.
+      if (tuples.empty()) {
+        return Status::Unimplemented(
+            "view '" + view.name() +
+            "' transitions empty -> nonempty: W gains a disjunct; rebuild");
+      }
+      if (!has_nv_table && w != 0.0) {
+        return Status::Unimplemented(
+            "all-denial view '" + view.name() +
+            "' gains a weighted tuple: W's simplified form changes; rebuild");
+      }
+      ViewTuple vt{head, w, std::move(info.lineage), kNoVar};
+      if (has_nv_table && w != 1.0) {
+        const double w0 = w == 0.0 ? kCertainWeight : (1.0 - w) / w;
+        vt.nv_var = db_.InsertProbabilistic(
+            nv_name, std::span<const Value>(head), w0);
+        effects->new_vars.push_back(vt.nv_var);
+      }
+      index.emplace(head, tuples.size());
+      tuples.push_back(std::move(vt));
+      continue;
+    }
+
+    // Existing view tuple: the lineage always absorbs the new derivations;
+    // the weight (and its NV image) only when the count moved it.
+    ViewTuple& vt = tuples[it->second];
+    vt.feature = std::move(info.lineage);
+    if (w == vt.weight) continue;
+    if (vt.nv_var != kNoVar) {
+      // w == 1 maps to NV weight 0 (marginal 0): the feature can never
+      // fire, which is observationally the translation's "no NV tuple".
+      const double w0 = w == 0.0 ? kCertainWeight : (1.0 - w) / w;
+      db_.set_var_weight(vt.nv_var, w0);
+      effects->changed_weight_vars.push_back(vt.nv_var);
+    } else if (has_nv_table) {
+      // Old weight was 1 (independence: no NV tuple existed); the head now
+      // needs one.
+      const double w0 = w == 0.0 ? kCertainWeight : (1.0 - w) / w;
+      vt.nv_var = db_.InsertProbabilistic(
+          nv_name, std::span<const Value>(head), w0);
+      effects->new_vars.push_back(vt.nv_var);
+    } else {
+      return Status::Unimplemented(
+          "all-denial view '" + view.name() +
+          "' tuple moves off weight 0: W's simplified form changes; rebuild");
+    }
+    vt.weight = w;
+  }
   return Status::OK();
 }
 

@@ -20,7 +20,10 @@
 #ifndef MVDB_CORE_MVDB_H_
 #define MVDB_CORE_MVDB_H_
 
+#include <map>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/markoview.h"
@@ -59,6 +62,42 @@ struct TranslateOptions {
   bool fused_weights = true;
 };
 
+/// One base-table mutation of the incremental maintenance path
+/// (Mvdb::ApplyBaseDelta). Deltas target probabilistic *base* tables; NV
+/// relations are maintained by the translation and deterministic-table
+/// changes (which move aggregate counts wholesale) take a full rebuild.
+struct DeltaOp {
+  enum class Kind {
+    kInsert,        ///< append a new possible tuple with the given weight
+    kUpdateWeight,  ///< overwrite an existing tuple's weight (odds)
+    kDelete,        ///< tombstone: weight -> 0, the tuple leaves every
+                    ///< possible world but keeps its variable and row (so
+                    ///< counts over I_poss — and hence W's shape — are
+                    ///< untouched; Section 2.4 counts range over I_poss)
+  };
+  Kind kind = Kind::kUpdateWeight;
+  std::string table;
+  std::vector<Value> values;  ///< the full tuple
+  double weight = 1.0;        ///< odds; read by kInsert / kUpdateWeight
+};
+
+/// What ApplyBaseDelta changed, in the vocabulary the engine needs to pick
+/// (and drive) the matching MvIndex repair: a pure weight repair when no
+/// variable was allocated, a structural splice otherwise.
+struct DeltaEffects {
+  /// Existing variables (base and NV) whose weight moved.
+  std::vector<VarId> changed_weight_vars;
+  /// Freshly allocated variables (inserted base tuples + induced NV tuples),
+  /// in allocation order.
+  std::vector<VarId> new_vars;
+  /// Base rows the delta touched (inserted or re-weighted), for mapping to
+  /// dirty partition tasks.
+  std::vector<std::pair<std::string, RowId>> touched_rows;
+  /// A structural delta changes the variable set; a weight-only delta never
+  /// does.
+  bool structural() const { return !new_vars.empty(); }
+};
+
 class Mvdb {
  public:
   Mvdb() = default;
@@ -81,6 +120,21 @@ class Mvdb {
   Status Translate(const TranslateOptions& options);
 
   bool translated() const { return translated_; }
+
+  /// Applies a batch of base-table mutations to the *translated* MVDB,
+  /// incrementally maintaining the materialized views, their weights and the
+  /// NV relations (Definition 5 stays invariant: afterwards the database is
+  /// exactly what Translate() would have produced from the mutated base
+  /// tables — up to variable numbering for freshly allocated variables).
+  /// Weight updates and tombstone deletes never change view output or
+  /// counts (both range over I_poss), so they only move weights; inserts
+  /// re-derive the affected view tuples by restricted evaluation and
+  /// point-wise re-grounding. Transitions that would change W's *shape* —
+  /// a view flipping empty/nonempty or denial/non-denial, a delta through a
+  /// negated atom — return Unimplemented: shape changes take a rebuild.
+  /// On any error the database may hold a partially applied prefix of
+  /// `ops`; `effects` always describes exactly what was applied.
+  Status ApplyBaseDelta(const std::vector<DeltaOp>& ops, DeltaEffects* effects);
 
   /// The Boolean constraint query W (Eq. 4). Valid after Translate().
   const Ucq& W() const { return w_; }
@@ -107,12 +161,28 @@ class Mvdb {
   }
 
  private:
+  /// Applies one mutation (see ApplyBaseDelta).
+  Status ApplyOneDelta(const DeltaOp& op, DeltaEffects* effects);
+
+  /// Insert maintenance for one view: discovers the heads whose derivations
+  /// the new tuple can touch, re-grounds each, and reconciles weight,
+  /// lineage and NV tuple against the stored ViewTuple.
+  Status MaintainViewForInsert(size_t view_index, const std::string& table,
+                               std::span<const Value> values,
+                               DeltaEffects* effects);
+
   Database db_;
   std::vector<MarkoView> views_;
   std::vector<std::vector<ViewTuple>> view_tuples_;
   Ucq w_;
   size_t base_num_vars_ = 0;
   bool translated_ = false;
+
+  /// Lazily built per-view head -> view_tuples_ index, so insert
+  /// maintenance reconciles candidates without scanning the (DBLP-scale,
+  /// ~1M-tuple) view extents. Keys use the map's deterministic ordering;
+  /// maintained incrementally once built.
+  std::vector<std::map<std::vector<Value>, size_t>> head_index_;
 };
 
 }  // namespace mvdb

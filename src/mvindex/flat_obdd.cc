@@ -203,16 +203,14 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
 
 std::unique_ptr<FlatObdd> FlatObdd::FromOwnedStorage(
     std::vector<int32_t> levels, std::vector<FlatEdges> edges,
-    std::vector<ScaledDouble> prob_under, std::vector<ScaledDouble> reach,
-    std::vector<double> level_probs, FlatId root) {
+    std::vector<ScaledDouble> prob_under, std::vector<double> level_probs,
+    FlatId root) {
   MVDB_CHECK_EQ(levels.size(), edges.size());
   MVDB_CHECK_EQ(levels.size(), prob_under.size());
-  MVDB_CHECK_EQ(levels.size(), reach.size());
   std::unique_ptr<FlatObdd> flat(new FlatObdd());
   flat->levels_store_ = std::move(levels);
   flat->edges_store_ = std::move(edges);
   flat->prob_under_store_ = std::move(prob_under);
-  flat->reach_store_ = std::move(reach);
   flat->level_probs_store_ = std::move(level_probs);
   flat->root_ = root;
   flat->BindOwned();
@@ -221,15 +219,14 @@ std::unique_ptr<FlatObdd> FlatObdd::FromOwnedStorage(
 
 std::unique_ptr<FlatObdd> FlatObdd::FromMappedStorage(
     const int32_t* levels, const FlatEdges* edges,
-    const ScaledDouble* prob_under, const ScaledDouble* reach,
-    const double* level_probs, size_t num_nodes, size_t num_levels,
-    FlatId root, std::shared_ptr<const MmapFile> mapping) {
+    const ScaledDouble* prob_under, const double* level_probs,
+    size_t num_nodes, size_t num_levels, FlatId root,
+    std::shared_ptr<const MmapFile> mapping) {
   MVDB_CHECK(mapping != nullptr);
   std::unique_ptr<FlatObdd> flat(new FlatObdd());
   flat->levels_ = levels;
   flat->edges_ = edges;
   flat->prob_under_ = prob_under;
-  flat->reach_ = reach;
   flat->level_probs_ = level_probs;
   flat->num_nodes_ = num_nodes;
   flat->num_levels_ = num_levels;
@@ -242,7 +239,6 @@ void FlatObdd::BindOwned() {
   levels_ = levels_store_.data();
   edges_ = edges_store_.data();
   prob_under_ = prob_under_store_.data();
-  reach_ = reach_store_.data();
   level_probs_ = level_probs_store_.data();
   num_nodes_ = levels_store_.size();
   num_levels_ = level_probs_store_.size();
@@ -251,40 +247,103 @@ void FlatObdd::BindOwned() {
 void FlatObdd::ComputeAnnotations() {
   // probUnder: children always sit at larger indexes (levels strictly grow
   // along edges), so a single reverse pass suffices.
-  const size_t n = levels_store_.size();
-  prob_under_store_.resize(n);
+  prob_under_store_.resize(levels_store_.size());
+  ReplayProbUnder(levels_store_.size());
+  BindOwned();
+}
+
+void FlatObdd::ReplayProbUnder(size_t end) {
+  // The reverse probUnder recurrence over [0, end): the single expression
+  // both the from-scratch build and incremental repair run, so the two are
+  // bit-identical by construction. The array is level-sorted, so the
+  // ScaledDouble forms of (1-p, p) are hoisted per level run rather than
+  // renormalized per node — same values, same downstream operations.
+  const int32_t* const levels = levels_store_.data();
+  const FlatEdges* const edges = edges_store_.data();
+  ScaledDouble* const under = prob_under_store_.data();
   auto under_of = [&](FlatId u) {
     if (u == kFlatFalse) return ScaledDouble::Zero();
     if (u == kFlatTrue) return ScaledDouble::One();
-    return prob_under_store_[static_cast<size_t>(u)];
+    return under[static_cast<size_t>(u)];
   };
-  for (size_t i = n; i-- > 0;) {
-    const double p =
-        level_probs_store_[static_cast<size_t>(levels_store_[i])];
-    prob_under_store_[i] =
-        ScaledDouble(1.0 - p) * under_of(edges_store_[i].lo) +
-        ScaledDouble(p) * under_of(edges_store_[i].hi);
-  }
-
-  // reachability: forward pass from the root.
-  reach_store_.assign(n, ScaledDouble::Zero());
-  if (root_ >= 0) {
-    reach_store_[static_cast<size_t>(root_)] = ScaledDouble::One();
-    for (size_t i = 0; i < n; ++i) {
-      const FlatEdges& e = edges_store_[i];
-      const double p =
-          level_probs_store_[static_cast<size_t>(levels_store_[i])];
-      if (e.lo >= 0) {
-        reach_store_[static_cast<size_t>(e.lo)] +=
-            reach_store_[i] * ScaledDouble(1.0 - p);
-      }
-      if (e.hi >= 0) {
-        reach_store_[static_cast<size_t>(e.hi)] +=
-            reach_store_[i] * ScaledDouble(p);
-      }
+  int32_t run_level = -1;
+  ScaledDouble p_lo, p_hi;
+  for (size_t i = end; i-- > 0;) {
+    if (levels[i] != run_level) {
+      run_level = levels[i];
+      const double p = level_probs_store_[static_cast<size_t>(run_level)];
+      p_lo = ScaledDouble(1.0 - p);
+      p_hi = ScaledDouble(p);
     }
+    under[i] = p_lo * under_of(edges[i].lo) + p_hi * under_of(edges[i].hi);
   }
+}
+
+void FlatObdd::EnsureOwned() {
+  if (mapping_ == nullptr) return;
+  levels_store_.assign(levels_, levels_ + num_nodes_);
+  edges_store_.assign(edges_, edges_ + num_nodes_);
+  prob_under_store_.assign(prob_under_, prob_under_ + num_nodes_);
+  level_probs_store_.assign(level_probs_, level_probs_ + num_levels_);
+  mapping_.reset();
   BindOwned();
+}
+
+void FlatObdd::SetLevelProb(int32_t level, double p) {
+  MVDB_CHECK(mapping_ == nullptr);
+  level_probs_store_[static_cast<size_t>(level)] = p;
+}
+
+void FlatObdd::RepairAnnotations(FlatId changed_end) {
+  MVDB_CHECK(mapping_ == nullptr);
+  const size_t end = static_cast<size_t>(changed_end);
+  MVDB_CHECK_LE(end, levels_store_.size());
+
+  // probUnder: replay the reverse recurrence over [0, end) against the
+  // intact suffix — the same pass ComputeAnnotations runs, stopped early.
+  ReplayProbUnder(end);
+}
+
+ScaledDouble FlatObdd::SliceProbScaled(
+    FlatId begin, FlatId end, FlatId chain_root,
+    std::vector<ScaledDouble>* scratch) const {
+  if (chain_root == kFlatFalse) return ScaledDouble::Zero();
+  if (chain_root == kFlatTrue) return ScaledDouble::One();
+  auto& vals = *scratch;
+  vals.resize(static_cast<size_t>(end - begin));
+  auto value_of = [&](FlatId u) {
+    if (u == kFlatFalse) return ScaledDouble::Zero();
+    if (u == kFlatTrue || u >= end) return ScaledDouble::One();
+    return vals[static_cast<size_t>(u - begin)];
+  };
+  for (size_t i = vals.size(); i-- > 0;) {
+    const size_t k = static_cast<size_t>(begin) + i;
+    const double p = level_probs_[static_cast<size_t>(levels_[k])];
+    vals[i] = ScaledDouble(1.0 - p) * value_of(edges_[k].lo) +
+              ScaledDouble(p) * value_of(edges_[k].hi);
+  }
+  return vals[static_cast<size_t>(chain_root - begin)];
+}
+
+FlatObdd::Block FlatObdd::ExtractBlock(
+    FlatId begin, FlatId end, FlatId chain_root,
+    const std::vector<int32_t>& level_map) const {
+  Block out;
+  const size_t size = static_cast<size_t>(end - begin);
+  out.levels.resize(size);
+  out.edges.resize(size);
+  out.root = chain_root - begin;
+  auto unmap = [&](FlatId u) -> FlatId {
+    if (u == kFlatFalse || u == kFlatTrue) return u;
+    if (u >= end) return kFlatTrue;  // undo the AND-concatenation redirect
+    return u - begin;
+  };
+  for (size_t i = 0; i < size; ++i) {
+    const size_t k = static_cast<size_t>(begin) + i;
+    out.levels[i] = level_map[static_cast<size_t>(levels_[k])];
+    out.edges[i] = FlatEdges{unmap(edges_[k].lo), unmap(edges_[k].hi)};
+  }
+  return out;
 }
 
 size_t FlatObdd::MemoryBytes() const {
@@ -293,7 +352,7 @@ size_t FlatObdd::MemoryBytes() const {
   // trajectory metric. Count-based, so owned and mapped modes report the
   // same figure for the same index.
   return num_nodes_ * (sizeof(int32_t) + sizeof(FlatEdges) +
-                       2 * sizeof(ScaledDouble));
+                       sizeof(ScaledDouble));
 }
 
 size_t FlatObdd::Width() const {

@@ -5,15 +5,20 @@
 // forward), so traversals are sequential array walks instead of pointer
 // chases — the CC-MVIntersect optimization. The layout is
 // structure-of-arrays: an 8-byte {lo, hi} topology record per node, a
-// separate level array, and separate annotation arrays, so the forward
+// separate level array, and a separate annotation array, so the forward
 // sweep streams only the bytes it touches. Each node is augmented with the
-// two quantities of Section 4.1:
+// quantity every probability computation consumes (Section 4.1):
 //
-//   probUnder(u)    — probability of the sub-OBDD rooted at u;
-//   reachability(u) — total probability of all root-to-u paths.
+//   probUnder(u) — probability of the sub-OBDD rooted at u.
 //
-// Both are computed once at build time in two linear passes over the
-// stitched chain and remain valid for probabilities outside [0,1].
+// It is computed once at build time in one linear pass over the stitched
+// chain and remains valid for probabilities outside [0,1]. (The paper's
+// companion annotation, reachability(u) — total probability of all
+// root-to-u paths — used to be stored too, but no serving path reads it;
+// dropping it halves the annotation bytes and, more importantly, halves
+// the work a weight-delta repair must replay: reachability of every node
+// downstream of a changed level changes, so repairing it cost a full
+// forward pass per delta.)
 //
 // Construction comes in two flavours: flattening one manager sub-DAG (the
 // classic path, used by tests and ablations), and stitching per-block
@@ -123,8 +128,8 @@ class FlatObdd {
   /// — the round-trip is bit-exact by construction.
   static std::unique_ptr<FlatObdd> FromOwnedStorage(
       std::vector<int32_t> levels, std::vector<FlatEdges> edges,
-      std::vector<ScaledDouble> prob_under, std::vector<ScaledDouble> reach,
-      std::vector<double> level_probs, FlatId root);
+      std::vector<ScaledDouble> prob_under, std::vector<double> level_probs,
+      FlatId root);
 
   /// Non-owning span-backed storage mode (MvIndex::LoadMapped): the SoA
   /// bases point into `mapping` — read-only PROT_READ pages of the index
@@ -133,14 +138,52 @@ class FlatObdd {
   /// file size.
   static std::unique_ptr<FlatObdd> FromMappedStorage(
       const int32_t* levels, const FlatEdges* edges,
-      const ScaledDouble* prob_under, const ScaledDouble* reach,
-      const double* level_probs, size_t num_nodes, size_t num_levels,
-      FlatId root, std::shared_ptr<const MmapFile> mapping);
+      const ScaledDouble* prob_under, const double* level_probs,
+      size_t num_nodes, size_t num_levels, FlatId root,
+      std::shared_ptr<const MmapFile> mapping);
 
   /// Rebuilds the whole flat chain inside `mgr` bottom-up and returns its
   /// root (kTrue/kFalse for sink roots). Lets the online manager hold the
   /// compiled NOT W without retaining any offline build state.
   NodeId ImportInto(BddManager* mgr) const;
+
+  /// Copies mapped (mmap-backed) storage into owned arrays; no-op when the
+  /// arrays are already owned. Delta application mutates level probs and
+  /// annotations in place, which a PROT_READ mapping cannot back — the
+  /// source file stays untouched until PatchFile/Save.
+  void EnsureOwned();
+
+  /// Overwrites one entry of the per-level probability table (owned storage
+  /// only; see EnsureOwned). The weight-only delta repair's first step.
+  void SetLevelProb(int32_t level, double p);
+
+  /// Replays the probUnder recurrence over the smallest region a change
+  /// confined to flat ids below `changed_end` can affect: [0, changed_end)
+  /// is recomputed against the intact suffix — nodes at or past
+  /// changed_end cannot reach the changed region, edges only point
+  /// forward. Every repaired entry is produced by the identical expression
+  /// in the identical order as ComputeAnnotations' full pass, so the
+  /// repaired array is bit-identical to a from-scratch computation over
+  /// the updated probs.
+  void RepairAnnotations(FlatId changed_end);
+
+  /// Standalone probUnder of the stitched chain slice [begin, end) rooted
+  /// at `chain_root`: the BlockProbScaled recurrence evaluated in place
+  /// over the chain arrays, with edges leaving the slice read as the true
+  /// sink (what they were before stitching redirected them). Bit-identical
+  /// to BlockProbScaled on the slice's standalone flattened piece.
+  ScaledDouble SliceProbScaled(FlatId begin, FlatId end, FlatId chain_root,
+                               std::vector<ScaledDouble>* scratch) const;
+
+  /// Re-extracts the chain slice [begin, end) rooted at `chain_root` as a
+  /// standalone Block: local ids, sink sentinels restored (edges leaving
+  /// the slice become the true sink), levels rewritten through `level_map`
+  /// (old level -> new level; must be monotone). The exact inverse of what
+  /// StitchChain did to the piece, so restitching extracted slices — with
+  /// dirty ones replaced by recompiled pieces — reproduces a from-scratch
+  /// chain bit for bit.
+  Block ExtractBlock(FlatId begin, FlatId end, FlatId chain_root,
+                     const std::vector<int32_t>& level_map) const;
 
   /// Root as a flat id (may be a sink sentinel for constant functions).
   FlatId root() const { return root_; }
@@ -158,7 +201,6 @@ class FlatObdd {
   const int32_t* levels_data() const { return levels_; }
   const FlatEdges* edges_data() const { return edges_; }
   const ScaledDouble* prob_under_data() const { return prob_under_; }
-  const ScaledDouble* reach_data() const { return reach_; }
   /// Per-level marginal probability table base; indexed by level.
   const double* level_probs_data() const { return level_probs_; }
   size_t num_levels() const { return num_levels_; }
@@ -177,14 +219,6 @@ class FlatObdd {
 
   /// probUnder converted to double (diagnostics/tests; may under/overflow).
   double prob_under(FlatId id) const { return prob_under_scaled(id).ToDouble(); }
-
-  /// reachability annotation (root = 1), extended range.
-  ScaledDouble reachability_scaled(FlatId id) const {
-    return reach_[static_cast<size_t>(id)];
-  }
-  double reachability(FlatId id) const {
-    return reach_[static_cast<size_t>(id)].ToDouble();
-  }
 
   /// P(function): probUnder of the root.
   ScaledDouble prob_root_scaled() const { return prob_under_scaled(root_); }
@@ -208,10 +242,15 @@ class FlatObdd {
  private:
   FlatObdd() = default;
 
-  /// The two linear annotation passes (probUnder reverse, reachability
-  /// forward) over the already-populated topology stores; ends by binding
+  /// The linear probUnder pass (reverse, children always at larger
+  /// indexes) over the already-populated topology stores; ends by binding
   /// the read-side bases to the owned vectors.
   void ComputeAnnotations();
+
+  /// The shared reverse recurrence over [0, end) — ComputeAnnotations runs
+  /// it over the whole array, RepairAnnotations over the changed prefix.
+  /// One body guarantees the two are bit-identical.
+  void ReplayProbUnder(size_t end);
 
   /// Points the read-side bases at the owned vectors (build/Load paths).
   void BindOwned();
@@ -221,7 +260,6 @@ class FlatObdd {
   std::vector<int32_t> levels_store_;
   std::vector<FlatEdges> edges_store_;
   std::vector<ScaledDouble> prob_under_store_;
-  std::vector<ScaledDouble> reach_store_;
   std::vector<double> level_probs_store_;
 
   // Read-side SoA bases: every accessor reads through these, whichever
@@ -229,7 +267,6 @@ class FlatObdd {
   const int32_t* levels_ = nullptr;
   const FlatEdges* edges_ = nullptr;
   const ScaledDouble* prob_under_ = nullptr;
-  const ScaledDouble* reach_ = nullptr;
   const double* level_probs_ = nullptr;
   size_t num_nodes_ = 0;
   size_t num_levels_ = 0;

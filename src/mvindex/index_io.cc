@@ -1,5 +1,10 @@
 #include "mvindex/index_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,7 +29,6 @@ const char* SectionName(IndexSection s) {
     case kSecLevels: return "levels";
     case kSecEdges: return "edges";
     case kSecProbUnder: return "prob_under";
-    case kSecReach: return "reach";
     case kSecBlockDir: return "block_dir";
     case kSecKeyBlob: return "key_blob";
     default: return "?";
@@ -39,7 +43,6 @@ uint64_t ElemSize(IndexSection s) {
     case kSecLevels: return sizeof(int32_t);
     case kSecEdges: return sizeof(FlatEdges);
     case kSecProbUnder: return sizeof(ScaledDouble);
-    case kSecReach: return sizeof(ScaledDouble);
     case kSecBlockDir: return sizeof(IndexBlockRecord);
     case kSecKeyBlob: return 1;
     default: return 1;
@@ -55,7 +58,6 @@ uint64_t ExpectedCount(IndexSection s, const IndexFileHeader& h) {
     case kSecLevels: return h.num_nodes;
     case kSecEdges: return h.num_nodes;
     case kSecProbUnder: return h.num_nodes;
-    case kSecReach: return h.num_nodes;
     case kSecBlockDir: return h.num_blocks;
     default: return std::numeric_limits<uint64_t>::max();
   }
@@ -108,6 +110,17 @@ StatusOr<IndexFileReader> IndexFileReader::Validate(IndexFileReader r) {
   }
   if (HeaderChecksum(h) != h.header_checksum) {
     return Corrupt("header checksum mismatch");
+  }
+  if ((h.flags & ~static_cast<uint64_t>(kIndexFlagDirty)) != 0) {
+    return Corrupt("unknown header flags");
+  }
+  if ((h.flags & kIndexFlagDirty) != 0) {
+    // An in-place patch marked the file dirty and never finished: the
+    // payload sections may be torn. Refuse to serve; the index is rebuilt
+    // or re-saved from the MVDB, which stays the source of truth.
+    return Status::FailedPrecondition(
+        "index file has an unfinished in-place patch (dirty flag set); "
+        "re-save the index from the database");
   }
   if (h.file_bytes != r.size_) {
     return Corrupt("file size " + std::to_string(r.size_) +
@@ -266,7 +279,6 @@ Status MvIndex::Save(const std::string& path) const {
       {flat.levels_data(), num_nodes * sizeof(int32_t)},
       {flat.edges_data(), num_nodes * sizeof(FlatEdges)},
       {flat.prob_under_data(), num_nodes * sizeof(ScaledDouble)},
-      {flat.reach_data(), num_nodes * sizeof(ScaledDouble)},
       {block_dir.data(), num_blocks * sizeof(IndexBlockRecord)},
       {key_blob.data(), key_blob.size()},
   };
@@ -298,8 +310,12 @@ Status MvIndex::Save(const std::string& path) const {
 
   // Write to a sibling temp file and rename into place: a crash mid-write
   // never leaves a torn file at `path` (rename within one directory is
-  // atomic on POSIX filesystems).
-  const std::string tmp = path + ".tmp";
+  // atomic on POSIX filesystems). The temp name carries the pid plus a
+  // process-wide counter so concurrent savers of the same path never write
+  // through each other's temp file; every failure path removes it.
+  static std::atomic<uint64_t> save_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(save_seq.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -333,6 +349,165 @@ Status MvIndex::Save(const std::string& path) const {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::InvalidArgument("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// In-place patch (MvIndex::PatchFile)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status PwriteAll(int fd, const void* data, uint64_t len, uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::InvalidArgument("pwrite failed for index patch: " +
+                                     std::string(std::strerror(errno)));
+    }
+    p += n;
+    len -= static_cast<uint64_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PreadAll(int fd, void* data, uint64_t len, uint64_t offset) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::InvalidArgument("pread failed for index patch: " +
+                                     std::string(std::strerror(errno)));
+    }
+    if (n == 0) return Corrupt("file shorter than header");
+    p += n;
+    len -= static_cast<uint64_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MvIndex::PatchFile(const std::string& path,
+                          const IndexPatchOptions& options) const {
+  const FlatObdd& flat = *flat_;
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + " for patching");
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  // The patch only makes sense against a file holding exactly this index's
+  // topology: same node/level/block counts, same root, same variable order.
+  // Anything else is a structural change, which takes the full Save path.
+  IndexFileHeader h;
+  SectionEntry table[kNumIndexSections];
+  MVDB_RETURN_NOT_OK(PreadAll(fd, &h, sizeof(h), 0));
+  MVDB_RETURN_NOT_OK(PreadAll(fd, table, sizeof(table), sizeof(h)));
+  if (h.magic != kIndexMagic || h.endian_tag != kIndexEndianTag ||
+      h.format_version != kIndexFormatVersion) {
+    return Corrupt("not a patchable MV-index file");
+  }
+  if (HeaderChecksum(h) != h.header_checksum) {
+    return Corrupt("header checksum mismatch");
+  }
+  const std::vector<VarId>& order = mgr_->order()->vars();
+  if (h.num_nodes != flat.size() || h.num_levels != flat.num_levels() ||
+      h.num_blocks != blocks_.size() || h.root != flat.root() ||
+      h.var_order_digest != Hash64(order.data(), order.size() * sizeof(VarId))) {
+    return Status::FailedPrecondition(
+        "index file does not match this index's topology; an in-place patch "
+        "only covers weight-level deltas — use Save for structural changes");
+  }
+
+  // Reassemble the weight-carrying payloads. Keys are unchanged, so the
+  // block records keep their original key spans (recomputed in the same
+  // deterministic append order Save uses).
+  std::string key_blob;
+  std::vector<IndexBlockRecord> block_dir(blocks_.size());
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    const MvBlock& blk = blocks_[b];
+    IndexBlockRecord& rec = block_dir[b];
+    rec.chain_root = blk.chain_root;
+    rec.first_level = blk.first_level;
+    rec.last_level = blk.last_level;
+    rec.reserved = 0;
+    rec.prob_mantissa_bits = blk.prob.mantissa_bits();
+    rec.prob_exponent = blk.prob.exponent_word();
+    rec.key_offset = key_blob.size();
+    rec.key_len = blk.key.size();
+    key_blob.append(blk.key);
+  }
+  struct PatchSection {
+    IndexSection sec;
+    const void* data;
+    uint64_t length;
+  };
+  const PatchSection patched[] = {
+      {kSecLevelProbs, flat.level_probs_data(),
+       h.num_levels * sizeof(double)},
+      {kSecProbUnder, flat.prob_under_data(),
+       h.num_nodes * sizeof(ScaledDouble)},
+      {kSecBlockDir, block_dir.data(),
+       blocks_.size() * sizeof(IndexBlockRecord)},
+  };
+  for (const PatchSection& p : patched) {
+    if (table[p.sec].length != p.length) {
+      return Status::FailedPrecondition(
+          std::string("index file section ") + SectionName(p.sec) +
+          " size differs; use Save for structural changes");
+    }
+    table[p.sec].checksum = Hash64(p.data, p.length);
+  }
+  if (table[kSecKeyBlob].length != key_blob.size()) {
+    return Status::FailedPrecondition(
+        "index file key blob differs; use Save for structural changes");
+  }
+
+  // Protocol step 1: mark the file dirty and make the mark durable before
+  // any payload byte changes. A crash from here until step 3 completes
+  // leaves the dirty bit set, which the loaders reject with a typed Status.
+  IndexFileHeader dirty = h;
+  dirty.flags |= kIndexFlagDirty;
+  dirty.header_checksum = HeaderChecksum(dirty);
+  MVDB_RETURN_NOT_OK(PwriteAll(fd, &dirty, sizeof(dirty), 0));
+  if (::fsync(fd) != 0) {
+    return Status::InvalidArgument("fsync failed for " + path);
+  }
+  if (options.crash_after_dirty_mark) {
+    return Status::OK();  // test hook: simulate dying mid-patch
+  }
+
+  // Step 2: rewrite the weight-carrying payload sections and the section
+  // table in place (sizes are unchanged, so no other byte moves).
+  for (const PatchSection& p : patched) {
+    MVDB_RETURN_NOT_OK(PwriteAll(fd, p.data, p.length, table[p.sec].offset));
+  }
+  MVDB_RETURN_NOT_OK(PwriteAll(fd, table, sizeof(table), sizeof(h)));
+  if (::fsync(fd) != 0) {
+    return Status::InvalidArgument("fsync failed for " + path);
+  }
+  if (options.crash_after_payload) {
+    return Status::OK();  // test hook: payloads durable, header still dirty
+  }
+
+  // Step 3: clear the dirty bit over the now-consistent payloads.
+  IndexFileHeader clean = h;
+  clean.flags &= ~static_cast<uint64_t>(kIndexFlagDirty);
+  clean.section_table_checksum = Hash64(table, sizeof(table));
+  clean.header_checksum = HeaderChecksum(clean);
+  MVDB_RETURN_NOT_OK(PwriteAll(fd, &clean, sizeof(clean), 0));
+  if (::fsync(fd) != 0) {
+    return Status::InvalidArgument("fsync failed for " + path);
   }
   return Status::OK();
 }
@@ -429,13 +604,11 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Load(
   std::memcpy(edges.data(), r.edges_raw(), n * sizeof(FlatEdges));
   std::vector<ScaledDouble> prob_under(n);
   std::memcpy(prob_under.data(), r.prob_under_raw(), n * sizeof(ScaledDouble));
-  std::vector<ScaledDouble> reach(n);
-  std::memcpy(reach.data(), r.reach_raw(), n * sizeof(ScaledDouble));
   std::vector<double> level_probs(r.level_probs(),
                                   r.level_probs() + h.num_levels);
   auto flat = FlatObdd::FromOwnedStorage(
       std::move(levels), std::move(edges), std::move(prob_under),
-      std::move(reach), std::move(level_probs), static_cast<FlatId>(h.root));
+      std::move(level_probs), static_cast<FlatId>(h.root));
   return internal::IndexIoAccess::Assemble(r, mgr, std::move(flat));
 }
 
@@ -451,8 +624,7 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::LoadMapped(
   // reinterpret casts below are aligned loads of trivially copyable types.
   auto flat = FlatObdd::FromMappedStorage(
       r.levels(), static_cast<const FlatEdges*>(r.edges_raw()),
-      static_cast<const ScaledDouble*>(r.prob_under_raw()),
-      static_cast<const ScaledDouble*>(r.reach_raw()), r.level_probs(),
+      static_cast<const ScaledDouble*>(r.prob_under_raw()), r.level_probs(),
       static_cast<size_t>(h.num_nodes), static_cast<size_t>(h.num_levels),
       static_cast<FlatId>(h.root), r.mapping());
   return internal::IndexIoAccess::Assemble(r, mgr, std::move(flat));

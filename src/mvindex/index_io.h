@@ -22,7 +22,7 @@
 //   | kLevels      int32[N]        |  FlatObdd SoA: node levels
 //   | kEdges       FlatEdges[N]    |  FlatObdd SoA: {lo,hi} topology
 //   | kProbUnder   ScaledDouble[N] |  probUnder annotations (raw IEEE-754
-//   | kReach       ScaledDouble[N] |  reachability annotations   + scale)
+//   |                              |  mantissa + scale word)
 //   | kBlockDir    BlockRecord[B]  |  per-block chain entry, level range,
 //   |                              |  P(NOT W_b) raw words, key span
 //   | kKeyBlob     char[...]       |  concatenated block key strings
@@ -62,7 +62,12 @@
 namespace mvdb {
 
 /// Bumped on any change to the on-disk layout (see versioning policy above).
-inline constexpr uint32_t kIndexFormatVersion = 1;
+/// v2: the header grew a `flags` word (88 B) carrying the in-place patch
+/// protocol's dirty bit, and the unread reachability annotation section was
+/// dropped (probUnder is the only per-node annotation any serving path
+/// consumes; carrying reachability doubled both the annotation bytes and
+/// the weight-delta repair cost).
+inline constexpr uint32_t kIndexFormatVersion = 2;
 
 /// "MVIDX" + format generation, as a LE u64.
 inline constexpr uint64_t kIndexMagic = 0x31584449564DULL;  // "MVIDX1\0\0"
@@ -81,10 +86,19 @@ enum IndexSection : uint32_t {
   kSecLevels = 2,
   kSecEdges = 3,
   kSecProbUnder = 4,
-  kSecReach = 5,
-  kSecBlockDir = 6,
-  kSecKeyBlob = 7,
-  kNumIndexSections = 8,
+  kSecBlockDir = 5,
+  kSecKeyBlob = 6,
+  kNumIndexSections = 7,
+};
+
+/// Header flag bits (IndexFileHeader::flags). Unknown bits are rejected.
+enum IndexFileFlags : uint64_t {
+  /// Set (and fsync'd) before an in-place patch rewrites payload sections,
+  /// cleared (and fsync'd) only after the new payloads and section table are
+  /// durable. A loader seeing this bit knows the payloads may be torn and
+  /// rejects the file with a typed Status instead of serving garbage; the
+  /// recovery path is a full MvIndex::Save.
+  kIndexFlagDirty = 1ull << 0,
 };
 
 /// Fixed-size file header. All counts are u64 so the format never inherits
@@ -100,10 +114,11 @@ struct IndexFileHeader {
   int64_t root;
   uint64_t var_order_digest;  ///< Hash64 over the raw VarOrder payload
   uint64_t file_bytes;        ///< total file size; rejects truncation
+  uint64_t flags;             ///< IndexFileFlags; in-place patch protocol
   uint64_t section_table_checksum;
   uint64_t header_checksum;   ///< Hash64 of this struct with field zeroed
 };
-static_assert(sizeof(IndexFileHeader) == 80);
+static_assert(sizeof(IndexFileHeader) == 88);
 
 /// One section-table row: where a payload lives and its Hash64.
 struct SectionEntry {
@@ -154,7 +169,6 @@ class IndexFileReader {
   const int32_t* levels() const { return Base<int32_t>(kSecLevels); }
   const void* edges_raw() const { return RawBase(kSecEdges); }
   const void* prob_under_raw() const { return RawBase(kSecProbUnder); }
-  const void* reach_raw() const { return RawBase(kSecReach); }
   const IndexBlockRecord* block_dir() const {
     return Base<IndexBlockRecord>(kSecBlockDir);
   }

@@ -1,9 +1,11 @@
 #include "mvindex/mv_index.h"
 
 #include <algorithm>
+#include <limits>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "mvindex/partition.h"
@@ -134,6 +136,58 @@ Status MergeInto(const std::shared_ptr<const VarOrder>& order,
   m->last_level = std::max(m->last_level, b.last_level);
   m->key += "+" + b.key;
   m->prob = scratch.ProbScaled(conj, var_probs);
+  return Status::OK();
+}
+
+/// Shared tail of Build and ApplyStructuralDelta: sort the present compiled
+/// pieces by level, merge interleaving ranges, stitch the chain, and rebuild
+/// the block directory plus the FastForward prefix products. Outputs are the
+/// caller's index fields; `merged_count` (optional) accumulates the number
+/// of blocks absorbed by range merging. The operation sequence is exactly
+/// the one Build has always run, so an index assembled from extracted +
+/// recompiled pieces is bit-identical to a from-scratch build producing the
+/// same piece set.
+Status AssembleChain(const std::shared_ptr<const VarOrder>& order,
+                     const std::vector<double>& var_probs,
+                     std::vector<double> level_probs,
+                     std::vector<CompiledBlock> raw,
+                     std::unique_ptr<FlatObdd>* flat,
+                     std::vector<MvBlock>* blocks,
+                     std::vector<ScaledDouble>* block_prefix,
+                     size_t* merged_count) {
+  std::sort(raw.begin(), raw.end(),
+            [](const CompiledBlock& a, const CompiledBlock& b) {
+              return a.first_level < b.first_level;
+            });
+  std::vector<CompiledBlock> merged;
+  for (CompiledBlock& b : raw) {
+    if (!merged.empty() && b.first_level <= merged.back().last_level) {
+      MVDB_RETURN_NOT_OK(MergeInto(order, var_probs, &merged.back(), b));
+      if (merged_count != nullptr) ++*merged_count;
+    } else {
+      merged.push_back(std::move(b));
+    }
+  }
+  std::vector<FlatObdd::Block> pieces;
+  pieces.reserve(merged.size());
+  for (CompiledBlock& b : merged) pieces.push_back(std::move(b.flat));
+  std::vector<FlatId> chain_roots;
+  *flat = FlatObdd::StitchChain(pieces, std::move(level_probs), &chain_roots);
+  blocks->clear();
+  for (size_t i = 0; i < merged.size(); ++i) {
+    blocks->push_back(MvBlock{std::move(merged[i].key), chain_roots[i],
+                              merged[i].first_level, merged[i].last_level,
+                              merged[i].prob});
+  }
+  // Prefix products of the per-block P(NOT W_b) factors, accumulated
+  // left-to-right exactly like the old per-call linear scan so the
+  // binary-searched FastForward stays bit-identical.
+  block_prefix->assign(blocks->size() + 1, ScaledDouble::One());
+  for (size_t i = 0; i < blocks->size(); ++i) {
+    ScaledDouble p = (*block_prefix)[i];
+    p *= (*blocks)[i].prob;
+    (*block_prefix)[i + 1] = p;
+  }
   return Status::OK();
 }
 
@@ -335,44 +389,21 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   }
   stats.compile_seconds = timer.Seconds();
 
-  // Sort blocks by level and merge any with interleaving ranges so the
-  // final chain is strictly level-ordered (merging only happens for
-  // non-inversion-free residues).
+  // Stage 3: sort blocks by level, merge any with interleaving ranges
+  // (merging only happens for non-inversion-free residues), stitch the
+  // per-block pieces into the flat chain by direct emission (block i's true
+  // sink redirects to block i+1's root), and run the annotation passes once
+  // over the stitched arrays. The tail is shared with ApplyStructuralDelta.
   timer.Restart();
   std::vector<CompiledBlock> raw;
   raw.reserve(compiled.size());
   for (CompiledBlock& c : compiled) {
     if (c.present) raw.push_back(std::move(c));
   }
-  std::sort(raw.begin(), raw.end(),
-            [](const CompiledBlock& a, const CompiledBlock& b) {
-              return a.first_level < b.first_level;
-            });
-  std::vector<CompiledBlock> merged;
-  for (CompiledBlock& b : raw) {
-    if (!merged.empty() && b.first_level <= merged.back().last_level) {
-      MVDB_RETURN_NOT_OK(MergeInto(mgr->order(), var_probs, &merged.back(), b));
-      ++stats.merged;
-    } else {
-      merged.push_back(std::move(b));
-    }
-  }
-
-  // Stage 3: stitch the per-block pieces into the flat chain by direct
-  // emission (block i's true sink redirects to block i+1's root), run the
-  // annotation passes once over the stitched arrays, and register the chain
-  // in the online manager.
-  std::vector<FlatObdd::Block> pieces;
-  pieces.reserve(merged.size());
-  for (CompiledBlock& b : merged) pieces.push_back(std::move(b.flat));
-  std::vector<FlatId> chain_roots;
-  index->flat_ =
-      FlatObdd::StitchChain(pieces, std::move(level_probs), &chain_roots);
-  for (size_t i = 0; i < merged.size(); ++i) {
-    index->blocks_.push_back(MvBlock{std::move(merged[i].key), chain_roots[i],
-                                     merged[i].first_level, merged[i].last_level,
-                                     merged[i].prob});
-  }
+  MVDB_RETURN_NOT_OK(AssembleChain(mgr->order(), var_probs,
+                                   std::move(level_probs), std::move(raw),
+                                   &index->flat_, &index->blocks_,
+                                   &index->block_prefix_, &stats.merged));
   // Release the large per-task containers here so their teardown (200K
   // keys, blocks and plans at DBLP scale) is attributed to the stitch
   // phase instead of falling between import_seconds and the engine's total
@@ -382,9 +413,6 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   slot_arena = {};
   templates.clear();
   compiled = {};
-  raw = {};
-  merged = {};
-  pieces = {};
   stats.stitch_seconds = timer.Seconds();
 
   // Register the chain in the online manager: one reserve-ahead bulk append
@@ -397,27 +425,271 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   stats.flat_nodes = index->flat_->size();
   stats.flat_bytes = index->flat_->MemoryBytes();
   index->use_fast_intersect_ = options.use_fast_intersect;
-  // Hoisted FastForward state: prefix products of the per-block P(NOT W_b)
-  // factors, accumulated left-to-right exactly like the old per-call linear
-  // scan so the binary-searched fast-forward stays bit-identical.
-  index->block_prefix_.resize(index->blocks_.size() + 1);
-  index->block_prefix_[0] = ScaledDouble::One();
-  for (size_t i = 0; i < index->blocks_.size(); ++i) {
-    ScaledDouble p = index->block_prefix_[i];
-    p *= index->blocks_[i].prob;
-    index->block_prefix_[i + 1] = p;
-  }
   return index;
 }
 
 NodeId MvIndex::EnsureChainImported() {
+  // Loaded indexes defer this bulk append: only the kObddReuse baseline
+  // needs the chain materialized inside the manager. Concurrent first-use
+  // callers serialize here — the unguarded version let two serving workers
+  // race the import, mutating the shared manager from both threads and
+  // potentially publishing not_w_root_ before the import that produced it
+  // finished (tsan_chain_import_test pins the fix).
+  std::lock_guard<std::mutex> lock(chain_import_mu_);
   if (!chain_imported_) {
-    // Loaded indexes defer this bulk append: only the kObddReuse baseline
-    // needs the chain materialized inside the manager.
     not_w_root_ = flat_->ImportInto(mgr_);
     chain_imported_ = true;
   }
   return not_w_root_;
+}
+
+Status MvIndex::ApplyWeightDelta(const std::vector<VarId>& changed_vars,
+                                 const std::vector<double>& var_probs) {
+  // Loaded indexes leave the build-time var_probs_ snapshot empty; only a
+  // populated snapshot can catch a variable-count change here.
+  if (!var_probs_.empty() && var_probs.size() != var_probs_.size()) {
+    return Status::InvalidArgument(
+        "weight delta changed the variable count (" +
+        std::to_string(var_probs_.size()) + " -> " +
+        std::to_string(var_probs.size()) +
+        "); inserts/deletes of possible tuples take ApplyStructuralDelta");
+  }
+  for (const VarId v : changed_vars) {
+    if (v < 0 || static_cast<size_t>(v) >= var_probs.size() ||
+        !mgr_->has_var(v)) {
+      return Status::InvalidArgument("weight delta names unknown variable " +
+                                     std::to_string(v));
+    }
+  }
+  // The repair mutates level probs and annotations in place; a PROT_READ
+  // mapping cannot back that, so mapped storage is copied out first. The
+  // source file stays untouched until PatchFile/Save.
+  flat_->EnsureOwned();
+
+  // Step 1: overwrite the per-level probability table. Every changed level
+  // matters even when no chain node branches on it — the online ProbQ walk
+  // reads prob_at_level for query-side nodes at any level.
+  FlatId changed_end = 0;
+  std::vector<size_t> dirty_blocks;
+  for (const VarId v : changed_vars) {
+    const int32_t l = mgr_->level_of_var(v);
+    flat_->SetLevelProb(l, var_probs[static_cast<size_t>(v)]);
+    const auto [begin, end] = flat_->NodesAtLevel(l);
+    if (begin == end) continue;  // no chain node branches on this level
+    changed_end = std::max(changed_end, end);
+    // The level belongs to exactly one block (blocks occupy disjoint level
+    // ranges): binary-search the block directory for its flat position.
+    size_t lo = 0;
+    size_t hi = blocks_.size();
+    while (lo + 1 < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (blocks_[mid].chain_root <= begin) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < blocks_.size()) dirty_blocks.push_back(lo);
+  }
+  if (var_probs_.empty()) {
+    var_probs_ = var_probs;  // first snapshot over a loaded index
+  } else {
+    // Only the changed entries moved; copying all ~|vars| doubles per
+    // single-tuple delta would dominate the latency budget at 1M scale.
+    for (const VarId v : changed_vars) {
+      var_probs_[static_cast<size_t>(v)] = var_probs[static_cast<size_t>(v)];
+    }
+  }
+  if (changed_end == 0) return Status::OK();  // table-only change
+
+  // Step 2: replay the probUnder recurrence over the affected region —
+  // exact replay, not local scaling, so the array matches a from-scratch
+  // ComputeAnnotations bit for bit (FP multiplication does not re-associate).
+  flat_->RepairAnnotations(changed_end);
+
+  // Step 3: recompute the dirty blocks' standalone probabilities in place
+  // (the identical recurrence FinishBlock ran on the standalone piece) and
+  // rebuild the FastForward prefix products.
+  std::sort(dirty_blocks.begin(), dirty_blocks.end());
+  dirty_blocks.erase(std::unique(dirty_blocks.begin(), dirty_blocks.end()),
+                     dirty_blocks.end());
+  std::vector<ScaledDouble> scratch;
+  for (const size_t i : dirty_blocks) {
+    const FlatId begin = blocks_[i].chain_root;
+    const FlatId end = i + 1 < blocks_.size()
+                           ? blocks_[i + 1].chain_root
+                           : static_cast<FlatId>(flat_->size());
+    blocks_[i].prob = flat_->SliceProbScaled(begin, end,
+                                             blocks_[i].chain_root, &scratch);
+  }
+  if (!dirty_blocks.empty()) {
+    // Prefixes up to the first dirty block are products of unchanged block
+    // probs; restarting the left-to-right product from the still-valid
+    // prefix value replays the exact tail of a full rebuild, so the
+    // repaired FastForward table stays bit-identical to from-scratch.
+    const size_t first_dirty = dirty_blocks.front();
+    ScaledDouble p = block_prefix_[first_dirty];
+    for (size_t i = first_dirty; i < blocks_.size(); ++i) {
+      p *= blocks_[i].prob;
+      block_prefix_[i + 1] = p;
+    }
+  }
+  return Status::OK();
+}
+
+Status MvIndex::ApplyStructuralDelta(const Database& db, const Ucq& w,
+                                     BddManager* new_mgr,
+                                     const std::vector<double>& var_probs,
+                                     const std::vector<std::string>& dirty_keys,
+                                     const MvIndexBuildOptions& options) {
+  for (const MvBlock& b : blocks_) {
+    if (b.key.find('+') != std::string::npos) {
+      return Status::Unimplemented(
+          "structural delta over a merged block (" + b.key +
+          "): non-inversion-free residues need a full rebuild");
+    }
+  }
+  // Old level -> new level. The new order must contain every old variable
+  // with relative order preserved (InsertVarsIntoOrder splices, it never
+  // reorders), so the map is strictly increasing — ExtractBlock requires
+  // monotonicity to keep extracted pieces level-sorted.
+  const size_t old_levels = mgr_->num_levels();
+  std::vector<int32_t> level_map(old_levels);
+  for (size_t l = 0; l < old_levels; ++l) {
+    const VarId v = mgr_->var_at_level(static_cast<int32_t>(l));
+    if (!new_mgr->has_var(v)) {
+      return Status::Unimplemented(
+          "structural delta removed variable " + std::to_string(v) +
+          " from the order: deletes are tombstones (ApplyWeightDelta), not "
+          "order removals");
+    }
+    level_map[l] = new_mgr->level_of_var(v);
+    if (l > 0 && level_map[l] <= level_map[l - 1]) {
+      return Status::InvalidArgument(
+          "new variable order permutes existing variables; the incremental "
+          "path requires a splice (old order must stay a subsequence)");
+    }
+  }
+
+  auto is_prob = [&db](const std::string& rel) {
+    const Table* t = db.Find(rel);
+    return t != nullptr && t->probabilistic();
+  };
+  std::vector<double> level_probs(new_mgr->num_levels());
+  for (size_t l = 0; l < level_probs.size(); ++l) {
+    level_probs[l] = var_probs[static_cast<size_t>(
+        new_mgr->var_at_level(static_cast<int32_t>(l)))];
+  }
+
+  // Re-partition W over the updated database: the task set (and its
+  // deterministic order) is exactly what a from-scratch Build would see,
+  // including tasks for brand-new separator values.
+  PartitionResult partition =
+      PartitionBlocks(db, w, is_prob, options.num_threads);
+
+  std::unordered_set<std::string> dirty(dirty_keys.begin(), dirty_keys.end());
+  std::unordered_map<std::string, size_t> old_block_by_key;
+  old_block_by_key.reserve(blocks_.size());
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    old_block_by_key.emplace(blocks_[i].key, i);
+  }
+
+  // Compile dirty (and previously-absent) tasks through the per-shape plan
+  // templates — planned once per structural signature, executed per binding
+  // — in a scratch manager over the new order; extract every clean block's
+  // flattened piece from the current chain with levels remapped. Both kinds
+  // land in per-task slots so the downstream sort/merge/stitch sees the
+  // canonical task order.
+  BddManager shard(new_mgr->order());
+  shard.set_scratch_synthesis(options.use_presorted_synthesis);
+  BlockCompileScratch scratch;
+  std::unordered_map<std::string, std::unique_ptr<const ConObddTemplate>>
+      templates;  // by signature key
+  std::vector<CompiledBlock> compiled(partition.tasks.size());
+  size_t recompiled = 0;
+  for (size_t i = 0; i < partition.tasks.size(); ++i) {
+    const BlockTask& task = partition.tasks[i];
+    CompiledBlock& out = compiled[i];
+    out.key = task.key;
+    const auto old_it = old_block_by_key.find(task.key);
+    if (!dirty.contains(task.key) && old_it != old_block_by_key.end()) {
+      // Clean block: re-extract its stitched slice as a standalone piece.
+      const size_t b = old_it->second;
+      const FlatId begin = blocks_[b].chain_root;
+      const FlatId end = b + 1 < blocks_.size()
+                             ? blocks_[b + 1].chain_root
+                             : static_cast<FlatId>(flat_->size());
+      out.flat = flat_->ExtractBlock(begin, end, blocks_[b].chain_root,
+                                     level_map);
+      out.present = true;
+      out.first_level = out.flat.levels.front();
+      out.last_level = out.flat.levels.back();
+      // Uniform recompute (not a copy of the stored prob): same recurrence
+      // FinishBlock runs, so clean and recompiled blocks are
+      // indistinguishable from a from-scratch build's output.
+      out.prob = FlatObdd::BlockProbScaled(out.flat, level_probs,
+                                           &scratch.prob_vals);
+      continue;
+    }
+    // Dirty, or absent from the old chain (a new separator value, or a task
+    // whose NOT W_b was true — recompiling the latter reproduces absence).
+    ++recompiled;
+    StatusOr<NodeId> f_or = BddManager::kFalse;
+    if (options.use_plan_templates && task.shape >= 0) {
+      const BlockShape& shape =
+          partition.shapes[static_cast<size_t>(task.shape)];
+      const UcqSignature sig = ComputeGroundedSignature(
+          shape.query, shape.sep_var_of_disjunct, task.binding);
+      auto tmpl_it = templates.find(sig.key);
+      if (tmpl_it == templates.end()) {
+        auto tmpl_or = ConObddTemplate::Plan(
+            db, is_prob, MaterializeTaskQuery(partition, task));
+        if (!tmpl_or.ok()) return tmpl_or.status();
+        tmpl_it = templates.emplace(sig.key, std::move(*tmpl_or)).first;
+      }
+      f_or = tmpl_it->second->Execute(std::span<const Value>(sig.slots),
+                                      &shard, &scratch.con);
+    } else {
+      ConObddBuilder builder(db, &shard);
+      f_or = task.shape < 0
+                 ? builder.Build(task.query)
+                 : builder.Build(MaterializeTaskQuery(partition, task));
+    }
+    if (!f_or.ok()) return f_or.status();
+    FinishBlock(&shard, f_or.value(), level_probs, &scratch, &out);
+    MVDB_RETURN_NOT_OK(out.status);
+  }
+
+  // Assemble exactly as Build does; only on success is the index rebound.
+  std::vector<CompiledBlock> raw;
+  raw.reserve(compiled.size());
+  for (CompiledBlock& c : compiled) {
+    if (c.present) raw.push_back(std::move(c));
+  }
+  std::unique_ptr<FlatObdd> flat;
+  std::vector<MvBlock> blocks;
+  std::vector<ScaledDouble> block_prefix;
+  MVDB_RETURN_NOT_OK(AssembleChain(new_mgr->order(), var_probs,
+                                   std::move(level_probs), std::move(raw),
+                                   &flat, &blocks, &block_prefix, nullptr));
+  flat_ = std::move(flat);
+  blocks_ = std::move(blocks);
+  block_prefix_ = std::move(block_prefix);
+  mgr_ = new_mgr;
+  var_probs_ = var_probs;
+  build_stats_.blocks = blocks_.size();
+  build_stats_.flat_nodes = flat_->size();
+  build_stats_.flat_bytes = flat_->MemoryBytes();
+  build_stats_.block_tasks = partition.tasks.size();
+  build_stats_.template_blocks = recompiled;
+  {
+    // The chain now lives over the new order; the old manager-side import
+    // (if any) is stale. Re-arm the lazy import for the next kObddReuse use.
+    std::lock_guard<std::mutex> lock(chain_import_mu_);
+    chain_imported_ = false;
+    not_w_root_ = BddManager::kTrue;
+  }
+  return Status::OK();
 }
 
 void MvIndex::FastForward(int32_t q_first_level, ScaledDouble* prefix,

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -165,6 +166,16 @@ struct MvIndexBuildStats {
   double total_seconds = 0.0;
 };
 
+/// Knobs for MvIndex::PatchFile, the in-place persistent update of a
+/// weight-only delta. The crash hooks deterministically simulate a process
+/// dying at each protocol step (crash-safety tests): after the durable
+/// dirty mark but before any payload byte, or after the payloads but before
+/// the clean-header rewrite.
+struct IndexPatchOptions {
+  bool crash_after_dirty_mark = false;
+  bool crash_after_payload = false;
+};
+
 /// Loader knobs for MvIndex::Load / MvIndex::LoadMapped.
 struct IndexLoadOptions {
   /// Verify the per-section checksums before trusting array contents.
@@ -230,6 +241,45 @@ class MvIndex {
       const std::string& path, BddManager* mgr,
       const IndexLoadOptions& options = IndexLoadOptions{false});
 
+  /// Applies a weight-only base delta: the marginal probabilities of
+  /// `changed_vars` moved (to `var_probs[v]`, indexed by VarId) but no
+  /// tuple entered or left the possible worlds, so the chain topology is
+  /// untouched. Repairs the per-level probability table, the probUnder
+  /// annotations, the affected blocks' standalone
+  /// probabilities and the skip prefixes by replaying the exact build
+  /// recurrences over the affected flat region — the result is
+  /// bit-identical to a from-scratch Build over the updated database.
+  /// Mapped (mmap-backed) storage is copied into owned arrays on first
+  /// call; the source file is untouched until PatchFile/Save.
+  Status ApplyWeightDelta(const std::vector<VarId>& changed_vars,
+                          const std::vector<double>& var_probs);
+
+  /// Applies a structural base delta (inserted base/NV tuples, new
+  /// separator values). `new_mgr` holds the updated variable order (the old
+  /// order with the new variables spliced in; obdd/order.h,
+  /// InsertVarsIntoOrder) and `dirty_keys` names the partition task keys
+  /// whose grounded block queries changed. Re-partitions W over the updated
+  /// database, recompiles exactly the dirty tasks through the per-shape
+  /// plan templates, reuses every clean block's flattened piece from the
+  /// current chain (levels remapped through the order change), and
+  /// restitches + reannotates — bit-identical to Build(db, w, new_mgr, ...)
+  /// by construction. On success the index is bound to `new_mgr` and the
+  /// manager-side chain import resets (re-imported lazily on demand).
+  Status ApplyStructuralDelta(const Database& db, const Ucq& w,
+                              BddManager* new_mgr,
+                              const std::vector<double>& var_probs,
+                              const std::vector<std::string>& dirty_keys,
+                              const MvIndexBuildOptions& options = {});
+
+  /// Updates a persisted image of this index in place after a weight-only
+  /// delta: rewrites only the weight-carrying sections (level probs,
+  /// annotations, block directory) inside the existing file, guarded by a
+  /// durable dirty mark so a crash mid-patch is detected by the loaders
+  /// (typed Status) instead of serving torn data. The file must hold
+  /// exactly this index's topology; structural changes take Save.
+  Status PatchFile(const std::string& path,
+                   const IndexPatchOptions& options = {}) const;
+
   /// P0(NOT W) — the denominator of Eq. 5 is 1 - P0(W) = P0(NOT W).
   /// Extended range: at DBLP scale this is a product of thousands of block
   /// factors and routinely leaves double range; only the Eq. 5 *ratio* is an
@@ -292,8 +342,11 @@ class MvIndex {
   bool chain_imported() const { return chain_imported_; }
 
   /// Imports the chain into the manager on first use and returns its root.
-  /// Idempotent, but NOT thread-safe: call before handing the index to
-  /// concurrent readers (the engine does, on the first kObddReuse query).
+  /// Idempotent and thread-safe: concurrent first-use callers (e.g. two
+  /// serving workers hitting the reuse backend right after OpenIndex)
+  /// serialize on an internal mutex, so exactly one performs the import.
+  /// Note the import itself mutates the shared manager — callers that go on
+  /// to *build* in the same manager still need their own synchronization.
   NodeId EnsureChainImported();
 
   /// Toggles the branch-light, software-prefetched CC sweep walk after the
@@ -326,7 +379,9 @@ class MvIndex {
   NodeId not_w_root_ = BddManager::kTrue;
   MvIndexBuildStats build_stats_;
   bool use_fast_intersect_ = true;
-  bool chain_imported_ = false;  ///< see EnsureChainImported()
+  bool chain_imported_ = false;   ///< see EnsureChainImported()
+  std::mutex chain_import_mu_;    ///< guards the lazy import (not call_once:
+                                  ///< a structural delta re-arms the import)
 
   /// block_prefix_[i] = product of blocks_[0..i).prob, accumulated
   /// left-to-right in the same multiply order the per-call linear scan used,

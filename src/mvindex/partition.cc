@@ -1,8 +1,10 @@
 #include "mvindex/partition.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/parallel.h"
 
 namespace mvdb {
@@ -108,6 +110,62 @@ Ucq MaterializeTaskQuery(const PartitionResult& partition,
     if (z >= 0) SubstituteInDisjunct(&out, d, z, task.binding);
   }
   return out;
+}
+
+std::vector<std::string> DirtyBlockKeys(const Database& db, const Ucq& w,
+                                        const IsProbFn& is_prob,
+                                        const std::vector<TupleRef>& touched) {
+  (void)db;  // signature kept parallel to PartitionBlocks
+  std::vector<std::string> keys;
+  if (w.disjuncts.empty() || touched.empty()) return keys;
+  // Mirror PartitionBlocks exactly: same group enumeration, same
+  // decomposition test, same key spelling — the keys must match the task
+  // list character for character.
+  const auto groups = IndependentUnionComponents(w, is_prob);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const Ucq sub = SubUcq(w, groups[g]);
+    std::vector<const TupleRef*> in_group;
+    for (const TupleRef& ref : touched) {
+      bool found = false;
+      for (const ConjunctiveQuery& cq : sub.disjuncts) {
+        for (const Atom& a : cq.atoms) {
+          if (a.relation == ref.table->name()) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (found) in_group.push_back(&ref);
+    }
+    if (in_group.empty()) continue;
+    const auto sep = FindSeparator(sub, is_prob);
+    bool decomposed = false;
+    if (sep.has_value()) {
+      bool any_var = false;
+      for (int v : sep->var_of_disjunct) any_var |= (v >= 0);
+      decomposed = any_var;
+    }
+    const std::string prefix = "g" + std::to_string(g);
+    for (const TupleRef* ref : in_group) {
+      if (decomposed) {
+        const auto pos = sep->position.find(ref->table->name());
+        // Every probabilistic relation of a decomposed group carries the
+        // separator (that is what makes it a separator); a miss would mean
+        // the touched relation is deterministic inside this group, which
+        // the delta layer already rejects upstream.
+        MVDB_CHECK(pos != sep->position.end())
+            << "no separator position for " << ref->table->name();
+        keys.push_back(prefix + "/" +
+                       std::to_string(ref->table->At(ref->row, pos->second)));
+      } else {
+        keys.push_back(prefix);
+      }
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
 }
 
 }  // namespace mvdb

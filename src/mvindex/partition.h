@@ -69,6 +69,19 @@ PartitionResult PartitionBlocks(const Database& db, const Ucq& w,
 Ucq MaterializeTaskQuery(const PartitionResult& partition,
                          const BlockTask& task);
 
+/// Maps touched probabilistic tuples to the partition task keys whose
+/// grounded block queries can read them — the dirty set an incremental
+/// index maintenance must recompile. Replays PartitionBlocks' group
+/// numbering and key format: a tuple of relation R in a decomposed group g
+/// dirties exactly "g<g>/<v>" where v is the tuple's value at R's separator
+/// position (Proposition 1: per-value subqueries are tuple-disjoint), and
+/// any touched tuple of an undecomposed group dirties the whole group's
+/// "g<g>" task. Keys are returned sorted and deduplicated; tuples of
+/// relations W never reads produce no keys.
+std::vector<std::string> DirtyBlockKeys(const Database& db, const Ucq& w,
+                                        const IsProbFn& is_prob,
+                                        const std::vector<TupleRef>& touched);
+
 }  // namespace mvdb
 
 #endif  // MVDB_MVINDEX_PARTITION_H_

@@ -357,4 +357,82 @@ std::vector<VarId> BuildDefaultOrder(const Database& db) {
   return BuildVariableOrder(db, OrderSpec{});
 }
 
+namespace {
+
+/// Standalone ordering key of one variable, computed on demand (the splice
+/// path touches O(new_vars * log n) keys, not all of them).
+struct VarKey {
+  int component = 0;
+  std::vector<Value> pvals;  ///< permuted value sequence
+  uint32_t rel_rank = 0;
+  RowId row = 0;
+};
+
+/// The total order BuildVariableOrder realizes: component-major, then the
+/// KeyLess residual (lexicographic permuted values, shorter first on prefix
+/// ties, relation rank, row id).
+bool VarKeyLess(const VarKey& a, const VarKey& b) {
+  if (a.component != b.component) return a.component < b.component;
+  const size_t m = std::min(a.pvals.size(), b.pvals.size());
+  for (size_t k = 0; k < m; ++k) {
+    if (a.pvals[k] != b.pvals[k]) return a.pvals[k] < b.pvals[k];
+  }
+  if (a.pvals.size() != b.pvals.size()) return a.pvals.size() < b.pvals.size();
+  if (a.rel_rank != b.rel_rank) return a.rel_rank < b.rel_rank;
+  return a.row < b.row;
+}
+
+}  // namespace
+
+std::vector<VarId> InsertVarsIntoOrder(const Database& db,
+                                       const OrderSpec& spec,
+                                       const std::vector<VarId>& order,
+                                       const std::vector<VarId>& new_vars) {
+  std::vector<std::string> prob_names;
+  for (const std::string& name : db.table_names()) {
+    if (db.Find(name)->probabilistic()) prob_names.push_back(name);
+  }
+  std::sort(prob_names.begin(), prob_names.end());
+
+  auto key_of = [&](VarId v) {
+    const TupleRef& ref = db.var_tuple(v);
+    MVDB_CHECK(ref.table != nullptr) << "variable " << v << " has no tuple";
+    const Table& t = *ref.table;
+    VarKey key;
+    if (auto it = spec.component_rank.find(t.name());
+        it != spec.component_rank.end()) {
+      key.component = it->second;
+    }
+    if (auto it = spec.pi.find(t.name()); it != spec.pi.end()) {
+      key.pvals.reserve(t.arity());
+      for (size_t p = 0; p < t.arity(); ++p) {
+        key.pvals.push_back(t.At(ref.row, it->second[p]));
+      }
+    } else {
+      key.pvals.reserve(t.arity());
+      for (size_t p = 0; p < t.arity(); ++p) {
+        key.pvals.push_back(t.At(ref.row, p));
+      }
+    }
+    key.rel_rank = static_cast<uint32_t>(
+        std::lower_bound(prob_names.begin(), prob_names.end(), t.name()) -
+        prob_names.begin());
+    key.row = ref.row;
+    return key;
+  };
+
+  std::vector<VarId> result = order;
+  result.reserve(order.size() + new_vars.size());
+  for (const VarId v : new_vars) {
+    const VarKey key = key_of(v);
+    const auto pos = std::lower_bound(
+        result.begin(), result.end(), key,
+        [&](VarId existing, const VarKey& k) {
+          return VarKeyLess(key_of(existing), k);
+        });
+    result.insert(pos, v);
+  }
+  return result;
+}
+
 }  // namespace mvdb

@@ -61,6 +61,22 @@ std::vector<VarId> BuildVariableOrder(const Database& db, const OrderSpec& spec,
 /// Convenience: identity permutations, no grouping.
 std::vector<VarId> BuildDefaultOrder(const Database& db);
 
+/// Splices freshly allocated variables into an existing order at exactly
+/// the positions BuildVariableOrder(db, spec) would give them, leaving the
+/// relative order of all existing variables untouched (the old order is a
+/// subsequence of the result — what MvIndex::ApplyStructuralDelta requires
+/// to remap block levels monotonically). The paper's order is a pure
+/// function of each tuple's (component rank, permuted values, relation
+/// rank, row id) key, so a new tuple's slot is found by binary search with
+/// keys computed on the fly; because new rows carry the largest row id of
+/// their table, the spliced order is bit-identical to a from-scratch
+/// rebuild over the grown database. `new_vars` must be variables of `db`
+/// not present in `order`.
+std::vector<VarId> InsertVarsIntoOrder(const Database& db,
+                                       const OrderSpec& spec,
+                                       const std::vector<VarId>& order,
+                                       const std::vector<VarId>& new_vars);
+
 }  // namespace mvdb
 
 #endif  // MVDB_OBDD_ORDER_H_

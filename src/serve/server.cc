@@ -131,7 +131,8 @@ void Server::WorkerLoop() {
     std::vector<Pending> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock,
+               [this] { return stopping_ || (!paused_ && !queue_.empty()); });
       if (queue_.empty()) return;  // stopping_ && drained
       const size_t take = std::min(options_.max_batch, queue_.size());
       batch.reserve(take);
@@ -139,8 +140,14 @@ void Server::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      ++executing_;
     }
     ExecuteBatch(&batch, &state);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --executing_;
+    }
+    cv_.notify_all();  // wake a Pause() waiting for the drain
   }
 }
 
@@ -254,6 +261,32 @@ void Server::ExecuteBatch(std::vector<Pending>* batch, WorkerState* state,
   }
   for (size_t i = 0; i < n; ++i) {
     (*batch)[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+void Server::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  MVDB_CHECK(!paused_) << "Server::Pause while already paused";
+  paused_ = true;
+  cv_.wait(lock, [this] { return executing_ == 0; });
+}
+
+void Server::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MVDB_CHECK(paused_) << "Server::Resume without a matching Pause";
+    // No batch is executing, so the snapshot swap races with nothing.
+    order_ = index_->manager().order();
+    denom_ = index_->ProbNotWScaled();
+    db_->WarmIndexes();
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Server::InvalidatePlans() {
+  if (plan_cache_ != nullptr) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_capacity);
   }
 }
 

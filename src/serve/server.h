@@ -127,6 +127,26 @@ class Server {
   /// Idempotent.
   void Shutdown();
 
+  /// Quiesces the worker pool for an index/database mutation: blocks until
+  /// every dequeued batch has completed, then keeps workers parked on the
+  /// dequeue condition. Admission stays open — requests queue up and are
+  /// served after Resume(). Callers must not Pause() twice without an
+  /// intervening Resume(), must not Shutdown() while paused, and must not
+  /// call Execute() concurrently (it bypasses the queue and the pause).
+  void Pause();
+
+  /// Re-reads the serving snapshot the constructor took from the index —
+  /// the shared VarOrder and the Eq. 5 denominator P0(NOT W) — re-warms the
+  /// database's lazy table indexes, and unparks the workers. Every request
+  /// dequeued afterwards sees the post-mutation index consistently.
+  void Resume();
+
+  /// Drops every cached plan (no-op when the cache is disabled). Only
+  /// needed for structural mutations: plans are value-independent, so
+  /// weight-only deltas keep the cache warm. Call between Pause() and
+  /// Resume() — workers read the cache pointer without a lock.
+  void InvalidatePlans();
+
   ServerStats stats() const;
   /// Zeroed stats when the cache is disabled.
   PlanCacheStats plan_cache_stats() const;
@@ -175,9 +195,13 @@ class Server {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
-  size_t inflight_ = 0;
+  size_t inflight_ = 0;   ///< admitted, not yet completed (includes queued)
+  size_t executing_ = 0;  ///< batches dequeued, not yet completed — what
+                          ///< Pause() drains; waiting on inflight_ instead
+                          ///< would deadlock against the paused queue
   bool started_ = false;
   bool stopping_ = false;
+  bool paused_ = false;
   ServerStats stats_;
 };
 

@@ -15,6 +15,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kUnimplemented: return "Unimplemented";
   }
   return "Unknown";
 }

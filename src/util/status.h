@@ -27,6 +27,10 @@ enum class StatusCode : uint8_t {
   kInternal,
   kDeadlineExceeded,  ///< Request deadline passed before (or during) execution.
   kUnavailable,       ///< Serving layer shed the request (queue full, shutdown).
+  kFailedPrecondition,  ///< Caller state does not admit the operation (e.g.
+                        ///< patching a file whose topology diverged).
+  kUnimplemented,  ///< Valid request outside the implemented fast path (e.g.
+                   ///< a delta that changes W's disjunct structure).
 };
 
 /// Lightweight status object: OK is cheap (no allocation); errors carry a
@@ -62,6 +66,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,398 @@
+// Differential battery for incremental MV-index maintenance (ISSUE 9).
+//
+// The non-negotiable invariant: QueryEngine::ApplyDelta over a compiled
+// index must leave the engine BIT-IDENTICAL to a from-scratch Compile over
+// the identically mutated MVDB — same variable order, same flat chain
+// annotations, same block directory, same answer bits — at every compile
+// thread count. Weight-only deltas (updates / tombstone deletes) exercise
+// the in-place annotation repair (MvIndex::ApplyWeightDelta); inserts
+// exercise the structural path (order splice + dirty-block recompile +
+// re-stitch, MvIndex::ApplyStructuralDelta). A golden hash pins the
+// post-delta index against silent drift, and a Save -> ApplyDelta ->
+// PatchFile -> OpenIndex(mapped) round trip proves the persisted image
+// follows the in-memory index bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/mvdb.h"
+#include "dblp/dblp.h"
+#include "mvindex/mv_index.h"
+#include "query/eval.h"
+#include "relational/database.h"
+#include "util/scaled_double.h"
+
+namespace mvdb {
+namespace {
+
+void FnvMix(uint64_t v, uint64_t* h) { *h = (*h ^ v) * 1099511628211ULL; }
+
+/// Same digest as pipeline_golden_test / index_io_test: flat topology,
+/// block directory, P0(NOT W).
+uint64_t HashIndex(const MvIndex& index) {
+  uint64_t h = 1469598103934665603ULL;
+  const FlatObdd& flat = index.flat();
+  FnvMix(static_cast<uint64_t>(static_cast<int64_t>(flat.root())), &h);
+  FnvMix(flat.size(), &h);
+  for (FlatId u = 0; u < static_cast<FlatId>(flat.size()); ++u) {
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(flat.level(u))), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(flat.lo(u))), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(flat.hi(u))), &h);
+  }
+  FnvMix(index.blocks().size(), &h);
+  for (const MvBlock& b : index.blocks()) {
+    for (char c : b.key) FnvMix(static_cast<uint64_t>(c), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(b.chain_root)), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(b.first_level)), &h);
+    FnvMix(static_cast<uint64_t>(static_cast<uint32_t>(b.last_level)), &h);
+    const double p = b.prob.ToDouble();
+    uint64_t bits;
+    std::memcpy(&bits, &p, sizeof(bits));
+    FnvMix(bits, &h);
+  }
+  const double not_w = index.ProbNotW();
+  uint64_t bits;
+  std::memcpy(&bits, &not_w, sizeof(bits));
+  FnvMix(bits, &h);
+  return h;
+}
+
+/// Raw-bits digest of every ScaledDouble annotation — the repair pass must
+/// replay the exact build recurrences, so not a single mantissa bit may
+/// drift.
+uint64_t HashScaledBits(const MvIndex& index) {
+  uint64_t h = 1469598103934665603ULL;
+  const FlatObdd& flat = index.flat();
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const ScaledDouble pu = flat.prob_under_data()[i];
+    FnvMix(pu.mantissa_bits(), &h);
+    FnvMix(static_cast<uint64_t>(pu.exponent_word()), &h);
+  }
+  for (const MvBlock& b : index.blocks()) {
+    FnvMix(b.prob.mantissa_bits(), &h);
+    FnvMix(static_cast<uint64_t>(b.prob.exponent_word()), &h);
+  }
+  return h;
+}
+
+uint64_t HashAnswers(const std::vector<std::vector<AnswerProb>>& per_query) {
+  uint64_t h = 1469598103934665603ULL;
+  FnvMix(per_query.size(), &h);
+  for (const auto& answers : per_query) {
+    FnvMix(answers.size(), &h);
+    for (const AnswerProb& a : answers) {
+      for (const Value v : a.head) {
+        FnvMix(static_cast<uint64_t>(static_cast<int64_t>(v)), &h);
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &a.prob, sizeof(bits));
+      FnvMix(bits, &h);
+    }
+  }
+  return h;
+}
+
+std::unique_ptr<Mvdb> BuildDblp(int authors) {
+  dblp::DblpConfig cfg;
+  cfg.num_authors = authors;
+  cfg.include_affiliation = true;
+  auto mvdb = dblp::BuildDblpMvdb(cfg, nullptr);
+  MVDB_CHECK(mvdb.ok());
+  return std::move(mvdb).value();
+}
+
+/// The delta workload, phrased as plain values so the identical op list
+/// applies to independently built MVDB instances (the generator is
+/// deterministic, so both sides hold the same rows and dictionary ids).
+struct DeltaWorkload {
+  std::vector<DeltaOp> weight_ops;      ///< updates + tombstone deletes
+  std::vector<DeltaOp> structural_ops;  ///< base-tuple inserts
+};
+
+DeltaOp Op(DeltaOp::Kind kind, const std::string& table,
+           std::vector<Value> values, double weight = 1.0) {
+  DeltaOp op;
+  op.kind = kind;
+  op.table = table;
+  op.values = std::move(values);
+  op.weight = weight;
+  return op;
+}
+
+/// Deterministic mixed workload over an (untranslated is fine) DBLP MVDB:
+/// strided weight moves and tombstones across all three probabilistic
+/// relations, then inserts that hit both structural flavors — a brand-new
+/// separator value (fresh block) and new tuples under existing separator
+/// values (dirty-block recompiles, including new V2 denial heads through
+/// the view-maintenance path).
+DeltaWorkload BuildWorkload(const Database& db) {
+  DeltaWorkload wl;
+  const Table* student = db.Find("Student");
+  const Table* advisor = db.Find("Advisor");
+  const Table* affiliation = db.Find("Affiliation");
+  MVDB_CHECK(student != nullptr && student->size() >= 8);
+  MVDB_CHECK(advisor != nullptr && advisor->size() >= 8);
+  MVDB_CHECK(affiliation != nullptr && affiliation->size() >= 4);
+
+  auto row_of = [](const Table* t, size_t r) {
+    std::vector<Value> v;
+    for (size_t c = 0; c < t->arity(); ++c) {
+      v.push_back(t->At(static_cast<RowId>(r), c));
+    }
+    return v;
+  };
+
+  // Weight moves: three strided Student rows, two Advisor rows, one
+  // Affiliation row, with distinct new weights.
+  const size_t s_stride = student->size() / 4;
+  for (size_t i = 0; i < 3; ++i) {
+    wl.weight_ops.push_back(Op(DeltaOp::Kind::kUpdateWeight, "Student",
+                               row_of(student, i * s_stride),
+                               0.5 + 0.75 * static_cast<double>(i)));
+  }
+  const size_t a_stride = advisor->size() / 3;
+  for (size_t i = 0; i < 2; ++i) {
+    wl.weight_ops.push_back(Op(DeltaOp::Kind::kUpdateWeight, "Advisor",
+                               row_of(advisor, i * a_stride),
+                               3.25 - static_cast<double>(i)));
+  }
+  wl.weight_ops.push_back(Op(DeltaOp::Kind::kUpdateWeight, "Affiliation",
+                             row_of(affiliation, 1), 1.75));
+  // Tombstones: delete one Student and one Advisor tuple (weight -> 0; the
+  // tuples stay in I_poss, so view weights and W's shape are untouched).
+  wl.weight_ops.push_back(
+      Op(DeltaOp::Kind::kDelete, "Student", row_of(student, s_stride + 1)));
+  wl.weight_ops.push_back(
+      Op(DeltaOp::Kind::kDelete, "Advisor", row_of(advisor, a_stride + 1)));
+
+  // Inserts. A Student under an aid no probabilistic relation has seen
+  // forces a brand-new separator value; a second advisor for an existing
+  // advisee creates new V2 denial heads (weight-0 view tuples, no NV rows)
+  // inside existing blocks.
+  Value fresh_aid = 0;
+  for (size_t r = 0; r < student->size(); ++r) {
+    fresh_aid = std::max(fresh_aid, student->At(static_cast<RowId>(r), 0));
+  }
+  for (size_t r = 0; r < advisor->size(); ++r) {
+    fresh_aid = std::max(fresh_aid, advisor->At(static_cast<RowId>(r), 0));
+    fresh_aid = std::max(fresh_aid, advisor->At(static_cast<RowId>(r), 1));
+  }
+  fresh_aid += 1000;
+  wl.structural_ops.push_back(
+      Op(DeltaOp::Kind::kInsert, "Student", {fresh_aid, 2001}, 0.8));
+
+  const Value advisee = advisor->At(0, 0);
+  const Value old_advisor = advisor->At(0, 1);
+  Value second_advisor = old_advisor;
+  for (size_t r = 0; r < advisor->size() && second_advisor == old_advisor;
+       ++r) {
+    const Value cand = advisor->At(static_cast<RowId>(r), 1);
+    if (cand != old_advisor) second_advisor = cand;
+  }
+  MVDB_CHECK(second_advisor != old_advisor);
+  wl.structural_ops.push_back(Op(DeltaOp::Kind::kInsert, "Advisor",
+                                 {advisee, second_advisor}, 1.4));
+  // And one more weight move in the same structural batch, so the batch
+  // exercises the mixed path (recompile covers the moved weights too).
+  wl.structural_ops.push_back(Op(DeltaOp::Kind::kUpdateWeight, "Student",
+                                 row_of(student, 2 * s_stride + 1), 2.5));
+  return wl;
+}
+
+std::vector<Ucq> BuildQueries(Mvdb* mvdb) {
+  std::vector<Ucq> queries;
+  const Table* advisor = mvdb->db().Find("Advisor");
+  MVDB_CHECK(advisor != nullptr && advisor->size() >= 4);
+  const size_t stride = advisor->size() / 4;
+  for (size_t i = 0; i < 4; ++i) {
+    const Value senior = advisor->At(static_cast<RowId>(i * stride), 1);
+    queries.push_back(dblp::StudentsOfAdvisorQuery(
+        mvdb, dblp::AuthorName(static_cast<int>(senior))));
+  }
+  const Table* aff = mvdb->db().Find("Affiliation");
+  MVDB_CHECK(aff != nullptr && aff->size() >= 2);
+  queries.push_back(dblp::AffiliationOfAuthorQuery(
+      mvdb, dblp::AuthorName(static_cast<int>(aff->At(0, 0)))));
+  return queries;
+}
+
+std::vector<std::vector<AnswerProb>> Answers(QueryEngine* engine,
+                                             const std::vector<Ucq>& queries) {
+  std::vector<std::vector<AnswerProb>> out;
+  for (const Ucq& q : queries) {
+    auto a = engine->Query(q, Backend::kMvIndexCC);
+    MVDB_CHECK(a.ok()) << a.status().ToString();
+    out.push_back(std::move(a).value());
+  }
+  return out;
+}
+
+/// Translate exactly the way QueryEngine::Compile(opts) would, so the
+/// reference rebuild shares every front-end bit with the incremental side.
+void TranslateLikeCompile(Mvdb* mvdb) {
+  TranslateOptions topts;
+  const CompileOptions copts;
+  topts.num_threads = copts.num_threads;
+  topts.fused_weights = copts.use_fused_translate;
+  MVDB_CHECK(mvdb->Translate(topts).ok());
+}
+
+/// From-scratch reference: fresh MVDB, same deltas applied through the same
+/// Mvdb maintenance path, then a cold Compile at `num_threads`.
+struct Reference {
+  std::unique_ptr<Mvdb> mvdb;
+  std::unique_ptr<QueryEngine> engine;
+};
+
+Reference BuildReference(int authors, const std::vector<DeltaOp>& ops,
+                         int num_threads) {
+  Reference ref;
+  ref.mvdb = BuildDblp(authors);
+  TranslateLikeCompile(ref.mvdb.get());
+  DeltaEffects effects;
+  MVDB_CHECK(ref.mvdb->ApplyBaseDelta(ops, &effects).ok());
+  ref.engine = std::make_unique<QueryEngine>(ref.mvdb.get());
+  CompileOptions copts;
+  copts.num_threads = num_threads;
+  MVDB_CHECK(ref.engine->Compile(copts).ok());
+  return ref;
+}
+
+constexpr int kAuthors = 300;
+
+/// Golden post-delta digests: the full workload (weight batch + structural
+/// batch) applied incrementally to the compiled DBLP-300 index. Pins the
+/// maintenance output against silent drift; the differential assertions
+/// below prove it equals a from-scratch rebuild.
+constexpr uint64_t kGoldenIndexHash = 10882740402523109804ULL;
+constexpr uint64_t kGoldenAnswerHash = 15256623141832641046ULL;
+
+TEST(DeltaMaintenanceTest, IncrementalEqualsRebuildBitIdentically) {
+  auto mvdb = BuildDblp(kAuthors);
+  QueryEngine engine(mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  const DeltaWorkload wl = BuildWorkload(mvdb->db());
+
+  // Weight-only batch: in-place annotation repair.
+  ASSERT_TRUE(engine.ApplyDelta(wl.weight_ops).ok());
+  {
+    Reference ref = BuildReference(kAuthors, wl.weight_ops, 1);
+    EXPECT_EQ(HashIndex(engine.index()), HashIndex(ref.engine->index()));
+    EXPECT_EQ(HashScaledBits(engine.index()),
+              HashScaledBits(ref.engine->index()));
+  }
+
+  // Structural batch on top: order splice + dirty-block recompile.
+  ASSERT_TRUE(engine.ApplyDelta(wl.structural_ops).ok());
+
+  std::vector<DeltaOp> all_ops = wl.weight_ops;
+  all_ops.insert(all_ops.end(), wl.structural_ops.begin(),
+                 wl.structural_ops.end());
+  const uint64_t index_hash = HashIndex(engine.index());
+  const uint64_t scaled_hash = HashScaledBits(engine.index());
+  const auto queries = BuildQueries(mvdb.get());
+  const uint64_t answer_hash = HashAnswers(Answers(&engine, queries));
+
+  // The incremental result must match a cold rebuild at EVERY thread count
+  // (builds are thread-count-invariant; the splice must preserve that).
+  for (const int threads : {1, 2, 8, 0}) {
+    Reference ref = BuildReference(kAuthors, all_ops, threads);
+    EXPECT_EQ(engine.manager().order()->vars(),
+              ref.engine->manager().order()->vars())
+        << "spliced variable order diverges at num_threads=" << threads;
+    EXPECT_EQ(index_hash, HashIndex(ref.engine->index()))
+        << "flat chain diverges at num_threads=" << threads;
+    EXPECT_EQ(scaled_hash, HashScaledBits(ref.engine->index()))
+        << "annotations diverge at num_threads=" << threads;
+    EXPECT_EQ(answer_hash, HashAnswers(Answers(ref.engine.get(), queries)))
+        << "answer bits diverge at num_threads=" << threads;
+  }
+
+  EXPECT_EQ(index_hash, kGoldenIndexHash);
+  EXPECT_EQ(answer_hash, kGoldenAnswerHash);
+}
+
+TEST(DeltaMaintenanceTest, WeightDeltaSurvivesPatchFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/delta_patch.mvidx";
+  auto mvdb = BuildDblp(kAuthors);
+  QueryEngine engine(mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  ASSERT_TRUE(engine.SaveIndex(path).ok());
+
+  const DeltaWorkload wl = BuildWorkload(mvdb->db());
+  ASSERT_TRUE(engine.ApplyDelta(wl.weight_ops).ok());
+  ASSERT_TRUE(engine.index().PatchFile(path).ok());
+
+  // A second MVDB with the same deltas opens the patched file mapped: the
+  // marginal binding gate passes only because the patch moved the level
+  // probabilities, and the served image must match the in-memory index bit
+  // for bit.
+  auto mvdb2 = BuildDblp(kAuthors);
+  TranslateLikeCompile(mvdb2.get());
+  DeltaEffects effects;
+  ASSERT_TRUE(mvdb2->ApplyBaseDelta(wl.weight_ops, &effects).ok());
+  QueryEngine loaded(mvdb2.get());
+  ASSERT_TRUE(loaded.OpenIndex(path).ok());
+  EXPECT_EQ(HashIndex(engine.index()), HashIndex(loaded.index()));
+  EXPECT_EQ(HashScaledBits(engine.index()), HashScaledBits(loaded.index()));
+
+  const auto queries = BuildQueries(mvdb.get());
+  EXPECT_EQ(HashAnswers(Answers(&engine, queries)),
+            HashAnswers(Answers(&loaded, queries)));
+
+  // A STALE database (no deltas applied) must be rejected by the marginal
+  // binding gate — the patched file no longer describes it.
+  auto mvdb3 = BuildDblp(kAuthors);
+  QueryEngine stale(mvdb3.get());
+  const Status st = stale.OpenIndex(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaMaintenanceTest, CrashedPatchIsRejectedUntilRepatched) {
+  const std::string path = ::testing::TempDir() + "/delta_crash.mvidx";
+  auto mvdb = BuildDblp(120);
+  QueryEngine engine(mvdb.get());
+  ASSERT_TRUE(engine.Compile().ok());
+  ASSERT_TRUE(engine.SaveIndex(path).ok());
+  const DeltaWorkload wl = BuildWorkload(mvdb->db());
+  ASSERT_TRUE(engine.ApplyDelta(wl.weight_ops).ok());
+
+  BddManager probe(engine.manager().order()->vars());
+
+  // Crash right after the durable dirty mark: payloads are the OLD bits,
+  // but the dirty flag makes both loaders refuse — never torn data.
+  IndexPatchOptions crash1;
+  crash1.crash_after_dirty_mark = true;
+  ASSERT_TRUE(engine.index().PatchFile(path, crash1).ok());
+  EXPECT_EQ(MvIndex::Load(path, &probe).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(MvIndex::LoadMapped(path, &probe).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Crash after the payload rewrite but before the clean header: the
+  // payloads are complete, yet the file still reads as dirty.
+  IndexPatchOptions crash2;
+  crash2.crash_after_payload = true;
+  ASSERT_TRUE(engine.index().PatchFile(path, crash2).ok());
+  EXPECT_EQ(MvIndex::Load(path, &probe).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Re-running the full patch over the crashed file recovers it, and the
+  // recovered image equals the in-memory post-delta index bit for bit.
+  ASSERT_TRUE(engine.index().PatchFile(path).ok());
+  auto recovered = MvIndex::Load(path, &probe);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(HashIndex(engine.index()), HashIndex(**recovered));
+  EXPECT_EQ(HashScaledBits(engine.index()), HashScaledBits(**recovered));
+}
+
+}  // namespace
+}  // namespace mvdb

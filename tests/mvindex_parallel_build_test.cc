@@ -48,8 +48,6 @@ void ExpectIdenticalIndexes(const MvIndex& a, const MvIndex& b) {
     ASSERT_EQ(a.flat().hi(u), b.flat().hi(u)) << "node " << u;
     ASSERT_TRUE(a.flat().prob_under_scaled(u) == b.flat().prob_under_scaled(u))
         << "node " << u;
-    ASSERT_TRUE(a.flat().reachability_scaled(u) == b.flat().reachability_scaled(u))
-        << "node " << u;
   }
   EXPECT_TRUE(a.ProbNotWScaled() == b.ProbNotWScaled())
       << a.ProbNotWScaled().ToString() << " vs " << b.ProbNotWScaled().ToString();

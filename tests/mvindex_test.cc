@@ -1,6 +1,6 @@
-// Unit + property tests for the MV-index: flat layout, probUnder /
-// reachability annotations, block structure, and both intersection
-// algorithms (Section 4.3).
+// Unit + property tests for the MV-index: flat layout, probUnder
+// annotations, block structure, and both intersection algorithms
+// (Section 4.3).
 
 #include <gtest/gtest.h>
 
@@ -68,7 +68,11 @@ TEST(FlatObddTest, ProbUnderMatchesManagerProb) {
   }
 }
 
-TEST(FlatObddTest, ReachabilityRootIsOne) {
+TEST(FlatObddTest, ProbUnderMatchesManagerAtEveryNode) {
+  // Per-node cross-check: probUnder of every flat node equals the manager's
+  // Shannon-expansion probability of the corresponding sub-OBDD, evaluated
+  // by re-importing the node's sub-DAG. Replaces the reachability-based
+  // invariants from when the flat layout stored both annotations.
   Rng rng(5);
   BddManager mgr(Identity(6));
   const Lineage lin = RandomLineage(&rng, 6, 4, 2);
@@ -76,35 +80,23 @@ TEST(FlatObddTest, ReachabilityRootIsOne) {
   const NodeId f = mgr.FromLineageSynthesis(lin);
   FlatObdd flat(mgr, f, probs);
   ASSERT_GE(flat.root(), 0);
-  EXPECT_DOUBLE_EQ(flat.reachability(flat.root()), 1.0);
-}
-
-TEST(FlatObddTest, ReachabilityTimesProbUnderSumsAtCompleteLevel) {
-  // If every root-to-sink path crosses level l (complete level), then
-  // sum_{u at level l} reach(u) * probUnder(u) = P(f).
-  BddManager mgr(Identity(4));
-  Lineage lin;  // (x0 v x1) ^ ... every path hits level 2's chain: build
-  // f = (x0 x2) v (x1 x2) v (x0 x3) v (x1 x3): every path through levels.
-  lin.AddClause({0, 2});
-  lin.AddClause({1, 2});
-  lin.AddClause({0, 3});
-  lin.AddClause({1, 3});
-  const std::vector<double> probs = {0.3, 0.7, 0.2, 0.9};
-  const NodeId f = mgr.FromLineageSynthesis(lin);
-  FlatObdd flat(mgr, f, probs);
-  // Level 1 (variable x1) is complete here: paths either branch at x0 then
-  // x1, or... verify by computing the crossing sum at the level of x1 plus
-  // paths that skipped it; instead use level 2 if complete. We check the
-  // invariant on whichever level has total reachability 1 when weighted.
-  const auto [b2, e2] = flat.NodesAtLevel(2);
-  double sum = 0.0;
-  for (FlatId u = b2; u < e2; ++u) {
-    sum += flat.reachability(u) * flat.prob_under(u);
+  EXPECT_NEAR(flat.prob_root(), mgr.Prob(f, probs), 1e-12);
+  // Sub-OBDDs: walk the flat array; each node's {level, lo, hi} triple is
+  // re-created in the manager (hash-consing dedups), so Prob() on that node
+  // is the reference for prob_under at the same position.
+  std::vector<NodeId> ids(flat.size());
+  for (FlatId u = static_cast<FlatId>(flat.size()); u-- > 0;) {
+    auto node_of = [&](FlatId v) {
+      if (v == kFlatFalse) return BddManager::kFalse;
+      if (v == kFlatTrue) return BddManager::kTrue;
+      return ids[static_cast<size_t>(v)];
+    };
+    ids[static_cast<size_t>(u)] =
+        mgr.Mk(flat.level(u), node_of(flat.lo(u)), node_of(flat.hi(u)));
+    EXPECT_NEAR(flat.prob_under(u),
+                mgr.Prob(ids[static_cast<size_t>(u)], probs), 1e-12)
+        << "node " << u;
   }
-  // Paths can exit to a sink before level 2 (e.g. x0=0,x1=0 -> false).
-  // Those exits contribute 0 to P(f) because hitting false ends at 0 and no
-  // path reaches true before level 2 in this formula. Hence equality holds.
-  EXPECT_NEAR(sum, flat.prob_root(), 1e-12);
 }
 
 TEST(FlatObddTest, Width) {

@@ -36,8 +36,8 @@
 namespace {
 
 const char* kSectionNames[mvdb::kNumIndexSections] = {
-    "var_order", "level_probs", "levels",   "edges",
-    "prob_under", "reach",       "block_dir", "key_blob",
+    "var_order", "level_probs", "levels",    "edges",
+    "prob_under", "block_dir",  "key_blob",
 };
 
 /// The shared tail of both modes: block directory + flat node dump.

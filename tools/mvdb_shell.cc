@@ -21,6 +21,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "dblp/dblp.h"
@@ -89,6 +90,8 @@ class Shell {
     if (cmd == "backend") return SetBackend(rest);
     if (cmd == "query") return QueryCmd(rest, 0);
     if (cmd == "topk") return TopK(rest);
+    if (cmd == "upsert") return DeltaCmd(rest, /*is_delete=*/false);
+    if (cmd == "delete") return DeltaCmd(rest, /*is_delete=*/true);
     std::printf("unknown command '%s'; try 'help'\n", cmd.c_str());
     return true;
   }
@@ -104,6 +107,9 @@ class Shell {
         "  backend <b>        cc | topdown | reuse | brute | safeplan\n"
         "  query <rule.>      evaluate a UCQ, e.g. query Q(x) :- R(x), S(x,y).\n"
         "  topk <k> <rule.>   top-k most probable answers\n"
+        "  upsert <tbl> <v...> [w]  insert or reweight a base tuple (delta\n"
+        "                     maintenance; values are ints or strings)\n"
+        "  delete <tbl> <v...>      tombstone a base tuple (weight -> 0)\n"
         "  quit               leave\n");
     return true;
   }
@@ -187,16 +193,20 @@ class Shell {
                   "compilation, not the data); try 'load dblp 1000'\n");
       return true;
     }
-    if (engine_->compiled()) {
-      // OpenIndex stands up a fresh engine; replace the compiled one.
-      engine_ = std::make_unique<QueryEngine>(mvdb_.get());
-    }
+    // Stand the replacement up on the side and swap only after OpenIndex
+    // succeeds: a bad file (stale, corrupt, foreign) reports its typed
+    // Status and the current engine keeps serving untouched.
+    auto candidate = std::make_unique<QueryEngine>(mvdb_.get());
     Timer t;
-    const Status st = engine_->OpenIndex(path);
+    const Status st = candidate->OpenIndex(path);
     if (!st.ok()) {
       std::printf("error: %s\n", st.ToString().c_str());
+      if (engine_->compiled()) {
+        std::printf("keeping the currently loaded index\n");
+      }
       return true;
     }
+    engine_ = std::move(candidate);
     engine_->EnablePlanCache(64);
     std::printf("opened MV-index %s (mmap'd): %zu nodes, %zu blocks in "
                 "%.3f s\n",
@@ -282,6 +292,73 @@ class Shell {
                                                       : "no cache";
     std::printf("%zu answer(s) in %.3f ms (%s; cache hit rate %.0f%%)\n",
                 answers->size(), ms, plan, 100.0 * after.HitRate());
+    return true;
+  }
+
+  /// Integer tokens pass through; anything else (optionally double-quoted)
+  /// interns as a dictionary string — the same namespace query constants
+  /// live in.
+  Value ParseValue(const std::string& tok) {
+    char* end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end != tok.c_str() && *end == '\0') return static_cast<Value>(v);
+    std::string s = tok;
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+      s = s.substr(1, s.size() - 2);
+    }
+    return mvdb_->db().Str(s);
+  }
+
+  bool DeltaCmd(const std::string& args, bool is_delete) {
+    if (!Ready(true)) return true;
+    std::istringstream is(args);
+    std::string table;
+    is >> table;
+    const Table* t = mvdb_->db().Find(table);
+    if (t == nullptr) {
+      std::printf("unknown table '%s'; see 'tables'\n", table.c_str());
+      return true;
+    }
+    std::vector<std::string> toks;
+    std::string tok;
+    while (is >> tok) toks.push_back(tok);
+    const size_t arity = t->arity();
+    const size_t max_toks = arity + (is_delete ? 0 : 1);
+    if (toks.size() < arity || toks.size() > max_toks) {
+      std::printf("usage: %s %s <%zu values>%s\n",
+                  is_delete ? "delete" : "upsert", table.c_str(), arity,
+                  is_delete ? "" : " [weight]");
+      return true;
+    }
+    DeltaOp op;
+    op.table = table;
+    for (size_t i = 0; i < arity; ++i) op.values.push_back(ParseValue(toks[i]));
+    if (is_delete) {
+      op.kind = DeltaOp::Kind::kDelete;
+    } else {
+      if (toks.size() > arity) op.weight = std::strtod(toks[arity].c_str(), nullptr);
+      RowId row;
+      op.kind = t->FindRow(op.values, &row) ? DeltaOp::Kind::kUpdateWeight
+                                            : DeltaOp::Kind::kInsert;
+    }
+    Timer timer;
+    const Status st = engine_->ApplyDelta({op});
+    const double ms = timer.Millis();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      if (st.code() != StatusCode::kNotFound &&
+          st.code() != StatusCode::kAlreadyExists &&
+          st.code() != StatusCode::kInvalidArgument) {
+        std::printf("the database may have advanced past the index; "
+                    "'compile' on a fresh shell to rebuild\n");
+      }
+      return true;
+    }
+    const char* verb = is_delete ? "deleted"
+                       : op.kind == DeltaOp::Kind::kInsert ? "inserted"
+                                                           : "reweighted";
+    std::printf("%s %s tuple in %.3f ms (index maintained incrementally)\n",
+                verb, table.c_str(), ms);
     return true;
   }
 
