@@ -87,17 +87,43 @@ LatencyStats Summarize(std::vector<double>* ms) {
   return s;
 }
 
-void EmitRow(int scale, const char* op, const LatencyStats& s, size_t count) {
+/// Per-op repair-phase samples (MvIndex::last_repair_stats), so the
+/// headline p50 is attributable: annotation replay vs block reprobe vs
+/// product-array rebuild.
+struct PhaseSamples {
+  std::vector<double> replay_ms, reprobe_ms, products_ms;
+
+  void Record(const MvIndexRepairStats& rs) {
+    if (!rs.valid) return;
+    replay_ms.push_back(rs.replay_seconds * 1e3);
+    reprobe_ms.push_back(rs.reprobe_seconds * 1e3);
+    products_ms.push_back(rs.products_seconds * 1e3);
+  }
+};
+
+void EmitRow(int scale, const char* op, const LatencyStats& s, size_t count,
+             PhaseSamples* phases = nullptr) {
   std::printf("  %-7s p50 %9.3f ms   max %9.3f ms   (%zu ops)\n", op, s.p50_ms,
               s.max_ms, count);
-  JsonLine("apply_delta")
-      .Field("scale", scale)
+  JsonLine line("apply_delta");
+  line.Field("scale", scale)
       .Field("op", std::string(op))
       .Field("p50_ms", s.p50_ms)
       .Field("max_ms", s.max_ms)
       .Field("count", count)
-      .Field("threads", g_threads)
-      .Emit();
+      .Field("threads", g_threads);
+  if (phases != nullptr && !phases->replay_ms.empty()) {
+    const LatencyStats replay = Summarize(&phases->replay_ms);
+    const LatencyStats reprobe = Summarize(&phases->reprobe_ms);
+    const LatencyStats products = Summarize(&phases->products_ms);
+    std::printf("          repair split p50: replay %.3f ms, reprobe %.3f ms, "
+                "products %.3f ms\n",
+                replay.p50_ms, reprobe.p50_ms, products.p50_ms);
+    line.Field("replay_p50_ms", replay.p50_ms)
+        .Field("reprobe_p50_ms", reprobe.p50_ms)
+        .Field("products_p50_ms", products.p50_ms);
+  }
+  line.Emit();
 }
 
 void RunScale(int scale) {
@@ -143,6 +169,7 @@ void RunScale(int scale) {
   // no-op and would flatter the numbers).
   std::vector<DeltaOp> applied;  // replayed for the differential gate
   std::vector<double> weight_ms;
+  PhaseSamples weight_phases;
   for (size_t i = 0; i < 16; ++i) {
     DeltaOp op;
     op.kind = DeltaOp::Kind::kUpdateWeight;
@@ -152,12 +179,15 @@ void RunScale(int scale) {
     Timer t;
     Die(engine->ApplyDelta({op}));
     weight_ms.push_back(t.Seconds() * 1e3);
+    weight_phases.Record(engine->index().last_repair_stats());
     applied.push_back(std::move(op));
   }
-  EmitRow(scale, "weight", Summarize(&weight_ms), weight_ms.size());
+  EmitRow(scale, "weight", Summarize(&weight_ms), weight_ms.size(),
+          &weight_phases);
 
   // Tombstone deletes: same repair path, weight -> 0.
   std::vector<double> delete_ms;
+  PhaseSamples delete_phases;
   for (size_t i = 0; i < 4; ++i) {
     DeltaOp op;
     op.kind = DeltaOp::Kind::kDelete;
@@ -166,9 +196,11 @@ void RunScale(int scale) {
     Timer t;
     Die(engine->ApplyDelta({op}));
     delete_ms.push_back(t.Seconds() * 1e3);
+    delete_phases.Record(engine->index().last_repair_stats());
     applied.push_back(std::move(op));
   }
-  EmitRow(scale, "delete", Summarize(&delete_ms), delete_ms.size());
+  EmitRow(scale, "delete", Summarize(&delete_ms), delete_ms.size(),
+          &delete_phases);
 
   // Structural inserts: brand-new Student tuples under fresh aids.
   Value fresh_aid = 0;

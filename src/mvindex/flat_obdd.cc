@@ -138,7 +138,10 @@ FlatObdd::FlatObdd(const BddManager& mgr, NodeId root,
   levels_store_ = std::move(block.levels);
   edges_store_ = std::move(block.edges);
   root_ = block.root;
-  ComputeAnnotations();
+  // One piece, one block: no edge leaves the slice, so the block-local
+  // replay is the plain probUnder recurrence over the whole array.
+  ComputeAnnotations(levels_store_.empty() ? std::vector<size_t>{}
+                                           : std::vector<size_t>{0});
 }
 
 std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
@@ -159,7 +162,7 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
     // what concatenating in a manager produces.
     flat->root_ = kFlatFalse;
     if (chain_roots != nullptr) chain_roots->assign(blocks.size(), kFlatFalse);
-    flat->ComputeAnnotations();
+    flat->ComputeAnnotations({});
     return flat;
   }
   if (chain_roots != nullptr) {
@@ -173,6 +176,8 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
   flat->edges_store_.resize(total);
   FlatId next_root = kFlatTrue;  // chain suffix after the last block
   size_t offset = total;
+  std::vector<size_t> block_starts;  // bases of emitted blocks, collected
+  block_starts.reserve(blocks.size());
   for (size_t i = blocks.size(); i-- > 0;) {
     const Block& b = blocks[i];
     if (b.root == kFlatTrue) {
@@ -195,9 +200,12 @@ std::unique_ptr<FlatObdd> FlatObdd::StitchChain(
     }
     next_root = base + b.root;
     if (chain_roots != nullptr) (*chain_roots)[i] = next_root;
+    block_starts.push_back(offset);
   }
   flat->root_ = blocks.empty() ? kFlatTrue : next_root;
-  flat->ComputeAnnotations();
+  // Emission ran back to front; the annotation pass wants ascending starts.
+  std::reverse(block_starts.begin(), block_starts.end());
+  flat->ComputeAnnotations(block_starts);
   return flat;
 }
 
@@ -214,6 +222,20 @@ std::unique_ptr<FlatObdd> FlatObdd::FromOwnedStorage(
   flat->level_probs_store_ = std::move(level_probs);
   flat->root_ = root;
   flat->BindOwned();
+  return flat;
+}
+
+std::unique_ptr<FlatObdd> FlatObdd::FromTopologyRecompute(
+    std::vector<int32_t> levels, std::vector<FlatEdges> edges,
+    std::vector<double> level_probs, FlatId root,
+    const std::vector<size_t>& block_starts) {
+  MVDB_CHECK_EQ(levels.size(), edges.size());
+  std::unique_ptr<FlatObdd> flat(new FlatObdd());
+  flat->levels_store_ = std::move(levels);
+  flat->edges_store_ = std::move(edges);
+  flat->level_probs_store_ = std::move(level_probs);
+  flat->root_ = root;
+  flat->ComputeAnnotations(block_starts);
   return flat;
 }
 
@@ -244,31 +266,46 @@ void FlatObdd::BindOwned() {
   num_levels_ = level_probs_store_.size();
 }
 
-void FlatObdd::ComputeAnnotations() {
-  // probUnder: children always sit at larger indexes (levels strictly grow
-  // along edges), so a single reverse pass suffices.
+void FlatObdd::ComputeAnnotations(const std::vector<size_t>& block_starts) {
+  // Block-local probUnder: one reverse replay per block slice. The slices
+  // are independent (a slice never reads another slice's annotations — the
+  // only cross-slice edges are the chain redirects, which replay as the
+  // true sink), so the per-block order is immaterial; descending mirrors
+  // the old single reverse pass.
   prob_under_store_.resize(levels_store_.size());
-  ReplayProbUnder(levels_store_.size());
+  for (size_t b = block_starts.size(); b-- > 0;) {
+    const size_t begin = block_starts[b];
+    const size_t end =
+        b + 1 < block_starts.size() ? block_starts[b + 1] : levels_store_.size();
+    ReplayProbUnder(begin, end);
+  }
   BindOwned();
 }
 
-void FlatObdd::ReplayProbUnder(size_t end) {
-  // The reverse probUnder recurrence over [0, end): the single expression
-  // both the from-scratch build and incremental repair run, so the two are
-  // bit-identical by construction. The array is level-sorted, so the
-  // ScaledDouble forms of (1-p, p) are hoisted per level run rather than
-  // renormalized per node — same values, same downstream operations.
+void FlatObdd::ReplayProbUnder(size_t begin, size_t end) {
+  // The reverse block-local probUnder recurrence over one slice [begin,
+  // end): the single expression both the from-scratch build and the
+  // incremental repair run, so the two are bit-identical by construction.
+  // Edge targets at or past `end` are the AND-concatenation redirect into
+  // the next block and read as the true sink — the same rule
+  // SliceProbScaled/BlockProbScaled apply, which is what makes the value
+  // at the block root bit-identical to the standalone block probability.
+  // The array is level-sorted, so the ScaledDouble forms of (1-p, p) are
+  // hoisted per level run rather than renormalized per node — same values,
+  // same downstream operations.
   const int32_t* const levels = levels_store_.data();
   const FlatEdges* const edges = edges_store_.data();
   ScaledDouble* const under = prob_under_store_.data();
   auto under_of = [&](FlatId u) {
     if (u == kFlatFalse) return ScaledDouble::Zero();
-    if (u == kFlatTrue) return ScaledDouble::One();
+    if (u == kFlatTrue || static_cast<size_t>(u) >= end) {
+      return ScaledDouble::One();
+    }
     return under[static_cast<size_t>(u)];
   };
   int32_t run_level = -1;
   ScaledDouble p_lo, p_hi;
-  for (size_t i = end; i-- > 0;) {
+  for (size_t i = end; i-- > begin;) {
     if (levels[i] != run_level) {
       run_level = levels[i];
       const double p = level_probs_store_[static_cast<size_t>(run_level)];
@@ -294,14 +331,17 @@ void FlatObdd::SetLevelProb(int32_t level, double p) {
   level_probs_store_[static_cast<size_t>(level)] = p;
 }
 
-void FlatObdd::RepairAnnotations(FlatId changed_end) {
+void FlatObdd::RepairAnnotations(FlatId block_begin, FlatId block_end) {
   MVDB_CHECK(mapping_ == nullptr);
-  const size_t end = static_cast<size_t>(changed_end);
+  const size_t begin = static_cast<size_t>(block_begin);
+  const size_t end = static_cast<size_t>(block_end);
+  MVDB_CHECK_LE(begin, end);
   MVDB_CHECK_LE(end, levels_store_.size());
 
-  // probUnder: replay the reverse recurrence over [0, end) against the
-  // intact suffix — the same pass ComputeAnnotations runs, stopped early.
-  ReplayProbUnder(end);
+  // probUnder is block-local: replay the reverse recurrence over exactly
+  // the dirty block's slice — the same per-block pass ComputeAnnotations
+  // runs at build time. No other block's annotations depend on this one.
+  ReplayProbUnder(begin, end);
 }
 
 ScaledDouble FlatObdd::SliceProbScaled(

@@ -9,16 +9,23 @@
 // sweep streams only the bytes it touches. Each node is augmented with the
 // quantity every probability computation consumes (Section 4.1):
 //
-//   probUnder(u) — probability of the sub-OBDD rooted at u.
+//   probUnder(u) — probability of the sub-OBDD rooted at u, *block-local*:
+//   evaluated with every edge leaving u's block (the AND-concatenation
+//   redirect to the next block's root) read as the true sink. For the
+//   chain entry of block i this is exactly the standalone P(NOT W_i) the
+//   block directory stores; the downstream chain's contribution is NOT
+//   folded in — consumers multiply the per-block suffix product
+//   (MvIndex::block_suffix_) back in at credit time.
 //
-// It is computed once at build time in one linear pass over the stitched
-// chain and remains valid for probabilities outside [0,1]. (The paper's
-// companion annotation, reachability(u) — total probability of all
-// root-to-u paths — used to be stored too, but no serving path reads it;
-// dropping it halves the annotation bytes and, more importantly, halves
-// the work a weight-delta repair must replay: reachability of every node
-// downstream of a changed level changes, so repairing it cost a full
-// forward pass per delta.)
+// Block locality is what bounds a weight-delta repair: a changed level
+// dirties exactly one block, so only that block's annotations replay
+// (plus an O(blocks) product rebuild) instead of every node before the
+// change — the globally-composed annotation forced an O(changed-prefix)
+// replay because every upstream probUnder folded the changed block's
+// factor in. (The paper's companion annotation, reachability(u) — total
+// probability of all root-to-u paths — used to be stored too, but no
+// serving path reads it; dropping it halved the annotation bytes for the
+// same reason: its repair cost was a full forward pass per delta.)
 //
 // Construction comes in two flavours: flattening one manager sub-DAG (the
 // classic path, used by tests and ablations), and stitching per-block
@@ -117,8 +124,10 @@ class FlatObdd {
   /// kFlatTrue) — the flat image of AND-concatenation. Blocks must arrive in
   /// ascending, non-overlapping level order. `level_probs` is indexed by
   /// level. If `chain_roots` is non-null it receives each block's entry
-  /// point in the chain. The annotation passes run once over the stitched
-  /// arrays.
+  /// point in the chain. The annotation pass runs once per emitted block
+  /// over its own slice (block-local probUnder), so stitching never
+  /// rewrites another block's annotations — each block's values are a
+  /// function of that block alone.
   static std::unique_ptr<FlatObdd> StitchChain(const std::vector<Block>& blocks,
                                                std::vector<double> level_probs,
                                                std::vector<FlatId>* chain_roots);
@@ -130,6 +139,16 @@ class FlatObdd {
       std::vector<int32_t> levels, std::vector<FlatEdges> edges,
       std::vector<ScaledDouble> prob_under, std::vector<double> level_probs,
       FlatId root);
+
+  /// Assembles a FlatObdd from raw topology + level probabilities and
+  /// recomputes the block-local annotations from scratch over the given
+  /// block slices (ascending start offsets; the slices tile [0, N)). Used
+  /// by the v2->v3 file migration, which deliberately discards the file's
+  /// global-suffix annotation bytes.
+  static std::unique_ptr<FlatObdd> FromTopologyRecompute(
+      std::vector<int32_t> levels, std::vector<FlatEdges> edges,
+      std::vector<double> level_probs, FlatId root,
+      const std::vector<size_t>& block_starts);
 
   /// Non-owning span-backed storage mode (MvIndex::LoadMapped): the SoA
   /// bases point into `mapping` — read-only PROT_READ pages of the index
@@ -157,21 +176,25 @@ class FlatObdd {
   /// only; see EnsureOwned). The weight-only delta repair's first step.
   void SetLevelProb(int32_t level, double p);
 
-  /// Replays the probUnder recurrence over the smallest region a change
-  /// confined to flat ids below `changed_end` can affect: [0, changed_end)
-  /// is recomputed against the intact suffix — nodes at or past
-  /// changed_end cannot reach the changed region, edges only point
-  /// forward. Every repaired entry is produced by the identical expression
-  /// in the identical order as ComputeAnnotations' full pass, so the
-  /// repaired array is bit-identical to a from-scratch computation over
-  /// the updated probs.
-  void RepairAnnotations(FlatId changed_end);
+  /// Replays the block-local probUnder recurrence over one block's slice
+  /// [block_begin, block_end): annotations are a function of the block
+  /// alone (edges leaving the slice read as the true sink), so a changed
+  /// level dirties exactly the block that owns it and nothing else
+  /// replays. Every repaired entry is produced by the identical expression
+  /// in the identical order as ComputeAnnotations' build pass over the
+  /// same slice, so the repaired array is bit-identical to a from-scratch
+  /// computation over the updated probs.
+  void RepairAnnotations(FlatId block_begin, FlatId block_end);
 
   /// Standalone probUnder of the stitched chain slice [begin, end) rooted
   /// at `chain_root`: the BlockProbScaled recurrence evaluated in place
   /// over the chain arrays, with edges leaving the slice read as the true
   /// sink (what they were before stitching redirected them). Bit-identical
-  /// to BlockProbScaled on the slice's standalone flattened piece.
+  /// to BlockProbScaled on the slice's standalone flattened piece — and,
+  /// because the stored annotations are block-local, to
+  /// prob_under_scaled(chain_root) itself when [begin, end) is a whole
+  /// block (kept for scratch-side recomputes that must not read the
+  /// possibly-stale annotation array).
   ScaledDouble SliceProbScaled(FlatId begin, FlatId end, FlatId chain_root,
                                std::vector<ScaledDouble>* scratch) const;
 
@@ -210,7 +233,9 @@ class FlatObdd {
     return level_probs_[static_cast<size_t>(level)];
   }
 
-  /// probUnder annotation (extended range); sinks return their constant.
+  /// Block-local probUnder annotation (extended range); sinks return their
+  /// constant. For a chain entry this is the block's standalone P(NOT W_b);
+  /// chain consumers multiply the per-block suffix product back in.
   ScaledDouble prob_under_scaled(FlatId id) const {
     if (id == kFlatFalse) return ScaledDouble::Zero();
     if (id == kFlatTrue) return ScaledDouble::One();
@@ -220,7 +245,10 @@ class FlatObdd {
   /// probUnder converted to double (diagnostics/tests; may under/overflow).
   double prob_under(FlatId id) const { return prob_under_scaled(id).ToDouble(); }
 
-  /// P(function): probUnder of the root.
+  /// probUnder of the root. For a single-block FlatObdd (the classic
+  /// constructor) this is P(function); for a stitched chain it is only the
+  /// FIRST block's standalone factor — P0(NOT W) lives in the block-product
+  /// arrays (MvIndex::ProbNotWScaled).
   ScaledDouble prob_root_scaled() const { return prob_under_scaled(root_); }
   double prob_root() const { return prob_root_scaled().ToDouble(); }
 
@@ -242,15 +270,23 @@ class FlatObdd {
  private:
   FlatObdd() = default;
 
-  /// The linear probUnder pass (reverse, children always at larger
-  /// indexes) over the already-populated topology stores; ends by binding
-  /// the read-side bases to the owned vectors.
-  void ComputeAnnotations();
+  /// The block-local probUnder passes over the already-populated topology
+  /// stores: one reverse replay per block slice (`block_starts` are the
+  /// ascending start offsets of the emitted blocks; each slice ends where
+  /// the next begins). The classic single-piece constructor passes {0} —
+  /// one block covering the whole array, where no edge leaves the slice,
+  /// so its semantics are unchanged. Ends by binding the read-side bases
+  /// to the owned vectors.
+  void ComputeAnnotations(const std::vector<size_t>& block_starts);
 
-  /// The shared reverse recurrence over [0, end) — ComputeAnnotations runs
-  /// it over the whole array, RepairAnnotations over the changed prefix.
-  /// One body guarantees the two are bit-identical.
-  void ReplayProbUnder(size_t end);
+  /// The shared reverse recurrence over one block slice [begin, end):
+  /// edge targets at or past `end` (the chain redirect into the next
+  /// block) read as the true sink. ComputeAnnotations runs it per block at
+  /// build time, RepairAnnotations over the one dirty block. One body
+  /// guarantees the two are bit-identical — and, because the recurrence is
+  /// exactly BlockProbScaled's over the same slice, the value at the block
+  /// root is bit-identical to the standalone block probability.
+  void ReplayProbUnder(size_t begin, size_t end);
 
   /// Points the read-side bases at the owned vectors (build/Load paths).
   void BindOwned();

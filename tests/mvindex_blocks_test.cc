@@ -39,13 +39,17 @@ TEST(MvBlockTest, BlockProbProductIsProbNotW) {
   ASSERT_TRUE(mvdb.ok());
   QueryEngine engine(mvdb->get());
   ASSERT_TRUE(engine.Compile().ok());
+  // ProbNotWScaled is defined as the left-to-right prefix product over the
+  // block probabilities, and this loop multiplies in the same order, so
+  // the identity holds bitwise — not just to tolerance.
   ScaledDouble product = ScaledDouble::One();
   for (const MvBlock& b : engine.index().blocks()) product *= b.prob;
   const ScaledDouble total = engine.index().ProbNotWScaled();
-  EXPECT_NEAR((product / total).ToDouble(), 1.0, 1e-9);
+  EXPECT_TRUE(product == total)
+      << product.ToString() << " vs " << total.ToString();
 }
 
-TEST(MvBlockTest, ChainRootProbUnderIsSuffixProduct) {
+TEST(MvBlockTest, ChainRootProbUnderIsBlockProb) {
   auto mvdb = dblp::BuildDblpMvdb(dblp::DblpConfig{.num_authors = 120}, nullptr);
   ASSERT_TRUE(mvdb.ok());
   QueryEngine engine(mvdb->get());
@@ -53,12 +57,17 @@ TEST(MvBlockTest, ChainRootProbUnderIsSuffixProduct) {
   const auto& index = engine.index();
   const auto& blocks = index.blocks();
   ASSERT_GT(blocks.size(), 2u);
-  // probUnder(chain entry of block i) = prod of P(NOT W_b) for b >= i.
-  ScaledDouble suffix = ScaledDouble::One();
-  for (size_t i = blocks.size(); i-- > 0;) {
-    suffix *= blocks[i].prob;
-    const ScaledDouble got = index.flat().prob_under_scaled(blocks[i].chain_root);
-    EXPECT_NEAR((got / suffix).ToDouble(), 1.0, 1e-9) << "block " << i;
+  // Annotations are block-local: the value at block i's chain entry is the
+  // standalone P(NOT W_i) — the same recurrence FinishBlock ran on the
+  // standalone piece — NOT a suffix product over the rest of the chain.
+  // Bitwise, because the weight-delta repair's O(1) block reprobe reads
+  // exactly this identity.
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const ScaledDouble got =
+        index.flat().prob_under_scaled(blocks[i].chain_root);
+    EXPECT_TRUE(got == blocks[i].prob)
+        << "block " << i << ": " << got.ToString() << " vs "
+        << blocks[i].prob.ToString();
   }
 }
 

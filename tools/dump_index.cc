@@ -16,12 +16,22 @@
 // Optionally persists the compiled index: dump_index 1500 --save=PATH
 //
 // File mode (--load=PATH): routes through the persistent-format reader
-// (mvindex/index_io.*) instead of compiling — prints the header, the
-// section table, per-block stats, and with --verify recomputes every
-// section checksum, exiting non-zero on any mismatch (the CI integrity
-// gate). --quiet suppresses the per-node dump in either mode.
+// (mvindex/index_io.*) instead of compiling — prints the header (format
+// version + annotation scheme), the section table, per-block stats, and
+// with --verify recomputes every section checksum, exiting non-zero on any
+// mismatch (the CI integrity gate). --quiet suppresses the per-node dump
+// in either mode.
 //
 //   dump_index --load=dblp.mvidx --verify         # exit 0 iff intact
+//
+// Migrate mode (--migrate=PATH): rewrites a v2 index file as format v3
+// offline — block-local annotations recomputed from the file's topology —
+// so a persisted 1M-author index survives the format bump without a
+// rebuild. In-place by default; --save=OUT writes elsewhere. A v3 input is
+// validated and copied through byte-identically (idempotent).
+//
+//   dump_index --migrate=dblp.mvidx               # upgrade in place
+//   dump_index --migrate=old.mvidx --save=new.mvidx
 
 #include <cinttypes>
 #include <cstdio>
@@ -39,6 +49,14 @@ const char* kSectionNames[mvdb::kNumIndexSections] = {
     "var_order", "level_probs", "levels",    "edges",
     "prob_under", "block_dir",  "key_blob",
 };
+
+const char* SchemeName(uint32_t scheme) {
+  switch (scheme) {
+    case mvdb::kAnnotationSchemeGlobalSuffix: return "global_suffix";
+    case mvdb::kAnnotationSchemeBlockLocal: return "block_local";
+    default: return "unknown";
+  }
+}
 
 /// The shared tail of both modes: block directory + flat node dump.
 void DumpIndex(const mvdb::MvIndex& idx, bool quiet) {
@@ -69,6 +87,8 @@ int FileMode(const std::string& path, bool verify, bool quiet) {
   const IndexFileHeader& h = reader->header();
   std::printf("file %s\n", path.c_str());
   std::printf("format_version %u\n", h.format_version);
+  std::printf("annotation_scheme %u (%s)\n", h.annotation_scheme,
+              SchemeName(h.annotation_scheme));
   std::printf("num_nodes %" PRIu64 " num_levels %" PRIu64
               " num_blocks %" PRIu64 " root %" PRId64 "\n",
               h.num_nodes, h.num_levels, h.num_blocks, h.root);
@@ -117,6 +137,7 @@ int main(int argc, char** argv) {
   CompileOptions copts;
   std::string save_path;
   std::string load_path;
+  std::string migrate_path;
   bool verify = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +150,8 @@ int main(int argc, char** argv) {
       save_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--load=", 7) == 0) {
       load_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--migrate=", 10) == 0) {
+      migrate_path = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -139,10 +162,24 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag %s\n"
                    "usage: dump_index [authors] [--threads=N] [--save=PATH]\n"
-                   "       dump_index --load=PATH [--verify] [--quiet]\n",
+                   "       dump_index --load=PATH [--verify] [--quiet]\n"
+                   "       dump_index --migrate=PATH [--save=OUT]\n",
                    argv[i]);
       return 2;
     }
+  }
+
+  if (!migrate_path.empty()) {
+    const std::string out = save_path.empty() ? migrate_path : save_path;
+    const Status st = MigrateIndexFile(migrate_path, out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "migrated %s -> %s (format v%u, %s annotations)\n",
+                 migrate_path.c_str(), out.c_str(), kIndexFormatVersion,
+                 SchemeName(kAnnotationSchemeBlockLocal));
+    return 0;
   }
 
   if (!load_path.empty()) {
@@ -168,6 +205,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "saved index to %s\n", save_path.c_str());
   }
+  // The in-memory compile is by construction the current format generation.
+  std::printf("format_version %u\n", kIndexFormatVersion);
+  std::printf("annotation_scheme %u (%s)\n", kAnnotationSchemeBlockLocal,
+              SchemeName(kAnnotationSchemeBlockLocal));
   DumpIndex(engine.index(), quiet);
   return 0;
 }

@@ -25,6 +25,7 @@
 
 #include "core/engine.h"
 #include "dblp/dblp.h"
+#include "mvindex/index_io.h"
 #include "query/parser.h"
 #include "util/timer.h"
 
@@ -231,6 +232,18 @@ class Shell {
     std::printf("  MV-index: %zu nodes, %zu blocks, width %zu\n",
                 engine_->index().size(), engine_->index().blocks().size(),
                 engine_->index().flat().Width());
+    std::printf("  format: v%u, block_local annotations\n",
+                kIndexFormatVersion);
+    const MvIndexRepairStats& rs = engine_->index().last_repair_stats();
+    if (rs.valid) {
+      std::printf("  last repair: %zu dirty block%s, %zu nodes replayed — "
+                  "replay %.3f ms, reprobe %.3f ms, products %.3f ms\n",
+                  rs.dirty_blocks, rs.dirty_blocks == 1 ? "" : "s",
+                  rs.replayed_nodes, rs.replay_seconds * 1e3,
+                  rs.reprobe_seconds * 1e3, rs.products_seconds * 1e3);
+    } else {
+      std::printf("  last repair: none (no weight delta since compile/load)\n");
+    }
     std::printf("  W inversion-free: %s\n",
                 engine_->w_inversion_free() ? "yes" : "no");
     std::printf("  W: %s\n", ToString(mvdb_->W()).c_str());
